@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries.
+ *
+ * Every bench prints the series/rows of one paper table or figure and
+ * then runs a few google-benchmark kernels for the hot code paths it
+ * exercises. `CAFQA_BENCH_SCALE=paper` switches from the CI-sized
+ * default ("quick") to paper-sized search budgets and sweeps.
+ */
+#ifndef CAFQA_BENCH_BENCH_COMMON_HPP
+#define CAFQA_BENCH_BENCH_COMMON_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cafqa_driver.hpp"
+#include "core/clifford_ansatz.hpp"
+#include "problems/molecule_factory.hpp"
+#include "statevector/lanczos.hpp"
+
+namespace cafqa::bench {
+
+/** Chemical accuracy threshold in Hartree (paper Section 2.1). */
+constexpr double chemical_accuracy = 1.6e-3;
+
+/** Bench sizing. */
+enum class Scale { Quick, Paper };
+
+inline Scale
+scale()
+{
+    const char* env = std::getenv("CAFQA_BENCH_SCALE");
+    if (env != nullptr && std::string(env) == "paper") {
+        return Scale::Paper;
+    }
+    return Scale::Quick;
+}
+
+inline const char*
+scale_name()
+{
+    return scale() == Scale::Paper ? "paper" : "quick";
+}
+
+/** Pick a size by scale. */
+inline std::size_t
+pick(std::size_t quick, std::size_t paper)
+{
+    return scale() == Scale::Paper ? paper : quick;
+}
+
+/** Evenly spaced sweep (inclusive endpoints). */
+inline std::vector<double>
+linspace(double lo, double hi, std::size_t points)
+{
+    std::vector<double> out;
+    if (points == 1) {
+        out.push_back(lo);
+        return out;
+    }
+    for (std::size_t i = 0; i < points; ++i) {
+        out.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                               static_cast<double>(points - 1));
+    }
+    return out;
+}
+
+/** Percentage of HF-missed correlation energy recovered by CAFQA
+ *  (paper metric 3), clamped to [0, 100]. */
+inline double
+correlation_recovered_percent(double hf, double cafqa, double exact)
+{
+    const double denom = hf - exact;
+    if (denom <= 1e-12) {
+        return 100.0;
+    }
+    const double recovered = (hf - cafqa) / denom * 100.0;
+    return std::max(0.0, std::min(100.0, recovered));
+}
+
+/** Default CAFQA budget for a system size, by scale. */
+inline CafqaOptions
+cafqa_budget(std::size_t num_qubits, std::uint64_t seed)
+{
+    CafqaOptions options;
+    options.seed = seed;
+    if (scale() == Scale::Paper) {
+        options.warmup = 1000;
+        options.iterations = 1000;
+    } else {
+        options.warmup = (num_qubits <= 4) ? 100 : 150;
+        options.iterations = (num_qubits <= 4) ? 120 : 200;
+    }
+    return options;
+}
+
+/**
+ * CAFQA budget for a molecular system, with the Hartree-Fock point
+ * prior-injected into the search (guaranteeing CAFQA <= HF, the paper's
+ * "equal to or better than" property).
+ */
+inline CafqaOptions
+molecular_budget(const problems::MolecularSystem& system,
+                 std::uint64_t seed)
+{
+    CafqaOptions options = cafqa_budget(system.num_qubits, seed);
+    options.seed_steps.push_back(efficient_su2_bitstring_steps(
+        system.num_qubits, system.hf_bits));
+    return options;
+}
+
+/** Exact ground energy via Lanczos with a scale-aware iteration cap. */
+inline double
+exact_energy(const PauliSum& hamiltonian)
+{
+    LanczosOptions options;
+    options.max_iterations = pick(120, 300);
+    options.tolerance = 1e-9;
+    return lanczos_ground_state(hamiltonian, options).energy;
+}
+
+/** Standard bench banner. */
+inline void
+banner(const std::string& what)
+{
+    std::cout << "# " << what << "\n# scale: " << scale_name()
+              << " (set CAFQA_BENCH_SCALE=paper for paper-sized budgets)\n"
+              << std::endl;
+}
+
+} // namespace cafqa::bench
+
+#endif // CAFQA_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,143 @@
+// Regenerates paper Fig. 5: the 2-qubit XX-Hamiltonian microbenchmark.
+// Series: ideal-machine sweep, two noisy-machine sweeps (Casablanca /
+// Manhattan surrogates), the Hartree-Fock value, and the four CAFQA
+// Clifford points.
+
+#include <benchmark/benchmark.h>
+
+#include <numbers>
+
+#include "bench_common.hpp"
+#include "circuit/efficient_su2.hpp"
+#include "common/table.hpp"
+#include "core/evaluator.hpp"
+#include "density/noise_model.hpp"
+
+namespace {
+
+using namespace cafqa;
+using namespace cafqa::bench;
+
+const PauliSum&
+xx_hamiltonian()
+{
+    static const PauliSum h = PauliSum::from_terms(2, {{1.0, "XX"}});
+    return h;
+}
+
+void
+print_fig05()
+{
+    banner("Fig. 5: ansatz tuning on the 2-qubit XX Hamiltonian");
+
+    const Circuit ansatz = make_microbenchmark_ansatz();
+    const PauliSum& h = xx_hamiltonian();
+    const NoiseModel casablanca = noise_model_casablanca();
+    const NoiseModel manhattan = noise_model_manhattan();
+
+    const std::size_t points = pick(17, 65);
+    Table sweep("Expectation value vs theta");
+    sweep.set_header({"theta(rad)", "Ideal", "Noisy(Casablanca)",
+                      "Noisy(Manhattan)", "Hartree-Fock"});
+
+    double ideal_min = 1e9;
+    double casa_min = 1e9;
+    double manh_min = 1e9;
+    for (const double theta :
+         linspace(0.0, 2.0 * std::numbers::pi, points)) {
+        const std::vector<double> params = {theta};
+        Statevector psi(2);
+        psi.apply_circuit(ansatz, params);
+        const double ideal = psi.expectation(h);
+        const double casa =
+            simulate_noisy(ansatz, params, casablanca).expectation(h);
+        const double manh =
+            simulate_noisy(ansatz, params, manhattan).expectation(h);
+        ideal_min = std::min(ideal_min, ideal);
+        casa_min = std::min(casa_min, casa);
+        manh_min = std::min(manh_min, manh);
+        // HF: best computational basis state; XX has no diagonal part,
+        // so the HF expectation is identically 0 (paper Section 4.1).
+        sweep.add_row({Table::num(theta, 3), Table::num(ideal, 4),
+                       Table::num(casa, 4), Table::num(manh, 4),
+                       Table::num(0.0, 4)});
+    }
+    sweep.print(std::cout);
+
+    Table clifford("CAFQA Clifford points (theta = k*pi/2)");
+    clifford.set_header({"k", "theta(rad)", "<XX> (exact, one shot/term)"});
+    CliffordEvaluator evaluator(ansatz);
+    double cafqa_min = 1e9;
+    for (int k = 0; k < 4; ++k) {
+        evaluator.prepare({k});
+        const double value = evaluator.expectation(h);
+        cafqa_min = std::min(cafqa_min, value);
+        clifford.add_row({std::to_string(k),
+                          Table::num(k * std::numbers::pi / 2.0, 3),
+                          Table::num(value, 4)});
+    }
+    clifford.print(std::cout);
+
+    Table mins("Minima reached by each method");
+    mins.set_header({"Method", "Minimum", "Paper reports"});
+    mins.add_row({"Ideal machine", Table::num(ideal_min, 4), "-1.0"});
+    mins.add_row({"CAFQA (only-Clifford)", Table::num(cafqa_min, 4),
+                  "-1.0"});
+    mins.add_row({"Noisy (Casablanca)", Table::num(casa_min, 4), "~-0.85"});
+    mins.add_row({"Noisy (Manhattan)", Table::num(manh_min, 4), "~-0.70"});
+    mins.add_row({"Hartree-Fock", Table::num(0.0, 4), "0.0"});
+    mins.print(std::cout);
+}
+
+void
+BM_IdealSweepPoint(benchmark::State& state)
+{
+    const Circuit ansatz = make_microbenchmark_ansatz();
+    double theta = 0.1;
+    for (auto _ : state) {
+        Statevector psi(2);
+        psi.apply_circuit(ansatz, {theta});
+        benchmark::DoNotOptimize(psi.expectation(xx_hamiltonian()));
+        theta += 0.01;
+    }
+}
+BENCHMARK(BM_IdealSweepPoint);
+
+void
+BM_NoisySweepPoint(benchmark::State& state)
+{
+    const Circuit ansatz = make_microbenchmark_ansatz();
+    const NoiseModel noise = noise_model_manhattan();
+    double theta = 0.1;
+    for (auto _ : state) {
+        const DensityMatrix rho = simulate_noisy(ansatz, {theta}, noise);
+        benchmark::DoNotOptimize(rho.expectation(xx_hamiltonian()));
+        theta += 0.01;
+    }
+}
+BENCHMARK(BM_NoisySweepPoint);
+
+void
+BM_CliffordPoint(benchmark::State& state)
+{
+    CliffordEvaluator evaluator(make_microbenchmark_ansatz());
+    int k = 0;
+    for (auto _ : state) {
+        evaluator.prepare({k & 3});
+        benchmark::DoNotOptimize(
+            evaluator.expectation(xx_hamiltonian()));
+        ++k;
+    }
+}
+BENCHMARK(BM_CliffordPoint);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    print_fig05();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,114 @@
+// Regenerates paper Fig. 12: chromium dimer (Cr2) ground-state energy,
+// CAFQA vs Hartree-Fock, plotted as E_dimer - 2*E_atom. The paper
+// freezes the lower 18 of 36 orbitals (34 qubits) and notes its search
+// is bounded by compute; the quick scale here uses a deeper freeze
+// (10-qubit active space) so the bench completes in CI time, while
+// CAFQA_BENCH_SCALE=paper uses the paper's 18-orbital active space.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "chem/basis.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace cafqa;
+using namespace cafqa::bench;
+
+/** Best-effort RHF energy of the chromium atom (full basis). */
+std::pair<double, bool>
+chromium_atom_energy()
+{
+    const chem::Molecule atom({chem::Atom{24, {0.0, 0.0, 0.0}}});
+    const chem::BasisSet basis = chem::BasisSet::sto3g(atom);
+    const chem::AoIntegrals ints = chem::compute_ao_integrals(atom, basis);
+    chem::ScfOptions options;
+    options.max_iterations = 400;
+    options.damping = 0.5;
+    options.damping_iterations = 10;
+    options.level_shift = 0.5;
+    const chem::ScfResult scf = chem::rhf(atom, ints, options);
+    return {scf.energy, scf.converged};
+}
+
+void
+print_fig12()
+{
+    banner("Fig. 12: Cr2 ground state energy (E_dimer - 2*E_atom)");
+
+    const auto [atom_energy, atom_converged] = chromium_atom_energy();
+    std::cout << "Cr atom RHF reference: " << atom_energy << " Ha"
+              << (atom_converged ? "" : "  (SCF not fully converged)")
+              << "\n\n";
+
+    problems::MolecularSystemOptions options;
+    std::vector<double> bonds;
+    if (scale() == Scale::Paper) {
+        options.frozen_override = 18;
+        options.active_override = 18; // 34 qubits, as in the paper
+        bonds = linspace(1.25, 3.5, 8);
+    } else {
+        options.frozen_override = 21;
+        options.active_override = 6; // 10 qubits for CI-time runs
+        bonds = {1.68, 2.2, 2.8};
+    }
+
+    Table table("Cr2: energy relative to two atoms (Hartree)");
+    table.set_header({"Bond(A)", "HF - 2*E_atom", "CAFQA - 2*E_atom",
+                      "CAFQA <= HF", "Qubits", "SCFconv"});
+    for (const double bond : bonds) {
+        const auto system =
+            problems::make_molecular_system("Cr2", bond, options);
+        const VqaObjective objective = problems::make_objective(system);
+        CafqaOptions budget = molecular_budget(system, 2024);
+        if (scale() == Scale::Quick) {
+            budget.warmup = 120;
+            budget.iterations = 150;
+        }
+        const CafqaResult cafqa =
+            run_cafqa(system.ansatz, objective, budget);
+
+        const double hf_rel = system.hf_energy - 2.0 * atom_energy;
+        const double cafqa_rel = cafqa.best_energy - 2.0 * atom_energy;
+        table.add_row({Table::num(bond, 2), Table::num(hf_rel, 4),
+                       Table::num(cafqa_rel, 4),
+                       cafqa.best_energy <= system.hf_energy + 1e-9
+                           ? "yes"
+                           : "NO",
+                       std::to_string(system.num_qubits),
+                       system.scf_converged ? "yes" : "no"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nNote: paper Section 7.1.5 — Cr2 estimates are bounded"
+                 " by compute budget; CAFQA's claim here is consistently"
+                 " lower initialization energy than HF across bond"
+                 " lengths.\n";
+}
+
+void
+BM_Cr2ActiveHamiltonian(benchmark::State& state)
+{
+    problems::MolecularSystemOptions options;
+    options.frozen_override = 21;
+    options.active_override = 6;
+    for (auto _ : state) {
+        auto system = problems::make_molecular_system("Cr2", 1.68, options);
+        benchmark::DoNotOptimize(system.hamiltonian.num_terms());
+    }
+}
+BENCHMARK(BM_Cr2ActiveHamiltonian)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    print_fig12();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Command-line front end for the full CAFQA pipeline — run any supported
+ * molecule at any bond length with configurable budgets and emit a
+ * machine-readable CSV line, suitable for scripting dissociation sweeps.
+ *
+ * Usage:
+ *   cafqa_cli --molecule LiH --bond 2.4 [--warmup 200] [--iterations 300]
+ *             [--seed 7] [--max-t 0] [--no-hf-seed] [--csv-header]
+ */
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/cafqa_driver.hpp"
+#include "core/clifford_ansatz.hpp"
+#include "problems/molecule_factory.hpp"
+#include "statevector/lanczos.hpp"
+
+namespace {
+
+void
+usage()
+{
+    std::cerr
+        << "cafqa_cli --molecule <name> --bond <angstrom>\n"
+        << "          [--warmup N] [--iterations N] [--seed N]\n"
+        << "          [--max-t K] [--no-hf-seed] [--csv-header]\n"
+        << "molecules:";
+    for (const auto& name : cafqa::problems::supported_molecules()) {
+        std::cerr << ' ' << name;
+    }
+    std::cerr << '\n';
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace cafqa;
+
+    std::string molecule;
+    double bond = 0.0;
+    CafqaOptions options{.warmup = 200, .iterations = 300, .seed = 7};
+    std::size_t max_t = 0;
+    bool hf_seed = true;
+    bool csv_header = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--molecule") {
+            molecule = next();
+        } else if (arg == "--bond") {
+            bond = std::atof(next());
+        } else if (arg == "--warmup") {
+            options.warmup = static_cast<std::size_t>(std::atoi(next()));
+        } else if (arg == "--iterations") {
+            options.iterations =
+                static_cast<std::size_t>(std::atoi(next()));
+        } else if (arg == "--seed") {
+            options.seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (arg == "--max-t") {
+            max_t = static_cast<std::size_t>(std::atoi(next()));
+        } else if (arg == "--no-hf-seed") {
+            hf_seed = false;
+        } else if (arg == "--csv-header") {
+            csv_header = true;
+        } else {
+            usage();
+            return 1;
+        }
+    }
+    if (molecule.empty() || bond <= 0.0) {
+        usage();
+        return 1;
+    }
+
+    if (csv_header) {
+        std::cout << "molecule,bond_angstrom,qubits,scf_converged,"
+                     "hf_energy,cafqa_energy,exact_energy,t_gates,"
+                     "evals_to_best,corr_recovered_pct\n";
+    }
+
+    try {
+        const auto system =
+            problems::make_molecular_system(molecule, bond);
+        const VqaObjective objective = problems::make_objective(system);
+        if (hf_seed) {
+            options.seed_steps.push_back(efficient_su2_bitstring_steps(
+                system.num_qubits, system.hf_bits));
+        }
+
+        double cafqa_energy = 0.0;
+        std::size_t evals = 0;
+        std::size_t t_gates = 0;
+        if (max_t == 0) {
+            const CafqaResult result =
+                run_cafqa(system.ansatz, objective, options);
+            cafqa_energy = result.best_energy;
+            evals = result.evaluations_to_best;
+        } else {
+            const CafqaKtResult result =
+                run_cafqa_kt(system.ansatz, objective, max_t, options);
+            cafqa_energy = result.best_energy;
+            evals = result.base.evaluations_to_best;
+            t_gates = result.t_positions.size();
+        }
+
+        double exact = 0.0;
+        double recovered = 0.0;
+        if (system.num_qubits <= 20) {
+            exact = lanczos_ground_state(system.hamiltonian).energy;
+            const double denom = system.hf_energy - exact;
+            recovered = (denom > 1e-12)
+                ? 100.0 * (system.hf_energy - cafqa_energy) / denom
+                : 100.0;
+        }
+
+        std::cout << molecule << ',' << bond << ',' << system.num_qubits
+                  << ',' << (system.scf_converged ? 1 : 0) << ','
+                  << system.hf_energy << ',' << cafqa_energy << ','
+                  << exact << ',' << t_gates << ',' << evals << ','
+                  << recovered << '\n';
+    } catch (const std::exception& error) {
+        std::cerr << "error: " << error.what() << '\n';
+        return 1;
+    }
+    return 0;
+}

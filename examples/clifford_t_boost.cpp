@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Example: the Clifford + kT extension (paper Section 8). At stretched
+ * bond lengths the Clifford space alone misses part of the correlation
+ * energy; allowing a few T gates — still classically simulable via the
+ * exact branch decomposition T = alpha I + beta S — closes much of the
+ * gap. This example also demonstrates custom objectives with explicit
+ * constraint penalties.
+ *
+ * Usage: clifford_t_boost [bond_length_angstrom] [max_t_gates]
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "core/cafqa_driver.hpp"
+#include "core/clifford_ansatz.hpp"
+#include "problems/molecule_factory.hpp"
+#include "statevector/lanczos.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace cafqa;
+
+    const double bond = (argc > 1) ? std::atof(argv[1]) : 1.8;
+    const std::size_t max_t =
+        (argc > 2) ? static_cast<std::size_t>(std::atoi(argv[2])) : 2;
+
+    const auto system = problems::make_molecular_system("H2", bond);
+
+    // Build the constrained objective by hand (what make_objective does
+    // internally): energy + quadratic penalties pinning the neutral
+    // singlet sector.
+    VqaObjective objective;
+    objective.hamiltonian = system.hamiltonian;
+    objective.add_number_constraint(system.number_op,
+                                    system.n_alpha + system.n_beta, 2.0);
+    objective.add_sz_constraint(system.sz_op, 0.0, 2.0);
+
+    CafqaOptions options{.warmup = 120, .iterations = 160, .seed = 3};
+    options.seed_steps.push_back(efficient_su2_bitstring_steps(
+        system.num_qubits, system.hf_bits));
+    const CafqaKtResult kt =
+        run_cafqa_kt(system.ansatz, objective, max_t, options);
+    const GroundState exact = lanczos_ground_state(system.hamiltonian);
+
+    std::cout << "H2 @ " << bond << " A\n"
+              << "Hartree-Fock:        " << system.hf_energy << " Ha\n"
+              << "CAFQA (Clifford):    " << kt.base.best_energy << " Ha\n"
+              << "CAFQA + " << kt.t_positions.size()
+              << "T:          " << kt.best_energy << " Ha\n"
+              << "Exact:               " << exact.energy << " Ha\n";
+    if (!kt.t_positions.empty()) {
+        std::cout << "T gates inserted after rotation slots:";
+        for (const auto slot : kt.t_positions) {
+            std::cout << ' ' << slot;
+        }
+        std::cout << '\n';
+    } else {
+        std::cout << "No T insertion improved the objective at this bond"
+                     " length (Clifford-only is already tight).\n";
+    }
+    std::cout << "Branch count at k=" << kt.t_positions.size() << ": "
+              << (std::size_t{1} << kt.t_positions.size())
+              << " Clifford branches per evaluation\n";
+    return 0;
+}

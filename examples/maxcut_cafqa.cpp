@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Example: CAFQA beyond chemistry — initializing a MaxCut (QAOA-style)
+ * variational problem. MaxCut optima are computational basis states, so
+ * the Clifford space contains the exact optimum and CAFQA can solve the
+ * instance outright (paper Fig. 15 includes two MaxCut problems).
+ *
+ * Usage: maxcut_cafqa [num_vertices] [edge_probability]
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "circuit/efficient_su2.hpp"
+#include "core/cafqa_driver.hpp"
+#include "problems/maxcut.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace cafqa;
+
+    const std::size_t n =
+        (argc > 1) ? static_cast<std::size_t>(std::atoi(argv[1])) : 8;
+    const double p = (argc > 2) ? std::atof(argv[2]) : 0.4;
+
+    const auto problem =
+        problems::make_random_maxcut(n, p, 2023, "example");
+    std::cout << "MaxCut instance: " << problem.num_vertices
+              << " vertices, " << problem.edges.size() << " edges\n";
+
+    VqaObjective objective;
+    objective.hamiltonian = problem.hamiltonian;
+    const Circuit ansatz = make_efficient_su2(problem.num_vertices);
+
+    const CafqaResult result = run_cafqa(
+        ansatz, objective,
+        {.warmup = 250, .iterations = 500, .seed = 5, .stall_limit = 200});
+
+    const double cafqa_cut = -result.best_energy;
+    const double optimal = problem.optimal_cut();
+    std::cout << "CAFQA cut value:   " << cafqa_cut << '\n'
+              << "Brute-force optimum: " << optimal << '\n'
+              << "Evaluations to best: " << result.evaluations_to_best
+              << '\n'
+              << (cafqa_cut >= optimal - 1e-9
+                      ? "CAFQA found the exact optimum.\n"
+                      : "CAFQA found an approximate cut (raise the search "
+                        "budget for the optimum).\n");
+    return 0;
+}

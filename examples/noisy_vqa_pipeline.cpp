@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Example: the full CAFQA-then-VQA pipeline of paper Fig. 4 — classical
+ * Clifford-space bootstrap, then continuous SPSA tuning on a simulated
+ * noisy machine, compared against starting from Hartree-Fock.
+ *
+ * Usage: noisy_vqa_pipeline [bond_length_angstrom] [spsa_iterations]
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "core/cafqa_driver.hpp"
+#include "core/clifford_ansatz.hpp"
+#include "core/vqa_tuner.hpp"
+#include "problems/molecule_factory.hpp"
+#include "statevector/lanczos.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace cafqa;
+
+    const double bond = (argc > 1) ? std::atof(argv[1]) : 4.2;
+    const std::size_t iterations =
+        (argc > 2) ? static_cast<std::size_t>(std::atoi(argv[2])) : 250;
+
+    const auto system = problems::make_molecular_system("LiH", bond);
+    VqaObjective objective;
+    objective.hamiltonian = system.hamiltonian;
+
+    // ---- Classical stage: CAFQA (red box of Fig. 4). ----
+    CafqaOptions options{.warmup = 150, .iterations = 200, .seed = 21};
+    options.seed_steps.push_back(efficient_su2_bitstring_steps(
+        system.num_qubits, system.hf_bits));
+    const CafqaResult cafqa = run_cafqa(
+        system.ansatz, problems::make_objective(system), options);
+    std::cout << "CAFQA initialization energy: " << cafqa.best_energy
+              << " Ha\n";
+
+    // ---- Quantum stage: noisy continuous tuning (blue box). ----
+    VqaTunerOptions tuner;
+    tuner.iterations = iterations;
+    tuner.noise = NoiseModel{"nisq-surrogate", 0.002, 0.015, 0.002};
+
+    tuner.seed = 1;
+    const VqaTuneResult from_cafqa = tune_vqa(
+        system.ansatz, objective, steps_to_angles(cafqa.best_steps),
+        tuner);
+
+    tuner.seed = 2;
+    const VqaTuneResult from_hf = tune_vqa(
+        system.ansatz, objective,
+        steps_to_angles(efficient_su2_bitstring_steps(system.num_qubits,
+                                                      system.hf_bits)),
+        tuner);
+
+    const GroundState exact = lanczos_ground_state(system.hamiltonian);
+    const std::size_t it_cafqa =
+        iterations_to_converge(from_cafqa.trace, 5e-3);
+    const std::size_t it_hf = iterations_to_converge(from_hf.trace, 5e-3);
+
+    std::cout << "Exact ground energy:          " << exact.energy
+              << " Ha\n"
+              << "Noisy VQA from CAFQA init:    " << from_cafqa.final_value
+              << " Ha (converged in " << it_cafqa << " iterations)\n"
+              << "Noisy VQA from HF init:       " << from_hf.final_value
+              << " Ha (converged in " << it_hf << " iterations)\n"
+              << "Convergence speedup from CAFQA: "
+              << static_cast<double>(it_hf) /
+                     static_cast<double>(std::max<std::size_t>(it_cafqa, 1))
+              << "x\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: CAFQA end to end on H2.
+ *
+ * Pipeline shown here (all in-process, no external dependencies):
+ *   1. Build the H2 molecular problem at a stretched bond length —
+ *      STO-3G integrals, restricted Hartree-Fock, parity mapping with
+ *      two-qubit reduction.
+ *   2. Run the CAFQA search: Bayesian optimization over the discrete
+ *      Clifford parameter space of a hardware-efficient ansatz, each
+ *      candidate evaluated exactly by the stabilizer simulator.
+ *   3. Compare the CAFQA initialization against Hartree-Fock and the
+ *      exact (Lanczos) ground state.
+ *
+ * Build: cmake --build build --target quickstart
+ * Run:   ./build/examples/quickstart
+ */
+#include <iostream>
+
+#include "core/cafqa_driver.hpp"
+#include "core/clifford_ansatz.hpp"
+#include "problems/molecule_factory.hpp"
+#include "statevector/lanczos.hpp"
+
+int
+main()
+{
+    using namespace cafqa;
+
+    // 1. The molecular problem: H2 at 2.2 Angstrom (~3x equilibrium),
+    //    where Hartree-Fock loses most of the correlation energy.
+    const auto system = problems::make_molecular_system("H2", 2.2);
+    std::cout << "Molecule: " << system.molecule.summary() << '\n'
+              << "Qubits after parity mapping + Z2 reduction: "
+              << system.num_qubits << '\n'
+              << "Hamiltonian terms: " << system.hamiltonian.num_terms()
+              << '\n'
+              << "Ansatz parameters (each in {0, pi/2, pi, 3pi/2}): "
+              << system.ansatz.num_params() << "\n\n";
+
+    // 2. The CAFQA search. The objective adds electron-count and S_z
+    //    penalties so the search stays in the neutral singlet sector.
+    const VqaObjective objective = problems::make_objective(system);
+    CafqaOptions options{.warmup = 150, .iterations = 200, .seed = 7};
+    // Prior-inject the Hartree-Fock point: it is itself a Clifford
+    // state, so CAFQA is guaranteed to do at least as well as HF.
+    options.seed_steps.push_back(efficient_su2_bitstring_steps(
+        system.num_qubits, system.hf_bits));
+    const CafqaResult result = run_cafqa(system.ansatz, objective, options);
+
+    std::cout << "CAFQA best Clifford steps: ";
+    for (const int s : result.best_steps) {
+        std::cout << s;
+    }
+    std::cout << "\nFound after " << result.evaluations_to_best
+              << " evaluations\n\n";
+
+    // 3. Compare against Hartree-Fock and the exact ground state.
+    const GroundState exact = lanczos_ground_state(system.hamiltonian);
+    const double hf_error = system.hf_energy - exact.energy;
+    const double cafqa_error = result.best_energy - exact.energy;
+
+    std::cout << "Hartree-Fock energy: " << system.hf_energy << " Ha\n"
+              << "CAFQA energy:        " << result.best_energy << " Ha\n"
+              << "Exact energy:        " << exact.energy << " Ha\n\n"
+              << "HF error:    " << hf_error << " Ha\n"
+              << "CAFQA error: " << cafqa_error << " Ha\n"
+              << "Correlation energy recovered: "
+              << 100.0 * (1.0 - cafqa_error / hf_error) << " %\n";
+
+    return 0;
+}

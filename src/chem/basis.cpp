@@ -1,0 +1,269 @@
+#include "chem/basis.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "chem/sto_data.hpp"
+#include "common/error.hpp"
+
+namespace cafqa::chem {
+
+namespace {
+
+/**
+ * Radial part of the primitive normalization constant. The
+ * component-dependent double-factorial factor is intentionally omitted:
+ * it is constant across primitives of a contraction, so it is absorbed
+ * by the final numeric normalization of each AO.
+ */
+double
+radial_norm(double alpha, int l)
+{
+    return std::pow(2.0 * alpha / std::numbers::pi, 0.75) *
+           std::pow(4.0 * alpha, 0.5 * l);
+}
+
+/** A solid-harmonic component: monomial powers with an integer-ratio
+ *  coefficient. */
+struct Monomial
+{
+    std::array<int, 3> powers;
+    double coeff;
+};
+
+/** The Cartesian expansion of each real AO component for shell l. */
+std::vector<std::vector<Monomial>>
+shell_components(int l)
+{
+    switch (l) {
+      case 0:
+        return {{{{0, 0, 0}, 1.0}}};
+      case 1:
+        return {
+            {{{1, 0, 0}, 1.0}}, // px
+            {{{0, 1, 0}, 1.0}}, // py
+            {{{0, 0, 1}, 1.0}}, // pz
+        };
+      case 2:
+        // Real solid harmonics; overall scale fixed numerically later.
+        return {
+            {{{1, 1, 0}, 1.0}},                                  // dxy
+            {{{0, 1, 1}, 1.0}},                                  // dyz
+            {{{0, 0, 2}, 2.0}, {{2, 0, 0}, -1.0}, {{0, 2, 0}, -1.0}}, // dz2
+            {{{1, 0, 1}, 1.0}},                                  // dxz
+            {{{2, 0, 0}, 1.0}, {{0, 2, 0}, -1.0}},               // dx2-y2
+        };
+      default:
+        CAFQA_REQUIRE(false, "angular momentum beyond d is not supported");
+    }
+    return {};
+}
+
+const char* const component_names_s[] = {"s"};
+const char* const component_names_p[] = {"px", "py", "pz"};
+const char* const component_names_d[] = {"dxy", "dyz", "dz2", "dxz",
+                                         "dx2y2"};
+
+std::string
+component_name(int l, std::size_t index)
+{
+    switch (l) {
+      case 0: return component_names_s[index];
+      case 1: return component_names_p[index];
+      default: return component_names_d[index];
+    }
+}
+
+/** Overlap between two contracted AOs. */
+double
+contracted_overlap(const ContractedGaussian& a, const ContractedGaussian& b)
+{
+    double total = 0.0;
+    for (const auto& ta : a.terms) {
+        for (const auto& tb : b.terms) {
+            total += ta.coeff * tb.coeff * overlap(ta.primitive,
+                                                   tb.primitive);
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+BasisSet
+BasisSet::sto3g(const Molecule& molecule)
+{
+    BasisSet basis;
+    std::size_t atom_index = 0;
+    for (const auto& atom : molecule.atoms()) {
+        const AtomBasis& atom_basis = sto3g_atom_basis(atom.atomic_number);
+        for (const auto& shell : atom_basis.shells) {
+            const auto components = shell_components(shell.l);
+            for (std::size_t comp = 0; comp < components.size(); ++comp) {
+                ContractedGaussian ao;
+                ao.label = element_symbol(atom.atomic_number) +
+                           std::to_string(atom_index) + " " +
+                           std::to_string(shell.n) +
+                           component_name(shell.l, comp);
+                for (std::size_t p = 0; p < shell.exponents.size(); ++p) {
+                    const double alpha = shell.exponents[p];
+                    const double c =
+                        shell.coefficients[p] * radial_norm(alpha, shell.l);
+                    for (const auto& mono : components[comp]) {
+                        ao.terms.push_back(ContractedGaussian::Term{
+                            c * mono.coeff,
+                            PrimitiveGaussian{alpha, mono.powers,
+                                              atom.position}});
+                    }
+                }
+                basis.aos_.push_back(std::move(ao));
+            }
+        }
+        ++atom_index;
+    }
+    basis.normalize();
+    return basis;
+}
+
+void
+BasisSet::normalize()
+{
+    for (auto& ao : aos_) {
+        const double self = contracted_overlap(ao, ao);
+        CAFQA_ASSERT(self > 1e-14, "AO with vanishing norm");
+        const double scale = 1.0 / std::sqrt(self);
+        for (auto& term : ao.terms) {
+            term.coeff *= scale;
+        }
+    }
+}
+
+Matrix
+overlap_matrix(const BasisSet& basis)
+{
+    const std::size_t n = basis.size();
+    Matrix s(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            const double v = contracted_overlap(basis.ao(i), basis.ao(j));
+            s(i, j) = v;
+            s(j, i) = v;
+        }
+    }
+    return s;
+}
+
+Matrix
+kinetic_matrix(const BasisSet& basis)
+{
+    const std::size_t n = basis.size();
+    Matrix t(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            double v = 0.0;
+            for (const auto& ta : basis.ao(i).terms) {
+                for (const auto& tb : basis.ao(j).terms) {
+                    v += ta.coeff * tb.coeff *
+                         kinetic(ta.primitive, tb.primitive);
+                }
+            }
+            t(i, j) = v;
+            t(j, i) = v;
+        }
+    }
+    return t;
+}
+
+Matrix
+nuclear_matrix(const BasisSet& basis, const Molecule& molecule)
+{
+    const std::size_t n = basis.size();
+    Matrix v(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            double value = 0.0;
+            for (const auto& ta : basis.ao(i).terms) {
+                for (const auto& tb : basis.ao(j).terms) {
+                    for (const auto& atom : molecule.atoms()) {
+                        value -= atom.atomic_number * ta.coeff * tb.coeff *
+                                 nuclear(ta.primitive, tb.primitive,
+                                         atom.position);
+                    }
+                }
+            }
+            v(i, j) = value;
+            v(j, i) = value;
+        }
+    }
+    return v;
+}
+
+namespace {
+
+double
+contracted_eri(const ContractedGaussian& a, const ContractedGaussian& b,
+               const ContractedGaussian& c, const ContractedGaussian& d)
+{
+    double total = 0.0;
+    for (const auto& ta : a.terms) {
+        for (const auto& tb : b.terms) {
+            for (const auto& tc : c.terms) {
+                for (const auto& td : d.terms) {
+                    total += ta.coeff * tb.coeff * tc.coeff * td.coeff *
+                             electron_repulsion(ta.primitive, tb.primitive,
+                                                tc.primitive, td.primitive);
+                }
+            }
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+std::vector<double>
+eri_tensor(const BasisSet& basis)
+{
+    const std::size_t n = basis.size();
+    std::vector<double> eri(n * n * n * n, 0.0);
+
+    // Schwarz bound: |(ij|kl)| <= sqrt((ij|ij)) sqrt((kl|kl)).
+    Matrix schwarz(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            const double diag = contracted_eri(basis.ao(i), basis.ao(j),
+                                               basis.ao(i), basis.ao(j));
+            const double bound = std::sqrt(std::abs(diag));
+            schwarz(i, j) = bound;
+            schwarz(j, i) = bound;
+        }
+    }
+    constexpr double screen_threshold = 1e-12;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            for (std::size_t k = 0; k <= i; ++k) {
+                const std::size_t l_max = (k == i) ? j : k;
+                for (std::size_t l = 0; l <= l_max; ++l) {
+                    double value = 0.0;
+                    if (schwarz(i, j) * schwarz(k, l) > screen_threshold) {
+                        value = contracted_eri(basis.ao(i), basis.ao(j),
+                                               basis.ao(k), basis.ao(l));
+                    }
+                    // Scatter to all 8 symmetric slots.
+                    eri[eri_index(n, i, j, k, l)] = value;
+                    eri[eri_index(n, j, i, k, l)] = value;
+                    eri[eri_index(n, i, j, l, k)] = value;
+                    eri[eri_index(n, j, i, l, k)] = value;
+                    eri[eri_index(n, k, l, i, j)] = value;
+                    eri[eri_index(n, l, k, i, j)] = value;
+                    eri[eri_index(n, k, l, j, i)] = value;
+                    eri[eri_index(n, l, k, j, i)] = value;
+                }
+            }
+        }
+    }
+    return eri;
+}
+
+} // namespace cafqa::chem

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Molecular basis sets: contracted atomic orbitals expanded over
+ * primitive Cartesian Gaussians (with real solid-harmonic combinations
+ * for d shells, giving 5 spherical d functions), and the AO integral
+ * matrices (S, T, V) and two-electron tensor that feed Hartree-Fock.
+ */
+#ifndef CAFQA_CHEM_BASIS_HPP
+#define CAFQA_CHEM_BASIS_HPP
+
+#include <string>
+#include <vector>
+
+#include "chem/gaussian.hpp"
+#include "chem/molecule.hpp"
+#include "common/linalg.hpp"
+
+namespace cafqa::chem {
+
+/** One atomic orbital: a linear combination of primitives. */
+struct ContractedGaussian
+{
+    struct Term
+    {
+        double coeff;
+        PrimitiveGaussian primitive;
+    };
+    std::vector<Term> terms;
+    /** Human-readable label, e.g. "Cr0 3dz2". */
+    std::string label;
+};
+
+/** The full AO basis of a molecule. */
+class BasisSet
+{
+  public:
+    /** Build the STO-3G basis for a molecule (spherical d functions). */
+    static BasisSet sto3g(const Molecule& molecule);
+
+    std::size_t size() const { return aos_.size(); }
+    const ContractedGaussian& ao(std::size_t i) const { return aos_[i]; }
+    const std::vector<ContractedGaussian>& aos() const { return aos_; }
+
+  private:
+    /** Scale each AO so that its self-overlap is exactly 1. */
+    void normalize();
+
+    std::vector<ContractedGaussian> aos_;
+};
+
+/** AO overlap matrix S. */
+Matrix overlap_matrix(const BasisSet& basis);
+/** AO kinetic-energy matrix T. */
+Matrix kinetic_matrix(const BasisSet& basis);
+/** AO nuclear-attraction matrix V (includes the -Z factors). */
+Matrix nuclear_matrix(const BasisSet& basis, const Molecule& molecule);
+
+/** Flat index into the full N^4 ERI tensor, chemist notation (ij|kl). */
+inline std::size_t
+eri_index(std::size_t n, std::size_t i, std::size_t j, std::size_t k,
+          std::size_t l)
+{
+    return ((i * n + j) * n + k) * n + l;
+}
+
+/**
+ * Full two-electron integral tensor (ij|kl) with 8-fold permutational
+ * symmetry exploited during construction and Schwarz screening of
+ * negligible quartets.
+ */
+std::vector<double> eri_tensor(const BasisSet& basis);
+
+} // namespace cafqa::chem
+
+#endif // CAFQA_CHEM_BASIS_HPP

@@ -1,0 +1,69 @@
+#include "chem/boys.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace cafqa::chem {
+
+namespace {
+
+/** Power series F_m(T) = e^{-T} sum_i (2T)^i / prod_{j=0..i} (2m+2j+1). */
+double
+boys_series(int m, double t)
+{
+    const double expt = std::exp(-t);
+    double term = 1.0 / (2.0 * m + 1.0);
+    double sum = term;
+    for (int i = 1; i < 400; ++i) {
+        term *= 2.0 * t / (2.0 * m + 2.0 * i + 1.0);
+        sum += term;
+        if (term < 1e-17 * sum) {
+            break;
+        }
+    }
+    return expt * sum;
+}
+
+/** Large-T asymptotic: F_m(T) ~ (2m-1)!! / (2T)^m * (1/2) sqrt(pi/T). */
+double
+boys_asymptotic(int m, double t)
+{
+    double value = 0.5 * std::sqrt(std::numbers::pi / t);
+    for (int j = 1; j <= m; ++j) {
+        value *= (2.0 * j - 1.0) / (2.0 * t);
+    }
+    return value;
+}
+
+} // namespace
+
+std::vector<double>
+boys_function(int max_order, double t)
+{
+    CAFQA_REQUIRE(max_order >= 0, "negative Boys order");
+    CAFQA_REQUIRE(t >= -1e-12, "negative Boys argument");
+    t = std::max(t, 0.0);
+
+    std::vector<double> f(static_cast<std::size_t>(max_order) + 1);
+    if (t < 1e-13) {
+        for (int m = 0; m <= max_order; ++m) {
+            f[static_cast<std::size_t>(m)] = 1.0 / (2.0 * m + 1.0);
+        }
+        return f;
+    }
+
+    const double top = (t > 35.0) ? boys_asymptotic(max_order, t)
+                                  : boys_series(max_order, t);
+    f[static_cast<std::size_t>(max_order)] = top;
+    const double expt = std::exp(-t);
+    for (int m = max_order - 1; m >= 0; --m) {
+        f[static_cast<std::size_t>(m)] =
+            (2.0 * t * f[static_cast<std::size_t>(m) + 1] + expt) /
+            (2.0 * m + 1.0);
+    }
+    return f;
+}
+
+} // namespace cafqa::chem

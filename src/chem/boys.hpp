@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Boys function F_m(T) = int_0^1 t^{2m} exp(-T t^2) dt — the special
+ * function at the core of Gaussian nuclear-attraction and electron
+ * repulsion integrals.
+ */
+#ifndef CAFQA_CHEM_BOYS_HPP
+#define CAFQA_CHEM_BOYS_HPP
+
+#include <vector>
+
+namespace cafqa::chem {
+
+/**
+ * Evaluate F_0..F_max_order at argument T.
+ *
+ * Strategy: the highest order is computed by a convergent power series
+ * for moderate T and by the asymptotic form for large T; lower orders
+ * follow from the (numerically stable) downward recursion
+ *   F_m(T) = (2T F_{m+1}(T) + exp(-T)) / (2m + 1).
+ *
+ * @param max_order highest m required (inclusive).
+ * @param t argument, must be >= 0.
+ * @return vector of size max_order + 1.
+ */
+std::vector<double> boys_function(int max_order, double t);
+
+} // namespace cafqa::chem
+
+#endif // CAFQA_CHEM_BOYS_HPP

@@ -1,0 +1,153 @@
+#include "chem/fermion.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cafqa::chem {
+
+namespace {
+
+/** Cache of mapped creation/annihilation operators per spin-orbital. */
+struct MappedModes
+{
+    std::vector<PauliSum> create;
+    std::vector<PauliSum> destroy;
+
+    explicit MappedModes(const FermionEncoding& encoding)
+    {
+        const std::size_t n = encoding.num_modes();
+        create.reserve(n);
+        destroy.reserve(n);
+        for (std::size_t p = 0; p < n; ++p) {
+            create.push_back(encoding.creation(p));
+            destroy.push_back(encoding.annihilation(p));
+        }
+    }
+};
+
+} // namespace
+
+PauliSum
+build_qubit_hamiltonian(const MoIntegrals& integrals,
+                        const FermionEncoding& encoding)
+{
+    const std::size_t m = integrals.num_active;
+    CAFQA_REQUIRE(encoding.num_modes() == 2 * m,
+                  "encoding mode count must be twice the active orbitals");
+    const std::size_t n_qubits = encoding.num_qubits();
+    const MappedModes modes(encoding);
+
+    PauliSum h(n_qubits);
+    PauliString identity(n_qubits);
+    h.add_term(integrals.core_energy, identity);
+
+    constexpr double coeff_cutoff = 1e-12;
+    // Periodic compaction bounds memory on large active spaces.
+    constexpr std::size_t compact_threshold = 2'000'000;
+
+    // One-body: h_pq (a^dag_{p sigma} a_{q sigma}).
+    for (std::size_t p = 0; p < m; ++p) {
+        for (std::size_t q = 0; q < m; ++q) {
+            const double value = integrals.h(p, q);
+            if (std::abs(value) < coeff_cutoff) {
+                continue;
+            }
+            for (int sigma = 0; sigma < 2; ++sigma) {
+                const std::size_t ps = p + sigma * m;
+                const std::size_t qs = q + sigma * m;
+                PauliSum term = modes.create[ps] * modes.destroy[qs];
+                term *= value;
+                h += term;
+            }
+        }
+    }
+    h.simplify();
+
+    // Two-body: (pq|rs)/2 a^dag_{p s} a^dag_{r t} a_{s t} a_{q s}.
+    for (std::size_t p = 0; p < m; ++p) {
+        for (std::size_t q = 0; q < m; ++q) {
+            for (std::size_t r = 0; r < m; ++r) {
+                for (std::size_t s = 0; s < m; ++s) {
+                    const double value =
+                        0.5 * integrals.eri[eri_index(m, p, q, r, s)];
+                    if (std::abs(value) < coeff_cutoff) {
+                        continue;
+                    }
+                    for (int sg = 0; sg < 2; ++sg) {
+                        for (int tu = 0; tu < 2; ++tu) {
+                            const std::size_t ps = p + sg * m;
+                            const std::size_t qs = q + sg * m;
+                            const std::size_t rt = r + tu * m;
+                            const std::size_t st = s + tu * m;
+                            if (ps == rt || qs == st) {
+                                continue; // a^dag a^dag / a a with equal
+                                          // indices vanish
+                            }
+                            PauliSum term =
+                                modes.create[ps] * modes.create[rt];
+                            term = term * modes.destroy[st];
+                            term = term * modes.destroy[qs];
+                            term *= value;
+                            h += term;
+                            if (h.num_terms() > compact_threshold) {
+                                h.simplify();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    h.simplify();
+    h.chop_to_hermitian(1e-8);
+    return h;
+}
+
+PauliSum
+total_number_operator(const FermionEncoding& encoding)
+{
+    PauliSum n(encoding.num_qubits());
+    for (std::size_t p = 0; p < encoding.num_modes(); ++p) {
+        n += encoding.number_operator(p);
+    }
+    n.simplify();
+    n.chop_to_hermitian(1e-10);
+    return n;
+}
+
+PauliSum
+sz_operator(const FermionEncoding& encoding)
+{
+    const std::size_t modes = encoding.num_modes();
+    CAFQA_REQUIRE(modes % 2 == 0, "block ordering needs even mode count");
+    const std::size_t m = modes / 2;
+    PauliSum sz(encoding.num_qubits());
+    for (std::size_t p = 0; p < m; ++p) {
+        sz += 0.5 * encoding.number_operator(p);
+        sz -= 0.5 * encoding.number_operator(p + m);
+    }
+    sz.simplify();
+    sz.chop_to_hermitian(1e-10);
+    return sz;
+}
+
+std::vector<int>
+hartree_fock_occupation(std::size_t num_spatial, int n_alpha, int n_beta)
+{
+    CAFQA_REQUIRE(n_alpha >= 0 && n_beta >= 0, "negative electron count");
+    CAFQA_REQUIRE(static_cast<std::size_t>(n_alpha) <= num_spatial &&
+                      static_cast<std::size_t>(n_beta) <= num_spatial,
+                  "electron count exceeds orbital count");
+    std::vector<int> occ(2 * num_spatial, 0);
+    for (int i = 0; i < n_alpha; ++i) {
+        occ[static_cast<std::size_t>(i)] = 1;
+    }
+    for (int i = 0; i < n_beta; ++i) {
+        occ[num_spatial + static_cast<std::size_t>(i)] = 1;
+    }
+    return occ;
+}
+
+} // namespace cafqa::chem

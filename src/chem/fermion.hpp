@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Second-quantized molecular Hamiltonians mapped to qubit operators.
+ *
+ * Takes the active-space spatial integrals, promotes them to
+ * spin-orbitals in block ordering (alpha modes first), maps every
+ * creation/annihilation operator through a FermionEncoding, and combines
+ * like Pauli terms. Also provides the particle-number and S_z operators
+ * used for the paper's electron/spin preservation penalties
+ * (Section 3, item 5 and Section 7.1).
+ */
+#ifndef CAFQA_CHEM_FERMION_HPP
+#define CAFQA_CHEM_FERMION_HPP
+
+#include "chem/mo_integrals.hpp"
+#include "mapping/encoding.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace cafqa::chem {
+
+/**
+ * The qubit Hamiltonian (before any symmetry reduction):
+ *   H = E_core
+ *     + sum_{pq,sigma} h_pq  a^dag_{p sigma} a_{q sigma}
+ *     + 1/2 sum_{pqrs,sigma tau} (pq|rs)
+ *           a^dag_{p sigma} a^dag_{r tau} a_{s tau} a_{q sigma}.
+ */
+PauliSum build_qubit_hamiltonian(const MoIntegrals& integrals,
+                                 const FermionEncoding& encoding);
+
+/** Total particle-number operator N = sum_p n_p. */
+PauliSum total_number_operator(const FermionEncoding& encoding);
+
+/** S_z = (N_alpha - N_beta) / 2 with block spin-orbital ordering. */
+PauliSum sz_operator(const FermionEncoding& encoding);
+
+/**
+ * Spin-orbital occupation vector of the RHF determinant in block
+ * ordering: the lowest n_alpha alpha modes and n_beta beta modes.
+ */
+std::vector<int> hartree_fock_occupation(std::size_t num_spatial,
+                                         int n_alpha, int n_beta);
+
+} // namespace cafqa::chem
+
+#endif // CAFQA_CHEM_FERMION_HPP

@@ -1,0 +1,283 @@
+#include "chem/gaussian.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "chem/boys.hpp"
+#include "common/error.hpp"
+
+namespace cafqa::chem {
+
+namespace {
+
+/**
+ * Hermite expansion coefficient E_t^{ij} for one Cartesian dimension.
+ *
+ * @param i,j   angular momenta on centers A and B.
+ * @param t     Hermite order, nonzero only for 0 <= t <= i + j.
+ * @param q     A - B distance in this dimension.
+ * @param a,b   Gaussian exponents.
+ */
+double
+hermite_e(int i, int j, int t, double q, double a, double b)
+{
+    const double p = a + b;
+    if (t < 0 || t > i + j) {
+        return 0.0;
+    }
+    if (i == 0 && j == 0) {
+        // t == 0 here because of the range check above.
+        const double mu = a * b / p;
+        return std::exp(-mu * q * q);
+    }
+    if (i > 0) {
+        // Decrement i: X_PA = -b*q/p.
+        return hermite_e(i - 1, j, t - 1, q, a, b) / (2.0 * p) -
+               (b * q / p) * hermite_e(i - 1, j, t, q, a, b) +
+               (t + 1) * hermite_e(i - 1, j, t + 1, q, a, b);
+    }
+    // Decrement j: X_PB = +a*q/p.
+    return hermite_e(i, j - 1, t - 1, q, a, b) / (2.0 * p) +
+           (a * q / p) * hermite_e(i, j - 1, t, q, a, b) +
+           (t + 1) * hermite_e(i, j - 1, t + 1, q, a, b);
+}
+
+/**
+ * Table of Hermite Coulomb integrals R^0_{tuv}(p, PC) for all
+ * t + u + v <= l_total, computed by downward recursion in the auxiliary
+ * index n.
+ */
+class HermiteCoulomb
+{
+  public:
+    HermiteCoulomb(int l_total, double p, const Vec3& pc)
+        : l_(l_total), stride_(static_cast<std::size_t>(l_total) + 1)
+    {
+        const double r2 = pc[0] * pc[0] + pc[1] * pc[1] + pc[2] * pc[2];
+        const std::vector<double> boys = boys_function(l_, p * r2);
+
+        // table_[n][t][u][v], stored flat; only t+u+v <= l_ - n needed.
+        table_.assign(static_cast<std::size_t>(l_ + 1) * stride_ * stride_ *
+                          stride_,
+                      0.0);
+        for (int n = l_; n >= 0; --n) {
+            const int budget = l_ - n;
+            for (int t = 0; t <= budget; ++t) {
+                for (int u = 0; u + t <= budget; ++u) {
+                    for (int v = 0; v + t + u <= budget; ++v) {
+                        double value;
+                        if (t == 0 && u == 0 && v == 0) {
+                            value = std::pow(-2.0 * p, n) *
+                                    boys[static_cast<std::size_t>(n)];
+                        } else if (t > 0) {
+                            value = (t - 1) * get(n + 1, t - 2, u, v) +
+                                    pc[0] * get(n + 1, t - 1, u, v);
+                        } else if (u > 0) {
+                            value = (u - 1) * get(n + 1, t, u - 2, v) +
+                                    pc[1] * get(n + 1, t, u - 1, v);
+                        } else {
+                            value = (v - 1) * get(n + 1, t, u, v - 2) +
+                                    pc[2] * get(n + 1, t, u, v - 1);
+                        }
+                        set(n, t, u, v, value);
+                    }
+                }
+            }
+        }
+    }
+
+    /** R^0_{tuv}. */
+    double r(int t, int u, int v) const { return get(0, t, u, v); }
+
+  private:
+    double
+    get(int n, int t, int u, int v) const
+    {
+        if (t < 0 || u < 0 || v < 0) {
+            return 0.0;
+        }
+        return table_[index(n, t, u, v)];
+    }
+
+    void
+    set(int n, int t, int u, int v, double value)
+    {
+        table_[index(n, t, u, v)] = value;
+    }
+
+    std::size_t
+    index(int n, int t, int u, int v) const
+    {
+        return ((static_cast<std::size_t>(n) * stride_ +
+                 static_cast<std::size_t>(t)) *
+                    stride_ +
+                static_cast<std::size_t>(u)) *
+                   stride_ +
+               static_cast<std::size_t>(v);
+    }
+
+    int l_;
+    std::size_t stride_;
+    std::vector<double> table_;
+};
+
+/** 1D overlap including the sqrt(pi/p) factor. */
+double
+overlap_1d(int i, int j, double q, double a, double b)
+{
+    return hermite_e(i, j, 0, q, a, b) *
+           std::sqrt(std::numbers::pi / (a + b));
+}
+
+} // namespace
+
+double
+overlap(const PrimitiveGaussian& a, const PrimitiveGaussian& b)
+{
+    double result = 1.0;
+    for (int d = 0; d < 3; ++d) {
+        result *= overlap_1d(a.powers[d], b.powers[d],
+                             a.center[d] - b.center[d], a.alpha, b.alpha);
+    }
+    return result;
+}
+
+double
+kinetic(const PrimitiveGaussian& a, const PrimitiveGaussian& b)
+{
+    // 1D kinetic: K_ij = b(2j+1) S_ij - 2b^2 S_{i,j+2}
+    //                    - j(j-1)/2 S_{i,j-2}.
+    double s[3];
+    double k[3];
+    for (int d = 0; d < 3; ++d) {
+        const int i = a.powers[d];
+        const int j = b.powers[d];
+        const double q = a.center[d] - b.center[d];
+        s[d] = overlap_1d(i, j, q, a.alpha, b.alpha);
+        k[d] = b.alpha * (2.0 * j + 1.0) * s[d] -
+               2.0 * b.alpha * b.alpha *
+                   overlap_1d(i, j + 2, q, a.alpha, b.alpha);
+        if (j >= 2) {
+            k[d] -= 0.5 * j * (j - 1) *
+                    overlap_1d(i, j - 2, q, a.alpha, b.alpha);
+        }
+    }
+    return k[0] * s[1] * s[2] + s[0] * k[1] * s[2] + s[0] * s[1] * k[2];
+}
+
+double
+nuclear(const PrimitiveGaussian& a, const PrimitiveGaussian& b,
+        const Vec3& nucleus)
+{
+    const double p = a.alpha + b.alpha;
+    Vec3 composite;
+    Vec3 pc;
+    for (int d = 0; d < 3; ++d) {
+        composite[d] =
+            (a.alpha * a.center[d] + b.alpha * b.center[d]) / p;
+        pc[d] = composite[d] - nucleus[d];
+    }
+    const int l_total = a.total_l() + b.total_l();
+    const HermiteCoulomb coulomb(l_total, p, pc);
+
+    double sum = 0.0;
+    for (int t = 0; t <= a.powers[0] + b.powers[0]; ++t) {
+        const double ex =
+            hermite_e(a.powers[0], b.powers[0], t,
+                      a.center[0] - b.center[0], a.alpha, b.alpha);
+        for (int u = 0; u <= a.powers[1] + b.powers[1]; ++u) {
+            const double ey =
+                hermite_e(a.powers[1], b.powers[1], u,
+                          a.center[1] - b.center[1], a.alpha, b.alpha);
+            for (int v = 0; v <= a.powers[2] + b.powers[2]; ++v) {
+                const double ez =
+                    hermite_e(a.powers[2], b.powers[2], v,
+                              a.center[2] - b.center[2], a.alpha, b.alpha);
+                sum += ex * ey * ez * coulomb.r(t, u, v);
+            }
+        }
+    }
+    return 2.0 * std::numbers::pi / p * sum;
+}
+
+double
+electron_repulsion(const PrimitiveGaussian& a, const PrimitiveGaussian& b,
+                   const PrimitiveGaussian& c, const PrimitiveGaussian& d)
+{
+    const double p = a.alpha + b.alpha;
+    const double q = c.alpha + d.alpha;
+    const double alpha = p * q / (p + q);
+
+    Vec3 pp;
+    Vec3 qq;
+    Vec3 pq;
+    for (int dim = 0; dim < 3; ++dim) {
+        pp[dim] =
+            (a.alpha * a.center[dim] + b.alpha * b.center[dim]) / p;
+        qq[dim] =
+            (c.alpha * c.center[dim] + d.alpha * d.center[dim]) / q;
+        pq[dim] = pp[dim] - qq[dim];
+    }
+
+    const int l_bra = a.total_l() + b.total_l();
+    const int l_ket = c.total_l() + d.total_l();
+    const HermiteCoulomb coulomb(l_bra + l_ket, alpha, pq);
+
+    // Precompute the bra and ket Hermite coefficient tables.
+    auto e_table = [](const PrimitiveGaussian& g1,
+                      const PrimitiveGaussian& g2, int dim,
+                      std::vector<double>& out) {
+        const int imax = g1.powers[dim] + g2.powers[dim];
+        out.resize(static_cast<std::size_t>(imax) + 1);
+        for (int t = 0; t <= imax; ++t) {
+            out[static_cast<std::size_t>(t)] =
+                hermite_e(g1.powers[dim], g2.powers[dim], t,
+                          g1.center[dim] - g2.center[dim], g1.alpha,
+                          g2.alpha);
+        }
+    };
+    std::vector<double> ex1, ey1, ez1, ex2, ey2, ez2;
+    e_table(a, b, 0, ex1);
+    e_table(a, b, 1, ey1);
+    e_table(a, b, 2, ez1);
+    e_table(c, d, 0, ex2);
+    e_table(c, d, 1, ey2);
+    e_table(c, d, 2, ez2);
+
+    double sum = 0.0;
+    for (std::size_t t = 0; t < ex1.size(); ++t) {
+        for (std::size_t u = 0; u < ey1.size(); ++u) {
+            for (std::size_t v = 0; v < ez1.size(); ++v) {
+                const double bra = ex1[t] * ey1[u] * ez1[v];
+                if (bra == 0.0) {
+                    continue;
+                }
+                for (std::size_t tau = 0; tau < ex2.size(); ++tau) {
+                    for (std::size_t nu = 0; nu < ey2.size(); ++nu) {
+                        for (std::size_t phi = 0; phi < ez2.size(); ++phi) {
+                            const double ket =
+                                ex2[tau] * ey2[nu] * ez2[phi];
+                            if (ket == 0.0) {
+                                continue;
+                            }
+                            const double parity =
+                                ((tau + nu + phi) % 2 == 0) ? 1.0 : -1.0;
+                            sum += bra * ket * parity *
+                                   coulomb.r(static_cast<int>(t + tau),
+                                             static_cast<int>(u + nu),
+                                             static_cast<int>(v + phi));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    const double prefactor =
+        2.0 * std::pow(std::numbers::pi, 2.5) /
+        (p * q * std::sqrt(p + q));
+    return prefactor * sum;
+}
+
+} // namespace cafqa::chem

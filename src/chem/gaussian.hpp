@@ -1,0 +1,52 @@
+/**
+ * @file
+ * McMurchie-Davidson integrals over primitive Cartesian Gaussians:
+ * overlap, kinetic, nuclear attraction and electron repulsion. This is
+ * the integral engine underneath the STO-3G Hartree-Fock stack that
+ * replaces the paper's PySCF/Psi4 dependency.
+ *
+ * All functions operate on *unnormalized* primitives
+ *   g(r) = (x-Ax)^lx (y-Ay)^ly (z-Az)^lz exp(-alpha |r-A|^2);
+ * contraction coefficients and normalization are applied by the basis
+ * layer.
+ */
+#ifndef CAFQA_CHEM_GAUSSIAN_HPP
+#define CAFQA_CHEM_GAUSSIAN_HPP
+
+#include <array>
+
+#include "chem/molecule.hpp"
+
+namespace cafqa::chem {
+
+/** A primitive Cartesian Gaussian. */
+struct PrimitiveGaussian
+{
+    double alpha = 1.0;
+    std::array<int, 3> powers{0, 0, 0};
+    Vec3 center{0.0, 0.0, 0.0};
+
+    /** Total angular momentum lx + ly + lz. */
+    int total_l() const { return powers[0] + powers[1] + powers[2]; }
+};
+
+/** <a|b> overlap integral. */
+double overlap(const PrimitiveGaussian& a, const PrimitiveGaussian& b);
+
+/** <a| -1/2 nabla^2 |b> kinetic-energy integral. */
+double kinetic(const PrimitiveGaussian& a, const PrimitiveGaussian& b);
+
+/** <a| 1/|r - C| |b> nuclear-attraction kernel (positive; the caller
+ *  multiplies by -Z). */
+double nuclear(const PrimitiveGaussian& a, const PrimitiveGaussian& b,
+               const Vec3& nucleus);
+
+/** Two-electron repulsion integral (ab|cd) in chemist notation. */
+double electron_repulsion(const PrimitiveGaussian& a,
+                          const PrimitiveGaussian& b,
+                          const PrimitiveGaussian& c,
+                          const PrimitiveGaussian& d);
+
+} // namespace cafqa::chem
+
+#endif // CAFQA_CHEM_GAUSSIAN_HPP

@@ -1,0 +1,169 @@
+#include "chem/mo_integrals.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace cafqa::chem {
+
+ActiveSpace
+make_active_space(std::size_t n_orbitals, std::size_t n_frozen,
+                  std::size_t n_active)
+{
+    CAFQA_REQUIRE(n_frozen + n_active <= n_orbitals,
+                  "active space exceeds orbital count");
+    ActiveSpace space;
+    for (std::size_t i = 0; i < n_frozen; ++i) {
+        space.frozen.push_back(i);
+    }
+    for (std::size_t i = 0; i < n_active; ++i) {
+        space.active.push_back(n_frozen + i);
+    }
+    return space;
+}
+
+namespace {
+
+/** Full O(N^5) staged transform of the ERI tensor to the MO basis. */
+std::vector<double>
+transform_eri(const std::vector<double>& ao, const Matrix& c)
+{
+    const std::size_t n = c.rows();
+    std::vector<double> t1(n * n * n * n, 0.0);
+    std::vector<double> t2(n * n * n * n, 0.0);
+
+    // Index 0.
+    for (std::size_t p = 0; p < n; ++p) {
+        for (std::size_t j = 0; j < n; ++j) {
+            for (std::size_t k = 0; k < n; ++k) {
+                for (std::size_t l = 0; l < n; ++l) {
+                    double sum = 0.0;
+                    for (std::size_t i = 0; i < n; ++i) {
+                        sum += c(i, p) * ao[eri_index(n, i, j, k, l)];
+                    }
+                    t1[eri_index(n, p, j, k, l)] = sum;
+                }
+            }
+        }
+    }
+    // Index 1.
+    for (std::size_t p = 0; p < n; ++p) {
+        for (std::size_t q = 0; q < n; ++q) {
+            for (std::size_t k = 0; k < n; ++k) {
+                for (std::size_t l = 0; l < n; ++l) {
+                    double sum = 0.0;
+                    for (std::size_t j = 0; j < n; ++j) {
+                        sum += c(j, q) * t1[eri_index(n, p, j, k, l)];
+                    }
+                    t2[eri_index(n, p, q, k, l)] = sum;
+                }
+            }
+        }
+    }
+    // Index 2.
+    std::fill(t1.begin(), t1.end(), 0.0);
+    for (std::size_t p = 0; p < n; ++p) {
+        for (std::size_t q = 0; q < n; ++q) {
+            for (std::size_t r = 0; r < n; ++r) {
+                for (std::size_t l = 0; l < n; ++l) {
+                    double sum = 0.0;
+                    for (std::size_t k = 0; k < n; ++k) {
+                        sum += c(k, r) * t2[eri_index(n, p, q, k, l)];
+                    }
+                    t1[eri_index(n, p, q, r, l)] = sum;
+                }
+            }
+        }
+    }
+    // Index 3.
+    std::fill(t2.begin(), t2.end(), 0.0);
+    for (std::size_t p = 0; p < n; ++p) {
+        for (std::size_t q = 0; q < n; ++q) {
+            for (std::size_t r = 0; r < n; ++r) {
+                for (std::size_t s = 0; s < n; ++s) {
+                    double sum = 0.0;
+                    for (std::size_t l = 0; l < n; ++l) {
+                        sum += c(l, s) * t1[eri_index(n, p, q, r, l)];
+                    }
+                    t2[eri_index(n, p, q, r, s)] = sum;
+                }
+            }
+        }
+    }
+    return t2;
+}
+
+} // namespace
+
+MoIntegrals
+transform_to_mo(const AoIntegrals& integrals, const ScfResult& scf,
+                const ActiveSpace& space, const Molecule& molecule)
+{
+    const std::size_t n = integrals.n;
+    const Matrix& c = scf.mo_coefficients;
+    CAFQA_REQUIRE(c.rows() == n && c.cols() == n,
+                  "MO coefficient shape mismatch");
+
+    // One-body MO transform.
+    const Matrix h_mo = c.transpose() * integrals.h_core * c;
+    const std::vector<double> eri_mo = transform_eri(integrals.eri, c);
+
+    const std::size_t n_active = space.active.size();
+    const std::size_t n_frozen = space.frozen.size();
+
+    MoIntegrals out;
+    out.num_active = n_active;
+    const int total_electrons = molecule.num_electrons();
+    out.num_active_electrons =
+        total_electrons - 2 * static_cast<int>(n_frozen);
+    CAFQA_REQUIRE(out.num_active_electrons >= 0,
+                  "frozen orbitals hold more electrons than available");
+    CAFQA_REQUIRE(
+        out.num_active_electrons <= 2 * static_cast<int>(n_active),
+        "active space too small for the electron count");
+
+    // Frozen-core energy: sum_i 2 h_ii + sum_ij [2 (ii|jj) - (ij|ji)].
+    double core = molecule.nuclear_repulsion();
+    for (const std::size_t i : space.frozen) {
+        core += 2.0 * h_mo(i, i);
+        for (const std::size_t j : space.frozen) {
+            core += 2.0 * eri_mo[eri_index(n, i, i, j, j)] -
+                    eri_mo[eri_index(n, i, j, j, i)];
+        }
+    }
+    out.core_energy = core;
+
+    // Effective one-body over active orbitals:
+    // h_pq + sum_i [2 (pq|ii) - (pi|iq)].
+    out.h = Matrix(n_active, n_active);
+    for (std::size_t a = 0; a < n_active; ++a) {
+        for (std::size_t b = 0; b < n_active; ++b) {
+            const std::size_t p = space.active[a];
+            const std::size_t q = space.active[b];
+            double value = h_mo(p, q);
+            for (const std::size_t i : space.frozen) {
+                value += 2.0 * eri_mo[eri_index(n, p, q, i, i)] -
+                         eri_mo[eri_index(n, p, i, i, q)];
+            }
+            out.h(a, b) = value;
+        }
+    }
+
+    // Active-space two-body tensor.
+    out.eri.assign(n_active * n_active * n_active * n_active, 0.0);
+    for (std::size_t a = 0; a < n_active; ++a) {
+        for (std::size_t b = 0; b < n_active; ++b) {
+            for (std::size_t cc = 0; cc < n_active; ++cc) {
+                for (std::size_t d = 0; d < n_active; ++d) {
+                    out.eri[eri_index(n_active, a, b, cc, d)] =
+                        eri_mo[eri_index(n, space.active[a],
+                                         space.active[b], space.active[cc],
+                                         space.active[d])];
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace cafqa::chem

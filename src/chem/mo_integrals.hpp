@@ -1,0 +1,58 @@
+/**
+ * @file
+ * AO -> MO integral transformation, frozen-core folding and active-space
+ * selection (paper Section 6: orbital freezing for Cr2, reduced "used"
+ * orbital counts in Table 1).
+ */
+#ifndef CAFQA_CHEM_MO_INTEGRALS_HPP
+#define CAFQA_CHEM_MO_INTEGRALS_HPP
+
+#include <vector>
+
+#include "chem/scf.hpp"
+
+namespace cafqa::chem {
+
+/** Orbital partition: indices into the MO list (ascending energy). */
+struct ActiveSpace
+{
+    std::vector<std::size_t> frozen;
+    std::vector<std::size_t> active;
+};
+
+/**
+ * The standard partition: freeze the `n_frozen` lowest MOs, keep the
+ * next `n_active` as the active space, drop the rest as virtuals.
+ */
+ActiveSpace make_active_space(std::size_t n_orbitals, std::size_t n_frozen,
+                              std::size_t n_active);
+
+/** Spatial-orbital integrals restricted to an active space. */
+struct MoIntegrals
+{
+    std::size_t num_active = 0;
+    /** Nuclear repulsion + frozen-core energy. */
+    double core_energy = 0.0;
+    /** Effective one-body integrals over active orbitals. */
+    Matrix h;
+    /** Active-space (pq|rs) in chemist notation, size num_active^4. */
+    std::vector<double> eri;
+    /** Electrons remaining in the active space. */
+    int num_active_electrons = 0;
+};
+
+/**
+ * Transform to the MO basis and fold the frozen core.
+ *
+ * @param integrals AO integrals.
+ * @param scf       converged RHF solution supplying the MO coefficients.
+ * @param space     frozen/active orbital partition.
+ * @param molecule  source molecule (for electron counts and E_nuc).
+ */
+MoIntegrals transform_to_mo(const AoIntegrals& integrals,
+                            const ScfResult& scf, const ActiveSpace& space,
+                            const Molecule& molecule);
+
+} // namespace cafqa::chem
+
+#endif // CAFQA_CHEM_MO_INTEGRALS_HPP

@@ -1,0 +1,144 @@
+#include "chem/molecule.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cafqa::chem {
+
+namespace {
+
+const char* const symbols[] = {
+    "X",  "H",  "He", "Li", "Be", "B",  "C",  "N",  "O",  "F",  "Ne",
+    "Na", "Mg", "Al", "Si", "P",  "S",  "Cl", "Ar", "K",  "Ca", "Sc",
+    "Ti", "V",  "Cr", "Mn", "Fe", "Co", "Ni", "Cu", "Zn", "Ga", "Ge",
+    "As", "Se", "Br", "Kr",
+};
+constexpr int max_element = 36;
+
+} // namespace
+
+int
+element_number(const std::string& symbol)
+{
+    for (int z = 1; z <= max_element; ++z) {
+        if (symbol == symbols[z]) {
+            return z;
+        }
+    }
+    CAFQA_REQUIRE(false, "unsupported element symbol: " + symbol);
+    return 0;
+}
+
+std::string
+element_symbol(int atomic_number)
+{
+    CAFQA_REQUIRE(atomic_number >= 1 && atomic_number <= max_element,
+                  "atomic number out of supported range");
+    return symbols[atomic_number];
+}
+
+Molecule::Molecule(std::vector<Atom> atoms, int charge)
+    : atoms_(std::move(atoms)), charge_(charge)
+{
+    CAFQA_REQUIRE(!atoms_.empty(), "molecule needs at least one atom");
+}
+
+int
+Molecule::num_electrons() const
+{
+    int total = 0;
+    for (const auto& atom : atoms_) {
+        total += atom.atomic_number;
+    }
+    return total - charge_;
+}
+
+double
+Molecule::nuclear_repulsion() const
+{
+    double energy = 0.0;
+    for (std::size_t i = 0; i < atoms_.size(); ++i) {
+        for (std::size_t j = i + 1; j < atoms_.size(); ++j) {
+            const auto& a = atoms_[i].position;
+            const auto& b = atoms_[j].position;
+            const double dx = a[0] - b[0];
+            const double dy = a[1] - b[1];
+            const double dz = a[2] - b[2];
+            const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+            CAFQA_REQUIRE(r > 1e-8, "coincident nuclei");
+            energy += atoms_[i].atomic_number * atoms_[j].atomic_number / r;
+        }
+    }
+    return energy;
+}
+
+std::string
+Molecule::summary() const
+{
+    std::ostringstream out;
+    for (const auto& atom : atoms_) {
+        out << element_symbol(atom.atomic_number);
+    }
+    out << " (" << atoms_.size() << " atoms, " << num_electrons()
+        << " electrons)";
+    return out.str();
+}
+
+Molecule
+Molecule::diatomic(const std::string& a, const std::string& b,
+                   double bond_length_angstrom, int charge)
+{
+    const double d = bond_length_angstrom * angstrom_to_bohr;
+    return Molecule({Atom{element_number(a), {0.0, 0.0, 0.0}},
+                     Atom{element_number(b), {0.0, 0.0, d}}},
+                    charge);
+}
+
+Molecule
+Molecule::linear_chain(const std::string& symbol, int count,
+                       double spacing_angstrom)
+{
+    CAFQA_REQUIRE(count >= 1, "chain needs at least one atom");
+    const int z = element_number(symbol);
+    const double d = spacing_angstrom * angstrom_to_bohr;
+    std::vector<Atom> atoms;
+    for (int i = 0; i < count; ++i) {
+        atoms.push_back(Atom{z, {0.0, 0.0, i * d}});
+    }
+    return Molecule(std::move(atoms));
+}
+
+Molecule
+Molecule::bent(const std::string& outer, const std::string& center,
+               double bond_length_angstrom, double angle_degrees)
+{
+    const double d = bond_length_angstrom * angstrom_to_bohr;
+    const double half = angle_degrees * std::numbers::pi / 180.0 / 2.0;
+    const int zo = element_number(outer);
+    const int zc = element_number(center);
+    return Molecule({
+        Atom{zc, {0.0, 0.0, 0.0}},
+        Atom{zo, {d * std::sin(half), 0.0, d * std::cos(half)}},
+        Atom{zo, {-d * std::sin(half), 0.0, d * std::cos(half)}},
+    });
+}
+
+Molecule
+Molecule::linear_symmetric(const std::string& outer,
+                           const std::string& center,
+                           double bond_length_angstrom)
+{
+    const double d = bond_length_angstrom * angstrom_to_bohr;
+    const int zo = element_number(outer);
+    const int zc = element_number(center);
+    return Molecule({
+        Atom{zc, {0.0, 0.0, 0.0}},
+        Atom{zo, {0.0, 0.0, d}},
+        Atom{zo, {0.0, 0.0, -d}},
+    });
+}
+
+} // namespace cafqa::chem

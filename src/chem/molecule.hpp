@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Molecular geometry: atoms with nuclear charges and 3D coordinates
+ * (atomic units / Bohr), total charge and spin, and the nuclear repulsion
+ * energy. This replaces the molecular-specification layer the paper
+ * obtains from PySCF.
+ */
+#ifndef CAFQA_CHEM_MOLECULE_HPP
+#define CAFQA_CHEM_MOLECULE_HPP
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace cafqa::chem {
+
+/** Conversion factor: 1 Angstrom in Bohr radii. */
+constexpr double angstrom_to_bohr = 1.8897259886;
+
+/** 3D point in Bohr. */
+using Vec3 = std::array<double, 3>;
+
+/** One nucleus. */
+struct Atom
+{
+    int atomic_number = 1;
+    Vec3 position{0.0, 0.0, 0.0};
+};
+
+/** Chemical element helpers (supported through Kr, Z = 36). */
+int element_number(const std::string& symbol);
+std::string element_symbol(int atomic_number);
+
+/** A molecule: nuclei plus total charge. */
+class Molecule
+{
+  public:
+    Molecule() = default;
+    Molecule(std::vector<Atom> atoms, int charge = 0);
+
+    const std::vector<Atom>& atoms() const { return atoms_; }
+    int charge() const { return charge_; }
+
+    /** Total electron count (sum of Z minus charge). */
+    int num_electrons() const;
+
+    /** Nuclear-nuclear repulsion energy in Hartree. */
+    double nuclear_repulsion() const;
+
+    /** One-line summary such as "H2 (2 atoms, 2 electrons)". */
+    std::string summary() const;
+
+    /** Diatomic molecule on the z axis with the given separation. */
+    static Molecule diatomic(const std::string& a, const std::string& b,
+                             double bond_length_angstrom, int charge = 0);
+
+    /** Linear chain of identical atoms with uniform spacing. */
+    static Molecule linear_chain(const std::string& symbol, int count,
+                                 double spacing_angstrom);
+
+    /** Bent triatomic A-B-A (e.g. water) with bond length and angle. */
+    static Molecule bent(const std::string& outer, const std::string& center,
+                         double bond_length_angstrom, double angle_degrees);
+
+    /** Linear symmetric triatomic A-B-A (e.g. BeH2). */
+    static Molecule linear_symmetric(const std::string& outer,
+                                     const std::string& center,
+                                     double bond_length_angstrom);
+
+  private:
+    std::vector<Atom> atoms_;
+    int charge_ = 0;
+};
+
+} // namespace cafqa::chem
+
+#endif // CAFQA_CHEM_MOLECULE_HPP

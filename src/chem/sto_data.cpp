@@ -1,0 +1,241 @@
+#include "chem/sto_data.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "chem/sto_fit.hpp"
+#include "common/error.hpp"
+
+namespace cafqa::chem {
+
+namespace {
+
+// Universal STO-3G contraction coefficients (w.r.t. normalized
+// primitives) shared by all elements that use tabulated data.
+const std::vector<double> coeff_1s = {0.1543289673, 0.5353281423,
+                                      0.4446345422};
+const std::vector<double> coeff_2s = {-0.09996722919, 0.3995128261,
+                                      0.7001154689};
+const std::vector<double> coeff_2p = {0.1559162750, 0.6076837186,
+                                      0.3919573931};
+const std::vector<double> coeff_3s = {-0.2196203690, 0.2255954336,
+                                      0.9003984260};
+const std::vector<double> coeff_3p = {0.01058760429, 0.5951670053,
+                                      0.4620010120};
+
+struct TabulatedElement
+{
+    std::vector<double> exp_1s;
+    std::vector<double> exp_2sp; // empty if absent
+    std::vector<double> exp_3sp; // empty if absent
+};
+
+const std::map<int, TabulatedElement> tabulated = {
+    {1, {{3.425250914, 0.6239137298, 0.1688554040}, {}, {}}},
+    {2, {{6.362421394, 1.158922999, 0.3136497915}, {}, {}}},
+    {3,
+     {{16.11957475, 2.936200663, 0.7946504870},
+      {0.6362897469, 0.1478600533, 0.0480886784},
+      {}}},
+    {4,
+     {{30.16787069, 5.495115306, 1.487192653},
+      {1.314833110, 0.3055389383, 0.0993707456},
+      {}}},
+    {5,
+     {{48.79111318, 8.887362172, 2.405267040},
+      {2.236956142, 0.5198204999, 0.1690617600},
+      {}}},
+    {6,
+     {{71.61683735, 13.04509632, 3.530512160},
+      {2.941249355, 0.6834830964, 0.2222899159},
+      {}}},
+    {7,
+     {{99.10616896, 18.05231239, 4.885660238},
+      {3.780455879, 0.8784966449, 0.2857143744},
+      {}}},
+    {8,
+     {{130.7093214, 23.80886605, 6.443608313},
+      {5.033151319, 1.169596125, 0.3803889600},
+      {}}},
+    {9,
+     {{166.6791340, 30.36081233, 8.216820672},
+      {6.464803249, 1.502281245, 0.4885884864},
+      {}}},
+    {11,
+     {{250.7724300, 45.67851117, 12.36238776},
+      {12.04019274, 2.797881859, 0.9099580170},
+      {1.478740622, 0.4125648801, 0.1614750979}}},
+};
+
+/** Filling order of atomic shells with capacities. */
+const std::vector<std::pair<int, int>> filling_order = {
+    {1, 0}, {2, 0}, {2, 1}, {3, 0}, {3, 1}, {4, 0},
+    {3, 2}, {4, 1}, {5, 0}, {4, 2}, {5, 1},
+};
+
+/** Shells in the minimal basis of element Z, as (n, l) pairs. */
+std::vector<std::pair<int, int>>
+basis_shells(int z)
+{
+    std::vector<std::pair<int, int>> shells = {{1, 0}};
+    if (z >= 3) {
+        shells.push_back({2, 0});
+        shells.push_back({2, 1});
+    }
+    if (z >= 11) {
+        shells.push_back({3, 0});
+        shells.push_back({3, 1});
+    }
+    if (z >= 19) {
+        shells.push_back({4, 0});
+    }
+    if (z >= 21) {
+        // First-row transition metals: 3d plus the 4p polarization shell
+        // included by the official STO-3G tables (this is what gives Cr
+        // 18 basis functions per atom, matching Table 1 of the paper).
+        shells.push_back({3, 2});
+        shells.push_back({4, 1});
+    } else if (z >= 31) {
+        shells.push_back({3, 2});
+        shells.push_back({4, 1});
+    }
+    return shells;
+}
+
+} // namespace
+
+int
+shell_occupation(int atomic_number, int n, int l)
+{
+    // Aufbau with the chromium/copper 3d exceptions.
+    std::map<std::pair<int, int>, int> occ;
+    int remaining = atomic_number;
+    for (const auto& [fn, fl] : filling_order) {
+        const int capacity = 2 * (2 * fl + 1);
+        const int take = std::min(capacity, remaining);
+        occ[{fn, fl}] = take;
+        remaining -= take;
+        if (remaining == 0) {
+            break;
+        }
+    }
+    if (atomic_number == 24 || atomic_number == 29) {
+        occ[{4, 0}] -= 1;
+        occ[{3, 2}] += 1;
+    }
+    const auto it = occ.find({n, l});
+    return it == occ.end() ? 0 : it->second;
+}
+
+double
+slater_zeta(int atomic_number, int n, int l)
+{
+    // Standard molecular zetas for light elements (Hehre-Stewart-Pople).
+    static const std::map<std::tuple<int, int, int>, double> overrides = {
+        {{1, 1, 0}, 1.24},  {{2, 1, 0}, 1.69},
+        {{3, 2, 0}, 0.80},  {{3, 2, 1}, 0.80},
+        {{4, 2, 0}, 1.15},  {{4, 2, 1}, 1.15},
+        {{5, 2, 0}, 1.45},  {{5, 2, 1}, 1.45},
+        {{6, 2, 0}, 1.72},  {{6, 2, 1}, 1.72},
+        {{7, 2, 0}, 1.95},  {{7, 2, 1}, 1.95},
+        {{8, 2, 0}, 2.25},  {{8, 2, 1}, 2.25},
+        {{9, 2, 0}, 2.55},  {{9, 2, 1}, 2.55},
+    };
+    const auto ov = overrides.find({atomic_number, n, l});
+    if (ov != overrides.end()) {
+        return ov->second;
+    }
+
+    // Slater's screening rules. Group structure: (1s)(2sp)(3sp)(3d)(4sp)...
+    auto group_of = [](int gn, int gl) {
+        return (gl <= 1) ? std::pair<int, int>{gn, 0}
+                         : std::pair<int, int>{gn, gl};
+    };
+    const auto own_group = group_of(n, l);
+    const bool own_is_d_or_f = l >= 2;
+    const int occupied_here = shell_occupation(atomic_number, n, l);
+
+    double shield = 0.0;
+    for (const auto& [fn, fl] : filling_order) {
+        const int occ = shell_occupation(atomic_number, fn, fl);
+        if (occ == 0) {
+            continue;
+        }
+        const auto grp = group_of(fn, fl);
+        if (grp == own_group) {
+            int same = occ;
+            if (fn == n && fl == l && occupied_here > 0) {
+                same -= 1; // don't count the electron itself
+            }
+            shield += ((own_group == std::pair<int, int>{1, 0}) ? 0.30
+                                                                : 0.35) *
+                      same;
+        } else if (own_is_d_or_f) {
+            if (fn < n || (fn == n && fl < l)) {
+                shield += 1.00 * occ;
+            }
+        } else {
+            if (fn == n - 1) {
+                shield += 0.85 * occ;
+            } else if (fn <= n - 2) {
+                shield += 1.00 * occ;
+            }
+        }
+    }
+
+    static const double n_star[] = {0.0, 1.0, 2.0, 3.0, 3.7, 4.0, 4.2};
+    CAFQA_REQUIRE(n >= 1 && n <= 6, "unsupported principal quantum number");
+    const double zeta = (atomic_number - shield) / n_star[n];
+    CAFQA_REQUIRE(zeta > 0.05, "Slater zeta collapsed to zero");
+    return zeta;
+}
+
+const AtomBasis&
+sto3g_atom_basis(int atomic_number)
+{
+    static std::map<int, AtomBasis> cache;
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+
+    const auto hit = cache.find(atomic_number);
+    if (hit != cache.end()) {
+        return hit->second;
+    }
+
+    AtomBasis basis;
+    const auto tab = tabulated.find(atomic_number);
+    if (tab != tabulated.end()) {
+        const TabulatedElement& data = tab->second;
+        basis.shells.push_back(ShellData{1, 0, data.exp_1s, coeff_1s});
+        if (!data.exp_2sp.empty()) {
+            basis.shells.push_back(ShellData{2, 0, data.exp_2sp, coeff_2s});
+            basis.shells.push_back(ShellData{2, 1, data.exp_2sp, coeff_2p});
+        }
+        if (!data.exp_3sp.empty()) {
+            basis.shells.push_back(ShellData{3, 0, data.exp_3sp, coeff_3s});
+            basis.shells.push_back(ShellData{3, 1, data.exp_3sp, coeff_3p});
+        }
+    } else {
+        // Generate STO-3G-like shells with the least-squares fitter.
+        static std::map<std::pair<int, int>, StoNgFit> fit_cache;
+        for (const auto& [n, l] : basis_shells(atomic_number)) {
+            auto fit_it = fit_cache.find({n, l});
+            if (fit_it == fit_cache.end()) {
+                fit_it = fit_cache.emplace(std::pair<int, int>{n, l},
+                                           fit_sto_ng(n, l, 3))
+                             .first;
+            }
+            const StoNgFit& fit = fit_it->second;
+            const double zeta = slater_zeta(atomic_number, n, l);
+            ShellData shell{n, l, fit.exponents, fit.coefficients};
+            for (auto& e : shell.exponents) {
+                e *= zeta * zeta;
+            }
+            basis.shells.push_back(std::move(shell));
+        }
+    }
+
+    return cache.emplace(atomic_number, std::move(basis)).first->second;
+}
+
+} // namespace cafqa::chem

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * STO-3G shell definitions per element.
+ *
+ * Elements with well-established tabulated exponents/coefficients
+ * (H, He, Li-F, Na) use the official STO-3G values. Other elements are
+ * generated on the fly by the STO-nG least-squares fitter with
+ * Slater-rule effective zetas — the same construction procedure as the
+ * original basis (see DESIGN.md, "Substitutions"). Fitted shells are
+ * cached per element.
+ */
+#ifndef CAFQA_CHEM_STO_DATA_HPP
+#define CAFQA_CHEM_STO_DATA_HPP
+
+#include <vector>
+
+namespace cafqa::chem {
+
+/** One contracted shell of an atomic basis. */
+struct ShellData
+{
+    /** Principal quantum number of the parent Slater orbital. */
+    int n = 1;
+    /** Angular momentum (0 = s, 1 = p, 2 = d). */
+    int l = 0;
+    std::vector<double> exponents;
+    std::vector<double> coefficients;
+};
+
+/** All shells of one atom's minimal basis. */
+struct AtomBasis
+{
+    std::vector<ShellData> shells;
+};
+
+/** The STO-3G (or STO-3G-like, for fitted elements) basis of element Z. */
+const AtomBasis& sto3g_atom_basis(int atomic_number);
+
+/**
+ * Effective Slater zeta for shell (n, l) of element Z: tabulated
+ * molecular values where standard, otherwise Slater's screening rules.
+ */
+double slater_zeta(int atomic_number, int n, int l);
+
+/** Ground-state electron count in shell (n, l) of element Z (Aufbau with
+ *  the Cr/Cu exceptions). */
+int shell_occupation(int atomic_number, int n, int l);
+
+} // namespace cafqa::chem
+
+#endif // CAFQA_CHEM_STO_DATA_HPP

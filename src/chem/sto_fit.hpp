@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Least-squares STO-nG expansion generator: fits `ng` Gaussians to a
+ * Slater-type orbital by maximizing the radial overlap, exactly the
+ * procedure of Hehre, Stewart & Pople (1969) that produced the original
+ * STO-3G tables.
+ *
+ * Used for shells without hardcoded tabulated data (e.g. the Cr 3d/4s/4p
+ * shells needed for the paper's Cr2 experiment) — see DESIGN.md,
+ * "Substitutions".
+ */
+#ifndef CAFQA_CHEM_STO_FIT_HPP
+#define CAFQA_CHEM_STO_FIT_HPP
+
+#include <vector>
+
+namespace cafqa::chem {
+
+/** Result of fitting Gaussians to a Slater orbital. */
+struct StoNgFit
+{
+    /** Gaussian exponents for zeta = 1 (scale by zeta^2 for general
+     *  zeta). */
+    std::vector<double> exponents;
+    /** Contraction coefficients w.r.t. radially normalized primitives. */
+    std::vector<double> coefficients;
+    /** Achieved overlap with the Slater orbital (1 = perfect). */
+    double overlap = 0.0;
+};
+
+/**
+ * Fit `num_gaussians` primitives of angular momentum l to the Slater
+ * orbital R_{n}(r) ~ r^{n-1} exp(-r) (zeta = 1).
+ *
+ * @param n principal quantum number of the Slater orbital (n > l).
+ * @param l angular momentum of the Gaussian primitives.
+ * @param num_gaussians expansion length (3 for STO-3G).
+ */
+StoNgFit fit_sto_ng(int n, int l, int num_gaussians = 3);
+
+/**
+ * Radial overlap <STO(n, zeta=1) | GTO(l, alpha)> between normalized
+ * radial functions (exposed for tests).
+ */
+double sto_gto_radial_overlap(int n, int l, double alpha);
+
+} // namespace cafqa::chem
+
+#endif // CAFQA_CHEM_STO_FIT_HPP

@@ -1,0 +1,62 @@
+#include "circuit/efficient_su2.hpp"
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+namespace {
+
+void
+add_rotation_block(Circuit& circuit, const std::vector<GateKind>& blocks)
+{
+    for (GateKind kind : blocks) {
+        for (std::size_t q = 0; q < circuit.num_qubits(); ++q) {
+            switch (kind) {
+              case GateKind::Rx: circuit.rx_param(q); break;
+              case GateKind::Ry: circuit.ry_param(q); break;
+              case GateKind::Rz: circuit.rz_param(q); break;
+              default:
+                CAFQA_REQUIRE(false,
+                              "rotation_blocks must contain Rx/Ry/Rz only");
+            }
+        }
+    }
+}
+
+void
+add_linear_entanglement(Circuit& circuit)
+{
+    for (std::size_t q = 0; q + 1 < circuit.num_qubits(); ++q) {
+        circuit.cx(q, q + 1);
+    }
+}
+
+} // namespace
+
+Circuit
+make_efficient_su2(std::size_t num_qubits, const EfficientSu2Options& options)
+{
+    CAFQA_REQUIRE(num_qubits >= 1, "ansatz needs at least one qubit");
+    CAFQA_REQUIRE(!options.rotation_blocks.empty(),
+                  "at least one rotation block is required");
+    Circuit circuit(num_qubits);
+    for (std::size_t rep = 0; rep < options.reps; ++rep) {
+        add_rotation_block(circuit, options.rotation_blocks);
+        add_linear_entanglement(circuit);
+    }
+    if (options.final_rotation_layer) {
+        add_rotation_block(circuit, options.rotation_blocks);
+    }
+    return circuit;
+}
+
+Circuit
+make_microbenchmark_ansatz()
+{
+    Circuit circuit(2);
+    circuit.ry_param(0);
+    circuit.cx(0, 1);
+    return circuit;
+}
+
+} // namespace cafqa

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Hardware-efficient SU2 ansatz builder (paper Section 2.2 / Fig. 3).
+ *
+ * The ansatz repeats blocks of parameterized single-qubit rotations and a
+ * ladder of entangling CX gates, mirroring Qiskit's `EfficientSU2` with
+ * linear entanglement. All fixed gates are Clifford, so restricting the
+ * rotation parameters to multiples of pi/2 yields a pure Clifford circuit
+ * — exactly the structure CAFQA searches.
+ */
+#ifndef CAFQA_CIRCUIT_EFFICIENT_SU2_HPP
+#define CAFQA_CIRCUIT_EFFICIENT_SU2_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace cafqa {
+
+/** Options for the hardware-efficient ansatz. */
+struct EfficientSu2Options
+{
+    /** Number of entanglement layers (paper uses 1). */
+    std::size_t reps = 1;
+    /** Rotation gates applied per block, in order. */
+    std::vector<GateKind> rotation_blocks = {GateKind::Ry, GateKind::Rz};
+    /** Append a final rotation block after the last entangler. */
+    bool final_rotation_layer = true;
+};
+
+/**
+ * Build the EfficientSU2 ansatz on `num_qubits` qubits with linear CX
+ * entanglement. Parameter count:
+ *   num_qubits * rotation_blocks.size() * (reps + final_rotation_layer).
+ */
+Circuit make_efficient_su2(std::size_t num_qubits,
+                           const EfficientSu2Options& options = {});
+
+/**
+ * One-parameter toy ansatz for the Fig. 5 microbenchmark on the 2-qubit
+ * XX Hamiltonian: RY(theta) on qubit 0 followed by CX(0,1). The prepared
+ * state cos(theta/2)|00> + sin(theta/2)|11> has <XX> = sin(theta), whose
+ * minimum -1 is attained at the Clifford point theta = 3*pi/2.
+ */
+Circuit make_microbenchmark_ansatz();
+
+} // namespace cafqa
+
+#endif // CAFQA_CIRCUIT_EFFICIENT_SU2_HPP

@@ -1,0 +1,39 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace cafqa {
+
+namespace {
+
+std::string
+format_failure(const char* kind, const char* cond, const char* file, int line,
+               const std::string& msg)
+{
+    std::ostringstream out;
+    out << kind << " failed: (" << cond << ") at " << file << ":" << line;
+    if (!msg.empty()) {
+        out << " — " << msg;
+    }
+    return out.str();
+}
+
+} // namespace
+
+void
+throw_require_failure(const char* cond, const char* file, int line,
+                      const std::string& msg)
+{
+    throw std::invalid_argument(
+        format_failure("precondition", cond, file, line, msg));
+}
+
+void
+throw_assert_failure(const char* cond, const char* file, int line,
+                     const std::string& msg)
+{
+    throw std::logic_error(
+        format_failure("invariant", cond, file, line, msg));
+}
+
+} // namespace cafqa

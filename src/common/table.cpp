@@ -1,0 +1,75 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+void
+Table::set_header(std::vector<std::string> header)
+{
+    CAFQA_REQUIRE(rows_.empty(), "header must be set before rows are added");
+    header_ = std::move(header);
+}
+
+void
+Table::add_row(std::vector<std::string> row)
+{
+    CAFQA_REQUIRE(row.size() == header_.size(),
+                  "row width does not match header");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    return out.str();
+}
+
+std::string
+Table::sci(double value, int precision)
+{
+    std::ostringstream out;
+    out << std::scientific << std::setprecision(precision) << value;
+    return out.str();
+}
+
+void
+Table::print(std::ostream& out) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    out << "== " << title_ << " ==\n";
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+                << row[c];
+        }
+        out << '\n';
+    };
+    print_row(header_);
+    std::string rule;
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        rule += std::string(widths[c], '-') + "  ";
+    }
+    out << rule << '\n';
+    for (const auto& row : rows_) {
+        print_row(row);
+    }
+    out << std::flush;
+}
+
+} // namespace cafqa

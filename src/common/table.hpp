@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Aligned-column table printer used by the bench binaries to emit the
+ * series/rows of each paper figure and table in a uniform, diff-friendly
+ * format.
+ */
+#ifndef CAFQA_COMMON_TABLE_HPP
+#define CAFQA_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cafqa {
+
+/** Column-aligned text table with a title and header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row; must be called before add_row. */
+    void set_header(std::vector<std::string> header);
+
+    /** Append a preformatted row; size must match the header. */
+    void add_row(std::vector<std::string> row);
+
+    /** Format a double with fixed precision for use in add_row. */
+    static std::string num(double value, int precision = 6);
+
+    /** Format a double in scientific notation. */
+    static std::string sci(double value, int precision = 3);
+
+    /** Render the table with aligned columns. */
+    void print(std::ostream& out) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cafqa
+
+#endif // CAFQA_COMMON_TABLE_HPP

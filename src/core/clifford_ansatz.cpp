@@ -1,0 +1,63 @@
+#include "core/clifford_ansatz.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+std::vector<double>
+steps_to_angles(const std::vector<int>& steps)
+{
+    std::vector<double> angles(steps.size());
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        angles[i] = (((steps[i] % 4) + 4) % 4) * (std::numbers::pi / 2.0);
+    }
+    return angles;
+}
+
+DiscreteSpace
+clifford_search_space(const Circuit& ansatz)
+{
+    DiscreteSpace space;
+    space.cardinalities.assign(ansatz.num_params(), 4);
+    return space;
+}
+
+void
+require_clifford_ansatz(const Circuit& ansatz)
+{
+    constexpr double half_pi = std::numbers::pi / 2.0;
+    for (const auto& op : ansatz.ops()) {
+        CAFQA_REQUIRE(op.kind != GateKind::T && op.kind != GateKind::Tdg,
+                      "ansatz fixed gates must be Clifford (found T)");
+        if (is_rotation(op.kind) && op.param < 0) {
+            const double steps = op.angle / half_pi;
+            CAFQA_REQUIRE(std::abs(steps - std::round(steps)) < 1e-9,
+                          "fixed rotation angle is not a multiple of pi/2");
+        }
+    }
+}
+
+std::vector<int>
+efficient_su2_bitstring_steps(std::size_t num_qubits,
+                              const std::vector<int>& bits)
+{
+    CAFQA_REQUIRE(bits.size() == num_qubits, "bit vector size mismatch");
+    // Parameter layout of make_efficient_su2(n) with defaults:
+    // RY layer [0, n), RZ layer [n, 2n), CX ladder, RY [2n, 3n),
+    // RZ [3n, 4n). The CX ladder maps |b'> to the prefix-XOR of b', so
+    // the first RY layer must prepare the prefix-difference of the
+    // target bits; all other layers stay at identity.
+    std::vector<int> steps(4 * num_qubits, 0);
+    int previous = 0;
+    for (std::size_t q = 0; q < num_qubits; ++q) {
+        const int diff = bits[q] ^ previous;
+        steps[q] = 2 * diff; // RY(pi) flips the qubit
+        previous = bits[q];
+    }
+    return steps;
+}
+
+} // namespace cafqa

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The Clifford Ansatz (paper Section 3, step 1-2): a hardware-efficient
+ * parameterized circuit whose fixed gates are all Clifford, searched over
+ * the discrete space theta[i] in {0, pi/2, pi, 3pi/2}.
+ */
+#ifndef CAFQA_CORE_CLIFFORD_ANSATZ_HPP
+#define CAFQA_CORE_CLIFFORD_ANSATZ_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "opt/bayes_opt.hpp"
+
+namespace cafqa {
+
+/** Quarter-turn steps -> rotation angles (k * pi/2). */
+std::vector<double> steps_to_angles(const std::vector<int>& steps);
+
+/** The discrete search space of a parameterized Clifford circuit:
+ *  one 4-valued parameter per rotation slot. */
+DiscreteSpace clifford_search_space(const Circuit& ansatz);
+
+/**
+ * Validate that an ansatz is CAFQA-compatible: every fixed gate is
+ * Clifford (no T/Tdg, no fixed non-quarter rotation angles).
+ * @throws std::invalid_argument otherwise.
+ */
+void require_clifford_ansatz(const Circuit& ansatz);
+
+/**
+ * Quarter-turn steps that make the default EfficientSU2 ansatz
+ * (make_efficient_su2 with reps = 1, RY/RZ blocks, linear CX ladder)
+ * prepare the computational basis state |bits>. Used to start VQA tuning
+ * from the Hartree-Fock determinant (Fig. 14 "HF" curves).
+ */
+std::vector<int> efficient_su2_bitstring_steps(std::size_t num_qubits,
+                                               const std::vector<int>& bits);
+
+} // namespace cafqa
+
+#endif // CAFQA_CORE_CLIFFORD_ANSATZ_HPP

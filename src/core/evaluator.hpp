@@ -1,0 +1,121 @@
+/**
+ * @file
+ * State-preparation backends behind a common interface: prepare the
+ * ansatz state for a parameter assignment, then evaluate expectation
+ * values of any number of observables (Hamiltonian + constraint
+ * operators) on the prepared state.
+ *
+ * - CliffordEvaluator: exact polynomial-time stabilizer evaluation,
+ *   CAFQA's classical search backend (integer quarter-turn parameters).
+ * - IdealEvaluator: dense statevector, the "ideal machine".
+ * - NoisyEvaluator: density matrix with a gate noise model, the "noisy
+ *   machine".
+ * - CliffordTEvaluator: Clifford + k T-gate circuits via the exact
+ *   branch decomposition T = alpha I + beta S (Section 8).
+ */
+#ifndef CAFQA_CORE_EVALUATOR_HPP
+#define CAFQA_CORE_EVALUATOR_HPP
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "density/noise_model.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "stabilizer/stabilizer_simulator.hpp"
+#include "statevector/statevector.hpp"
+
+namespace cafqa {
+
+/** Common interface: prepare with continuous params, then measure. */
+class ExpectationBackend
+{
+  public:
+    virtual ~ExpectationBackend() = default;
+    /** Prepare the ansatz state for a parameter vector. */
+    virtual void prepare(const std::vector<double>& params) = 0;
+    /** Expectation of a Hermitian operator on the prepared state. */
+    virtual double expectation(const PauliSum& op) const = 0;
+};
+
+/** Exact stabilizer backend over integer quarter-turn parameters. */
+class CliffordEvaluator
+{
+  public:
+    explicit CliffordEvaluator(Circuit ansatz);
+
+    /** Rebuild the tableau for a step assignment. */
+    void prepare(const std::vector<int>& steps);
+
+    double expectation(const PauliSum& op) const;
+    /** Single Pauli term: exactly -1, 0 or +1. */
+    int expectation(const PauliString& pauli) const;
+
+    const Circuit& ansatz() const { return ansatz_; }
+
+  private:
+    Circuit ansatz_;
+    std::optional<StabilizerSimulator> simulator_;
+};
+
+/** Noise-free statevector backend. */
+class IdealEvaluator : public ExpectationBackend
+{
+  public:
+    explicit IdealEvaluator(Circuit ansatz);
+    void prepare(const std::vector<double>& params) override;
+    double expectation(const PauliSum& op) const override;
+    const Statevector& state() const;
+
+  private:
+    Circuit ansatz_;
+    std::optional<Statevector> state_;
+};
+
+/** Density-matrix backend with gate noise. */
+class NoisyEvaluator : public ExpectationBackend
+{
+  public:
+    NoisyEvaluator(Circuit ansatz, NoiseModel noise);
+    void prepare(const std::vector<double>& params) override;
+    double expectation(const PauliSum& op) const override;
+
+  private:
+    Circuit ansatz_;
+    NoiseModel noise_;
+    std::optional<DensityMatrix> rho_;
+};
+
+/**
+ * Clifford + k T-gate backend: expands the circuit into 2^k Clifford
+ * branches using T = alpha I + beta S and sums the branch statevectors.
+ * Rotation parameters remain integer quarter-turns.
+ */
+class CliffordTEvaluator
+{
+  public:
+    explicit CliffordTEvaluator(Circuit ansatz_with_t);
+
+    std::size_t num_t_gates() const { return num_t_; }
+    std::size_t num_branches() const { return branches_.size(); }
+
+    void prepare(const std::vector<int>& steps);
+    double expectation(const PauliSum& op) const;
+
+  private:
+    struct Branch
+    {
+        std::complex<double> amplitude;
+        Circuit circuit;
+    };
+
+    Circuit original_;
+    std::size_t num_t_ = 0;
+    std::vector<Branch> branches_;
+    std::optional<Statevector> state_;
+};
+
+} // namespace cafqa
+
+#endif // CAFQA_CORE_EVALUATOR_HPP

@@ -1,0 +1,87 @@
+#include "core/hartree_fock_baseline.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+double
+basis_state_expectation(const PauliSum& op, const std::vector<int>& bits)
+{
+    CAFQA_REQUIRE(op.num_qubits() == bits.size(),
+                  "bit vector length must match qubit count");
+    // Pack bits into words aligned with the PauliString layout.
+    std::vector<std::uint64_t> packed((bits.size() + 63) / 64, 0);
+    for (std::size_t q = 0; q < bits.size(); ++q) {
+        if (bits[q] != 0) {
+            packed[q / 64] |= std::uint64_t{1} << (q % 64);
+        }
+    }
+
+    double total = 0.0;
+    for (const auto& term : op.terms()) {
+        bool has_x = false;
+        for (const auto w : term.string.x_words()) {
+            has_x = has_x || (w != 0);
+        }
+        if (has_x) {
+            continue; // <b|P|b> = 0 for off-diagonal Paulis
+        }
+        std::size_t parity = 0;
+        const auto& zw = term.string.z_words();
+        for (std::size_t w = 0; w < zw.size(); ++w) {
+            parity += static_cast<std::size_t>(
+                std::popcount(zw[w] & packed[w]));
+        }
+        const double sign = (parity & 1) ? -1.0 : 1.0;
+        total += term.coefficient.real() * sign;
+    }
+    return total;
+}
+
+BestBitstring
+best_constrained_bitstring(
+    const PauliSum& hamiltonian,
+    const std::vector<std::pair<PauliSum, double>>& constraints,
+    std::size_t num_qubits, double tolerance)
+{
+    CAFQA_REQUIRE(num_qubits <= 24,
+                  "exhaustive bitstring search limited to 24 qubits");
+    CAFQA_REQUIRE(hamiltonian.num_qubits() == num_qubits,
+                  "Hamiltonian qubit count mismatch");
+
+    BestBitstring best;
+    best.energy = std::numeric_limits<double>::infinity();
+    std::vector<int> bits(num_qubits, 0);
+
+    const std::uint64_t limit = std::uint64_t{1} << num_qubits;
+    for (std::uint64_t code = 0; code < limit; ++code) {
+        for (std::size_t q = 0; q < num_qubits; ++q) {
+            bits[q] = static_cast<int>((code >> q) & 1);
+        }
+        bool feasible = true;
+        for (const auto& [op, target] : constraints) {
+            if (std::abs(basis_state_expectation(op, bits) - target) >
+                tolerance) {
+                feasible = false;
+                break;
+            }
+        }
+        if (!feasible) {
+            continue;
+        }
+        const double energy = basis_state_expectation(hamiltonian, bits);
+        if (energy < best.energy) {
+            best.energy = energy;
+            best.bits = bits;
+        }
+    }
+    CAFQA_REQUIRE(std::isfinite(best.energy),
+                  "no basis state satisfies the constraints");
+    return best;
+}
+
+} // namespace cafqa

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The Hartree-Fock baseline (paper Section 6, "Evaluation Comparisons"):
+ * the best computational basis state for the target Hamiltonian under
+ * electron and spin preservation constraints.
+ *
+ * Two flavors are provided: the direct RHF determinant expectation
+ * (works at any qubit count — used for Cr2's 34 qubits), and an
+ * exhaustive constrained bitstring search that verifies HF optimality on
+ * small systems.
+ */
+#ifndef CAFQA_CORE_HARTREE_FOCK_BASELINE_HPP
+#define CAFQA_CORE_HARTREE_FOCK_BASELINE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "pauli/pauli_sum.hpp"
+
+namespace cafqa {
+
+/**
+ * Expectation of a Pauli sum on a computational basis state given as a
+ * bit vector (bit q = qubit q). Terms with any X/Y component contribute
+ * zero; diagonal terms contribute +/- their coefficient. O(terms * n),
+ * valid for any qubit count.
+ */
+double basis_state_expectation(const PauliSum& op,
+                               const std::vector<int>& bits);
+
+/** Result of the constrained exhaustive search. */
+struct BestBitstring
+{
+    std::vector<int> bits;
+    double energy = 0.0;
+};
+
+/**
+ * Exhaustively search computational basis states that satisfy the
+ * constraint operators (each |<op> - target| <= tolerance) and return
+ * the lowest-energy one. Restricted to <= 24 qubits.
+ */
+BestBitstring best_constrained_bitstring(
+    const PauliSum& hamiltonian,
+    const std::vector<std::pair<PauliSum, double>>& constraints,
+    std::size_t num_qubits, double tolerance = 1e-6);
+
+} // namespace cafqa
+
+#endif // CAFQA_CORE_HARTREE_FOCK_BASELINE_HPP

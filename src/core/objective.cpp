@@ -1,0 +1,19 @@
+#include "core/objective.hpp"
+
+namespace cafqa {
+
+void
+VqaObjective::add_number_constraint(PauliSum number_op, double electrons,
+                                    double weight)
+{
+    penalties.push_back(
+        ConstraintPenalty{std::move(number_op), electrons, weight});
+}
+
+void
+VqaObjective::add_sz_constraint(PauliSum sz_op, double sz, double weight)
+{
+    penalties.push_back(ConstraintPenalty{std::move(sz_op), sz, weight});
+}
+
+} // namespace cafqa

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The CAFQA search objective: Hamiltonian expectation plus quadratic
+ * constraint penalties (paper Section 3, item 5, and Section 7.1 —
+ * electron-count preservation for ions like H2+, spin selection for
+ * triplet states).
+ */
+#ifndef CAFQA_CORE_OBJECTIVE_HPP
+#define CAFQA_CORE_OBJECTIVE_HPP
+
+#include <vector>
+
+#include "pauli/pauli_sum.hpp"
+
+namespace cafqa {
+
+/** One quadratic penalty: weight * (<op> - target)^2. */
+struct ConstraintPenalty
+{
+    PauliSum op;
+    double target = 0.0;
+    double weight = 1.0;
+};
+
+/** Hamiltonian + penalties. */
+struct VqaObjective
+{
+    PauliSum hamiltonian;
+    std::vector<ConstraintPenalty> penalties;
+
+    /** Convenience: add an electron-count constraint. */
+    void add_number_constraint(PauliSum number_op, double electrons,
+                               double weight = 2.0);
+    /** Convenience: add an S_z constraint. */
+    void add_sz_constraint(PauliSum sz_op, double sz, double weight = 2.0);
+
+    /**
+     * Evaluate on any prepared backend exposing
+     * `double expectation(const PauliSum&)`.
+     */
+    template <typename Backend>
+    double
+    evaluate(const Backend& backend) const
+    {
+        double value = backend.expectation(hamiltonian);
+        for (const auto& penalty : penalties) {
+            const double got = backend.expectation(penalty.op);
+            const double miss = got - penalty.target;
+            value += penalty.weight * miss * miss;
+        }
+        return value;
+    }
+
+    /** The bare energy (no penalties) on a prepared backend. */
+    template <typename Backend>
+    double
+    energy(const Backend& backend) const
+    {
+        return backend.expectation(hamiltonian);
+    }
+};
+
+} // namespace cafqa
+
+#endif // CAFQA_CORE_OBJECTIVE_HPP

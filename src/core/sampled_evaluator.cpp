@@ -1,0 +1,100 @@
+#include "core/sampled_evaluator.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+SampledEvaluator::SampledEvaluator(Circuit ansatz, std::size_t shots,
+                                   std::uint64_t seed)
+    : ansatz_(std::move(ansatz)), shots_(shots), rng_(seed)
+{
+    CAFQA_REQUIRE(shots >= 1, "need at least one shot");
+}
+
+void
+SampledEvaluator::prepare(const std::vector<double>& params)
+{
+    state_.emplace(ansatz_.num_qubits());
+    state_->apply_circuit(ansatz_, params);
+}
+
+double
+SampledEvaluator::expectation(const PauliSum& op) const
+{
+    CAFQA_REQUIRE(state_.has_value(), "prepare() has not been called");
+    CAFQA_REQUIRE(op.num_qubits() == state_->num_qubits(),
+                  "operator qubit count mismatch");
+
+    const auto groups = group_qubitwise_commuting(op);
+    double total = 0.0;
+
+    std::vector<double> cumulative(state_->dim());
+    for (const auto& group : groups) {
+        // Identity-only groups are exact.
+        if (group.basis.is_identity_letters()) {
+            for (const std::size_t t : group.term_indices) {
+                total += op.terms()[t].coefficient.real();
+            }
+            continue;
+        }
+
+        // Rotate the shared basis to Z: H for X, H.Sdg for Y.
+        Statevector rotated = *state_;
+        for (std::size_t q = 0; q < op.num_qubits(); ++q) {
+            switch (group.basis.letter(q)) {
+              case PauliLetter::X:
+                rotated.apply_1q(
+                    Statevector::gate_matrix(GateKind::H, 0.0), q);
+                break;
+              case PauliLetter::Y:
+                rotated.apply_1q(
+                    Statevector::gate_matrix(GateKind::Sdg, 0.0), q);
+                rotated.apply_1q(
+                    Statevector::gate_matrix(GateKind::H, 0.0), q);
+                break;
+              default:
+                break;
+            }
+        }
+
+        // Sample bitstrings from the rotated distribution.
+        double acc = 0.0;
+        for (std::size_t i = 0; i < rotated.dim(); ++i) {
+            acc += std::norm(rotated.amplitudes()[i]);
+            cumulative[i] = acc;
+        }
+        std::vector<double> term_sums(group.term_indices.size(), 0.0);
+        for (std::size_t shot = 0; shot < shots_; ++shot) {
+            const double u = rng_.uniform_real(0.0, acc);
+            const auto it = std::lower_bound(cumulative.begin(),
+                                             cumulative.end(), u);
+            const std::uint64_t bits = static_cast<std::uint64_t>(
+                std::distance(cumulative.begin(), it));
+            for (std::size_t k = 0; k < group.term_indices.size(); ++k) {
+                const PauliString& term =
+                    op.terms()[group.term_indices[k]].string;
+                // In the rotated frame every non-identity letter reads
+                // the qubit's Z value.
+                std::uint64_t support = 0;
+                for (std::size_t q = 0; q < op.num_qubits(); ++q) {
+                    if (term.letter(q) != PauliLetter::I) {
+                        support |= std::uint64_t{1} << q;
+                    }
+                }
+                const bool odd = std::popcount(bits & support) % 2 == 1;
+                term_sums[k] += odd ? -1.0 : 1.0;
+            }
+        }
+        for (std::size_t k = 0; k < group.term_indices.size(); ++k) {
+            const auto& term = op.terms()[group.term_indices[k]];
+            total += term.coefficient.real() * term_sums[k] /
+                     static_cast<double>(shots_);
+        }
+    }
+    return total;
+}
+
+} // namespace cafqa

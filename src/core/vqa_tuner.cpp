@@ -1,0 +1,60 @@
+#include "core/vqa_tuner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/evaluator.hpp"
+
+namespace cafqa {
+
+VqaTuneResult
+tune_vqa(const Circuit& ansatz, const VqaObjective& objective,
+         const std::vector<double>& initial_params,
+         const VqaTunerOptions& options)
+{
+    CAFQA_REQUIRE(initial_params.size() == ansatz.num_params(),
+                  "initial parameter count mismatch");
+
+    std::unique_ptr<ExpectationBackend> backend;
+    if (options.noise.enabled()) {
+        backend = std::make_unique<NoisyEvaluator>(ansatz, options.noise);
+    } else {
+        backend = std::make_unique<IdealEvaluator>(ansatz);
+    }
+
+    auto objective_fn = [&](const std::vector<double>& params) {
+        backend->prepare(params);
+        return objective.evaluate(*backend);
+    };
+
+    SpsaOptions spsa = options.spsa;
+    spsa.iterations = options.iterations;
+    spsa.seed = options.seed;
+    const SpsaResult run = spsa_minimize(objective_fn, initial_params, spsa);
+
+    VqaTuneResult result;
+    result.trace.reserve(run.trace.size());
+    for (const auto& point : run.trace) {
+        result.trace.push_back(point.value);
+    }
+    result.final_params = run.x;
+    result.final_value = run.f;
+    return result;
+}
+
+std::size_t
+iterations_to_converge(const std::vector<double>& trace, double tolerance)
+{
+    if (trace.empty()) {
+        return 0;
+    }
+    const double best = *std::min_element(trace.begin(), trace.end());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (trace[i] <= best + tolerance) {
+            return i + 1;
+        }
+    }
+    return trace.size();
+}
+
+} // namespace cafqa

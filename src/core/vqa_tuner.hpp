@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Post-CAFQA variational tuning (paper Section 7.3 / Fig. 14): SPSA over
+ * the full continuous parameter space, on either the ideal statevector
+ * backend or the noisy density-matrix backend, starting from a chosen
+ * initialization (HF bitstring-equivalent parameters or CAFQA steps).
+ */
+#ifndef CAFQA_CORE_VQA_TUNER_HPP
+#define CAFQA_CORE_VQA_TUNER_HPP
+
+#include "circuit/circuit.hpp"
+#include "core/objective.hpp"
+#include "density/noise_model.hpp"
+#include "opt/spsa.hpp"
+
+namespace cafqa {
+
+/** Tuning controls. */
+struct VqaTunerOptions
+{
+    std::size_t iterations = 500;
+    std::uint64_t seed = 7;
+    /** Noise model; an all-zero model selects the ideal backend. */
+    NoiseModel noise;
+    /** SPSA gain parameters (iterations/seed fields are overridden).
+     *  Defaults are sized for VQE angle landscapes in radians. */
+    SpsaOptions spsa{.iterations = 200,
+                     .a = 2.0,
+                     .c = 0.2,
+                     .alpha = 0.602,
+                     .gamma = 0.101,
+                     .stability = 20.0,
+                     .seed = 1234};
+};
+
+/** Tuning outcome. */
+struct VqaTuneResult
+{
+    /** Objective value after each SPSA step. */
+    std::vector<double> trace;
+    std::vector<double> final_params;
+    double final_value = 0.0;
+};
+
+/** Tune the ansatz parameters starting from `initial_params`. */
+VqaTuneResult tune_vqa(const Circuit& ansatz, const VqaObjective& objective,
+                       const std::vector<double>& initial_params,
+                       const VqaTunerOptions& options = {});
+
+/**
+ * Convergence metric for Fig. 14: the first iteration whose value is
+ * within `tolerance` of the eventual best (returns trace.size() if the
+ * trace never reaches it).
+ */
+std::size_t iterations_to_converge(const std::vector<double>& trace,
+                                   double tolerance);
+
+} // namespace cafqa
+
+#endif // CAFQA_CORE_VQA_TUNER_HPP

@@ -1,0 +1,44 @@
+#include "density/noise_model.hpp"
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+NoiseModel
+noise_model_casablanca()
+{
+    // Calibrated so the Fig. 5 microbenchmark sweep bottoms out near
+    // -0.85 (lighter of the two device surrogates).
+    return NoiseModel{"casablanca", 0.012, 0.10, 0.008};
+}
+
+NoiseModel
+noise_model_manhattan()
+{
+    // Heavier surrogate: Fig. 5 floor near -0.7.
+    return NoiseModel{"manhattan", 0.025, 0.20, 0.015};
+}
+
+DensityMatrix
+simulate_noisy(const Circuit& circuit, const std::vector<double>& params,
+               const NoiseModel& noise)
+{
+    DensityMatrix rho(circuit.num_qubits());
+    for (const auto& op : circuit.ops()) {
+        rho.apply(op, params);
+        if (!noise.enabled()) {
+            continue;
+        }
+        if (is_two_qubit(op.kind)) {
+            rho.depolarize_2q(op.q0, op.q1, noise.depolarizing_2q);
+            rho.amplitude_damp(op.q0, noise.amplitude_damping);
+            rho.amplitude_damp(op.q1, noise.amplitude_damping);
+        } else {
+            rho.depolarize_1q(op.q0, noise.depolarizing_1q);
+            rho.amplitude_damp(op.q0, noise.amplitude_damping);
+        }
+    }
+    return rho;
+}
+
+} // namespace cafqa

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Gate-attached noise models and the noisy circuit simulator.
+ *
+ * The two presets stand in for the paper's IBMQ Casablanca and Manhattan
+ * noise-model simulations (Fig. 5). Device calibration data is
+ * proprietary, so the presets are depolarizing + amplitude-damping models
+ * calibrated to reproduce the *noise floors* the paper reports (the
+ * Casablanca sweep bottoms out near -0.85 on the 2-qubit XX
+ * microbenchmark, Manhattan near -0.7) — see DESIGN.md "Substitutions".
+ */
+#ifndef CAFQA_DENSITY_NOISE_MODEL_HPP
+#define CAFQA_DENSITY_NOISE_MODEL_HPP
+
+#include <string>
+
+#include "density/density_matrix.hpp"
+
+namespace cafqa {
+
+/** Gate-level error rates applied after each gate. */
+struct NoiseModel
+{
+    std::string name = "ideal";
+    /** Depolarizing probability after each single-qubit gate. */
+    double depolarizing_1q = 0.0;
+    /** Depolarizing probability after each two-qubit gate. */
+    double depolarizing_2q = 0.0;
+    /** Amplitude-damping probability after each single-qubit gate. */
+    double amplitude_damping = 0.0;
+
+    bool enabled() const
+    {
+        return depolarizing_1q > 0.0 || depolarizing_2q > 0.0 ||
+               amplitude_damping > 0.0;
+    }
+};
+
+/** Lighter-noise preset (IBMQ Casablanca surrogate). */
+NoiseModel noise_model_casablanca();
+
+/** Heavier-noise preset (IBMQ Manhattan surrogate). */
+NoiseModel noise_model_manhattan();
+
+/**
+ * Run a circuit under a noise model: each unitary gate is followed by
+ * the model's channels on the qubits it touched.
+ */
+DensityMatrix simulate_noisy(const Circuit& circuit,
+                             const std::vector<double>& params,
+                             const NoiseModel& noise);
+
+} // namespace cafqa
+
+#endif // CAFQA_DENSITY_NOISE_MODEL_HPP

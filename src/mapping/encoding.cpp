@@ -1,0 +1,89 @@
+#include "mapping/encoding.hpp"
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+FermionEncoding::FermionEncoding(EncodingKind kind, std::size_t num_modes)
+    : kind_(kind), num_modes_(num_modes)
+{
+    CAFQA_REQUIRE(num_modes >= 1, "need at least one fermionic mode");
+}
+
+PauliString
+FermionEncoding::majorana(std::size_t k) const
+{
+    CAFQA_REQUIRE(k < 2 * num_modes_, "Majorana index out of range");
+    const std::size_t p = k / 2;
+    const bool odd = (k % 2) != 0;
+    PauliString out(num_modes_);
+
+    if (kind_ == EncodingKind::JordanWigner) {
+        // gamma_{2p}   = Z_0 ... Z_{p-1} X_p
+        // gamma_{2p+1} = Z_0 ... Z_{p-1} Y_p
+        for (std::size_t q = 0; q < p; ++q) {
+            out.set_letter(q, PauliLetter::Z);
+        }
+        out.set_letter(p, odd ? PauliLetter::Y : PauliLetter::X);
+        return out;
+    }
+
+    // Parity mapping:
+    // gamma_{2p}   = Z_{p-1} X_p X_{p+1} ... X_{n-1}
+    // gamma_{2p+1} =         Y_p X_{p+1} ... X_{n-1}
+    if (!odd && p > 0) {
+        out.set_letter(p - 1, PauliLetter::Z);
+    }
+    out.set_letter(p, odd ? PauliLetter::Y : PauliLetter::X);
+    for (std::size_t q = p + 1; q < num_modes_; ++q) {
+        out.set_letter(q, PauliLetter::X);
+    }
+    return out;
+}
+
+PauliSum
+FermionEncoding::annihilation(std::size_t mode) const
+{
+    // a_p = (gamma_{2p} + i gamma_{2p+1}) / 2
+    PauliSum sum(num_modes_);
+    sum.add_term(0.5, majorana(2 * mode));
+    sum.add_term(std::complex<double>{0.0, 0.5}, majorana(2 * mode + 1));
+    return sum;
+}
+
+PauliSum
+FermionEncoding::creation(std::size_t mode) const
+{
+    // a_p^dagger = (gamma_{2p} - i gamma_{2p+1}) / 2
+    PauliSum sum(num_modes_);
+    sum.add_term(0.5, majorana(2 * mode));
+    sum.add_term(std::complex<double>{0.0, -0.5}, majorana(2 * mode + 1));
+    return sum;
+}
+
+PauliSum
+FermionEncoding::number_operator(std::size_t mode) const
+{
+    PauliSum n = creation(mode) * annihilation(mode);
+    n.simplify();
+    return n;
+}
+
+std::vector<int>
+FermionEncoding::occupation_to_bits(const std::vector<int>& occ) const
+{
+    CAFQA_REQUIRE(occ.size() == num_modes_, "occupation size mismatch");
+    std::vector<int> bits(num_modes_, 0);
+    if (kind_ == EncodingKind::JordanWigner) {
+        bits = occ;
+        return bits;
+    }
+    int parity = 0;
+    for (std::size_t q = 0; q < num_modes_; ++q) {
+        parity = (parity + occ[q]) % 2;
+        bits[q] = parity;
+    }
+    return bits;
+}
+
+} // namespace cafqa

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fermion-to-qubit encodings: Jordan-Wigner and the parity mapping used
+ * by the paper (Section 6: "parity mapping and Z2 symmetry / two qubit
+ * reduction").
+ *
+ * Spin-orbitals use block ordering: modes 0..M-1 are the alpha spin
+ * orbitals, modes M..2M-1 the beta spin orbitals — the ordering for
+ * which the parity mapping's Z2 symmetries localize on qubits M-1 and
+ * 2M-1.
+ */
+#ifndef CAFQA_MAPPING_ENCODING_HPP
+#define CAFQA_MAPPING_ENCODING_HPP
+
+#include <vector>
+
+#include "pauli/pauli_string.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace cafqa {
+
+/** Supported encodings. */
+enum class EncodingKind { JordanWigner, Parity };
+
+/** Maps fermionic modes to qubit operators. */
+class FermionEncoding
+{
+  public:
+    FermionEncoding(EncodingKind kind, std::size_t num_modes);
+
+    EncodingKind kind() const { return kind_; }
+    std::size_t num_modes() const { return num_modes_; }
+    /** Qubits before any symmetry reduction (== num_modes). */
+    std::size_t num_qubits() const { return num_modes_; }
+
+    /**
+     * Majorana operator gamma_k (k in [0, 2*num_modes)), where
+     * gamma_{2p} = a_p + a_p^dagger and
+     * gamma_{2p+1} = i (a_p^dagger - a_p).
+     */
+    PauliString majorana(std::size_t k) const;
+
+    /** a_p as a two-term Pauli sum. */
+    PauliSum annihilation(std::size_t mode) const;
+    /** a_p^dagger as a two-term Pauli sum. */
+    PauliSum creation(std::size_t mode) const;
+
+    /** a_p^dagger a_p. */
+    PauliSum number_operator(std::size_t mode) const;
+
+    /**
+     * The qubit basis state encoding an occupation vector (occ[p] in
+     * {0,1}): identity for Jordan-Wigner, prefix parities for Parity.
+     * Bit q of the result is qubit q.
+     */
+    std::vector<int> occupation_to_bits(const std::vector<int>& occ) const;
+
+  private:
+    EncodingKind kind_;
+    std::size_t num_modes_;
+};
+
+} // namespace cafqa
+
+#endif // CAFQA_MAPPING_ENCODING_HPP

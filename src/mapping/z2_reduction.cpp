@@ -1,0 +1,102 @@
+#include "mapping/z2_reduction.hpp"
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+PauliSum
+reduce_two_qubits(const PauliSum& op, const ParitySector& sector)
+{
+    const std::size_t n = op.num_qubits();
+    CAFQA_REQUIRE(n >= 2 && n % 2 == 0,
+                  "parity reduction expects an even qubit count >= 2");
+    const std::size_t m = n / 2;
+    const std::size_t alpha_qubit = m - 1;
+    const std::size_t total_qubit = n - 1;
+
+    // Z eigenvalues in this sector: parity qubit value b has Z = (-1)^b.
+    const int alpha_parity = sector.num_alpha % 2;
+    const int total_parity = (sector.num_alpha + sector.num_beta) % 2;
+    const double z_alpha = (alpha_parity == 0) ? 1.0 : -1.0;
+    const double z_total = (total_parity == 0) ? 1.0 : -1.0;
+
+    PauliSum reduced(n - 2);
+    for (const auto& term : op.terms()) {
+        PauliString string = term.string;
+        std::complex<double> coeff = term.coefficient;
+        CAFQA_REQUIRE(!string.x_bit(alpha_qubit) &&
+                          !string.x_bit(total_qubit),
+                      "operator does not respect the Z2 symmetries");
+        if (string.z_bit(total_qubit)) {
+            coeff *= z_total;
+        }
+        if (string.z_bit(alpha_qubit)) {
+            coeff *= z_alpha;
+        }
+        // Remove the higher index first so the lower stays valid. Only
+        // I/Z letters are removed, so the string's sign is unaffected
+        // (add_term re-canonicalizes regardless).
+        string.remove_qubit(total_qubit);
+        string.remove_qubit(alpha_qubit);
+        reduced.add_term(coeff, string);
+    }
+    reduced.simplify();
+    return reduced;
+}
+
+std::vector<int>
+reduce_bits(const std::vector<int>& bits)
+{
+    const std::size_t n = bits.size();
+    CAFQA_REQUIRE(n >= 2 && n % 2 == 0,
+                  "parity reduction expects an even bit count >= 2");
+    std::vector<int> out;
+    out.reserve(n - 2);
+    for (std::size_t q = 0; q < n; ++q) {
+        if (q == n / 2 - 1 || q == n - 1) {
+            continue;
+        }
+        out.push_back(bits[q]);
+    }
+    return out;
+}
+
+std::pair<int, int>
+reduced_state_electrons(std::uint64_t index, std::size_t active_orbitals,
+                        const ParitySector& sector)
+{
+    const std::size_t m = active_orbitals;
+    CAFQA_REQUIRE(m >= 1, "need at least one orbital");
+    const std::size_t n = 2 * m;
+
+    // Reconstruct the full parity register: insert the fixed bits.
+    std::vector<int> bits(n, 0);
+    std::size_t src = 0;
+    for (std::size_t q = 0; q < n; ++q) {
+        if (q == m - 1) {
+            bits[q] = sector.num_alpha % 2;
+        } else if (q == n - 1) {
+            bits[q] = (sector.num_alpha + sector.num_beta) % 2;
+        } else {
+            bits[q] = static_cast<int>((index >> src) & 1);
+            ++src;
+        }
+    }
+
+    // Occupations are successive parity differences.
+    int n_alpha = 0;
+    int n_beta = 0;
+    int previous = 0;
+    for (std::size_t q = 0; q < n; ++q) {
+        const int occ = bits[q] ^ previous;
+        previous = bits[q];
+        if (q < m) {
+            n_alpha += occ;
+        } else {
+            n_beta += occ;
+        }
+    }
+    return {n_alpha, n_beta};
+}
+
+} // namespace cafqa

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Two-qubit Z2-symmetry reduction for the parity mapping (paper
+ * Section 6).
+ *
+ * With block spin-orbital ordering, qubit M-1 of a parity-encoded
+ * 2M-mode system stores the total alpha-electron parity and qubit 2M-1
+ * the total electron parity. Both are conserved by particle-number- and
+ * S_z-conserving Hamiltonians, every Hamiltonian term acts on those two
+ * qubits with I or Z only, and the qubits can be replaced by their
+ * eigenvalues in the chosen symmetry sector — removing two qubits.
+ */
+#ifndef CAFQA_MAPPING_Z2_REDUCTION_HPP
+#define CAFQA_MAPPING_Z2_REDUCTION_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pauli/pauli_sum.hpp"
+
+namespace cafqa {
+
+/** Symmetry sector: fixed alpha and beta electron counts. */
+struct ParitySector
+{
+    int num_alpha = 0;
+    int num_beta = 0;
+};
+
+/**
+ * Remove qubits M-1 and 2M-1 from a parity-mapped operator over 2M
+ * spin-orbital modes (alpha block first).
+ *
+ * @param op      operator on 2M qubits in the parity encoding.
+ * @param sector  electron counts fixing the Z eigenvalues.
+ * @throws std::invalid_argument if a term carries X/Y on a reduced qubit
+ *         (i.e. the operator does not respect the symmetry).
+ */
+PauliSum reduce_two_qubits(const PauliSum& op, const ParitySector& sector);
+
+/**
+ * Reduce a parity-encoded computational basis state the same way
+ * (drops bits M-1 and 2M-1).
+ */
+std::vector<int> reduce_bits(const std::vector<int>& bits);
+
+/**
+ * Electron counts (n_alpha, n_beta) encoded by a computational basis
+ * state of the *reduced* register. The reduction fixed only the two
+ * parities, so different reduced basis states can carry different
+ * electron numbers of the same parity; this reconstructs them — used
+ * for sector-restricted exact diagonalization.
+ *
+ * @param index            basis state of the reduced (2M-2)-qubit space,
+ *                         bit q = qubit q.
+ * @param active_orbitals  M, the spatial orbital count.
+ * @param sector           the sector whose parities fixed the reduction.
+ */
+std::pair<int, int> reduced_state_electrons(std::uint64_t index,
+                                            std::size_t active_orbitals,
+                                            const ParitySector& sector);
+
+} // namespace cafqa
+
+#endif // CAFQA_MAPPING_Z2_REDUCTION_HPP

@@ -1,0 +1,210 @@
+#include "opt/bayes_opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+namespace {
+
+/** Hash a configuration for deduplication. */
+std::size_t
+config_hash(const std::vector<int>& config)
+{
+    std::size_t h = 0x9e3779b97f4a7c15ull;
+    for (const int v : config) {
+        h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull +
+             (h << 6) + (h >> 2);
+    }
+    return h;
+}
+
+std::vector<int>
+random_config(const DiscreteSpace& space, Rng& rng)
+{
+    std::vector<int> config(space.num_parameters());
+    for (std::size_t i = 0; i < config.size(); ++i) {
+        config[i] =
+            static_cast<int>(rng.uniform_int(0, space.cardinalities[i] - 1));
+    }
+    return config;
+}
+
+std::vector<double>
+to_features(const std::vector<int>& config)
+{
+    return std::vector<double>(config.begin(), config.end());
+}
+
+} // namespace
+
+double
+DiscreteSpace::log10_size() const
+{
+    double total = 0.0;
+    for (const int c : cardinalities) {
+        total += std::log10(static_cast<double>(c));
+    }
+    return total;
+}
+
+BayesOptResult
+bayes_opt_minimize(
+    const std::function<double(const std::vector<int>&)>& objective,
+    const DiscreteSpace& space, const BayesOptOptions& options)
+{
+    CAFQA_REQUIRE(space.num_parameters() > 0, "empty search space");
+    for (const int c : space.cardinalities) {
+        CAFQA_REQUIRE(c >= 1, "parameter cardinality must be positive");
+    }
+    Rng rng(options.seed);
+
+    BayesOptResult result;
+    std::vector<std::vector<int>> configs;
+    std::vector<std::vector<double>> features;
+    std::vector<double> values;
+    std::unordered_set<std::size_t> seen;
+
+    auto evaluate = [&](const std::vector<int>& config) {
+        const double value = objective(config);
+        configs.push_back(config);
+        features.push_back(to_features(config));
+        values.push_back(value);
+        seen.insert(config_hash(config));
+        result.history.push_back(value);
+        if (result.best_trace.empty() || value < result.best_trace.back()) {
+            result.best_trace.push_back(value);
+            result.best_value = value;
+            result.best_config = config;
+            result.evaluations_to_best = result.history.size();
+        } else {
+            result.best_trace.push_back(result.best_trace.back());
+        }
+        if (options.progress) {
+            options.progress(result.history.size(), result.best_value);
+        }
+        return value;
+    };
+
+    // ---- Prior injection: caller-provided configurations first. ----
+    for (const auto& config : options.seed_configs) {
+        CAFQA_REQUIRE(config.size() == space.num_parameters(),
+                      "seed configuration has wrong parameter count");
+        for (std::size_t i = 0; i < config.size(); ++i) {
+            CAFQA_REQUIRE(config[i] >= 0 &&
+                              config[i] < space.cardinalities[i],
+                          "seed configuration value out of range");
+        }
+        if (seen.count(config_hash(config)) == 0) {
+            evaluate(config);
+        }
+    }
+
+    // ---- Warm-up: random sampling (deduplicated, bounded retries). ----
+    for (std::size_t w = 0; w < options.warmup; ++w) {
+        std::vector<int> config = random_config(space, rng);
+        for (int attempt = 0;
+             attempt < 16 && seen.count(config_hash(config)) != 0;
+             ++attempt) {
+            config = random_config(space, rng);
+        }
+        evaluate(config);
+    }
+
+    // ---- Model-guided search. ----
+    RandomForest forest;
+    std::size_t stall = 0;
+    double best_at_last_improvement = result.best_value;
+
+    for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+        if (options.stall_limit > 0 && stall >= options.stall_limit) {
+            break;
+        }
+        if (iter % std::max<std::size_t>(1, options.refit_every) == 0) {
+            forest.fit(features, values, options.seed + 17 * (iter + 1),
+                       options.forest);
+        }
+
+        // Candidate pool: uniform random + mutations of elite configs.
+        std::vector<std::vector<int>> pool;
+        pool.reserve(options.random_candidates +
+                     options.mutation_candidates);
+        for (std::size_t c = 0; c < options.random_candidates; ++c) {
+            pool.push_back(random_config(space, rng));
+        }
+        if (!values.empty() && options.mutation_candidates > 0) {
+            // Rank evaluated configs by value, mutate the best few.
+            std::vector<std::size_t> order(values.size());
+            for (std::size_t i = 0; i < order.size(); ++i) {
+                order[i] = i;
+            }
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return values[a] < values[b];
+                      });
+            const std::size_t elites =
+                std::min(options.elite_size, order.size());
+            for (std::size_t c = 0; c < options.mutation_candidates; ++c) {
+                const std::size_t parent = order[static_cast<std::size_t>(
+                    rng.uniform_int(0,
+                                    static_cast<std::int64_t>(elites) - 1))];
+                std::vector<int> child = configs[parent];
+                const int flips = static_cast<int>(rng.uniform_int(1, 2));
+                for (int fidx = 0; fidx < flips; ++fidx) {
+                    const auto pos = static_cast<std::size_t>(rng.uniform_int(
+                        0,
+                        static_cast<std::int64_t>(child.size()) - 1));
+                    child[pos] = static_cast<int>(rng.uniform_int(
+                        0, space.cardinalities[pos] - 1));
+                }
+                pool.push_back(std::move(child));
+            }
+        }
+
+        // Greedy acquisition: pick the unevaluated candidate with the
+        // lowest surrogate prediction (epsilon-random for exploration).
+        std::vector<int>* chosen = nullptr;
+        if (rng.bernoulli(options.epsilon_random)) {
+            for (auto& candidate : pool) {
+                if (seen.count(config_hash(candidate)) == 0) {
+                    chosen = &candidate;
+                    break;
+                }
+            }
+        } else {
+            double best_pred = 0.0;
+            for (auto& candidate : pool) {
+                if (seen.count(config_hash(candidate)) != 0) {
+                    continue;
+                }
+                const double pred = forest.predict(to_features(candidate));
+                if (chosen == nullptr || pred < best_pred) {
+                    best_pred = pred;
+                    chosen = &candidate;
+                }
+            }
+        }
+        if (chosen == nullptr) {
+            // Whole pool already evaluated — fall back to fresh random.
+            std::vector<int> config = random_config(space, rng);
+            evaluate(config);
+        } else {
+            evaluate(*chosen);
+        }
+
+        if (result.best_value < best_at_last_improvement - 1e-15) {
+            best_at_last_improvement = result.best_value;
+            stall = 0;
+        } else {
+            ++stall;
+        }
+    }
+
+    CAFQA_ASSERT(!result.history.empty(), "no evaluations performed");
+    return result;
+}
+
+} // namespace cafqa

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Discrete Bayesian optimization over categorical parameter spaces —
+ * CAFQA's search engine (paper Section 5, replacing HyperMapper).
+ *
+ * The loop alternates a random-forest surrogate fit with a greedy
+ * acquisition over a candidate pool (uniform random samples plus local
+ * mutations of the best configurations found so far), after an initial
+ * random warm-up phase (Fig. 7: "the first 1000 iterations are a warm-up
+ * period").
+ */
+#ifndef CAFQA_OPT_BAYES_OPT_HPP
+#define CAFQA_OPT_BAYES_OPT_HPP
+
+#include <functional>
+#include <vector>
+
+#include "opt/random_forest.hpp"
+
+namespace cafqa {
+
+/** A discrete configuration space: parameter i takes values
+ *  0..cardinalities[i]-1. */
+struct DiscreteSpace
+{
+    std::vector<int> cardinalities;
+
+    std::size_t num_parameters() const { return cardinalities.size(); }
+    /** log10 of the space size (the spaces themselves overflow). */
+    double log10_size() const;
+};
+
+/** Bayesian optimization controls. */
+struct BayesOptOptions
+{
+    /** Random-sampling warm-up evaluations. */
+    std::size_t warmup = 200;
+    /** Model-guided evaluations after warm-up. */
+    std::size_t iterations = 300;
+    std::uint64_t seed = 2023;
+    /** Uniform random candidates per acquisition round. */
+    std::size_t random_candidates = 256;
+    /** Mutated candidates per acquisition round (from top configs). */
+    std::size_t mutation_candidates = 128;
+    /** Top configurations used as mutation seeds. */
+    std::size_t elite_size = 8;
+    /** Probability of taking a random candidate instead of the greedy
+     *  argmin (exploration). */
+    double epsilon_random = 0.05;
+    /** Forest refit cadence (1 = every iteration). */
+    std::size_t refit_every = 1;
+    ForestOptions forest;
+    /** Stop early after this many non-improving iterations (0 = off). */
+    std::size_t stall_limit = 0;
+    /** Configurations evaluated before the random warm-up (prior
+     *  injection — e.g. the Hartree-Fock point, which guarantees the
+     *  search result never falls behind the HF baseline). */
+    std::vector<std::vector<int>> seed_configs;
+    /** Optional progress callback (evaluation index, current best). */
+    std::function<void(std::size_t, double)> progress;
+};
+
+/** Search outcome. */
+struct BayesOptResult
+{
+    std::vector<int> best_config;
+    double best_value = 0.0;
+    /** Objective value of every evaluation, in order. */
+    std::vector<double> history;
+    /** Running minimum of `history`. */
+    std::vector<double> best_trace;
+    /** Index (1-based evaluation count) at which the best was found —
+     *  the "iterations to converge" metric of Fig. 15. */
+    std::size_t evaluations_to_best = 0;
+};
+
+/** Minimize `objective` over the discrete space. */
+BayesOptResult bayes_opt_minimize(
+    const std::function<double(const std::vector<int>&)>& objective,
+    const DiscreteSpace& space, const BayesOptOptions& options = {});
+
+} // namespace cafqa
+
+#endif // CAFQA_OPT_BAYES_OPT_HPP

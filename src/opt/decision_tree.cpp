@@ -1,0 +1,156 @@
+#include "opt/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+namespace {
+
+double
+mean_of(const std::vector<double>& y, const std::vector<std::size_t>& idx)
+{
+    double sum = 0.0;
+    for (const std::size_t i : idx) {
+        sum += y[i];
+    }
+    return sum / static_cast<double>(idx.size());
+}
+
+} // namespace
+
+void
+DecisionTree::fit(const std::vector<std::vector<double>>& x,
+                  const std::vector<double>& y, Rng& rng,
+                  const TreeOptions& options)
+{
+    CAFQA_REQUIRE(!x.empty() && x.size() == y.size(),
+                  "training data shape mismatch");
+    nodes_.clear();
+    std::vector<std::size_t> indices(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        indices[i] = i;
+    }
+    build(x, y, indices, 0, rng, options);
+}
+
+int
+DecisionTree::build(const std::vector<std::vector<double>>& x,
+                    const std::vector<double>& y,
+                    std::vector<std::size_t>& indices, std::size_t depth,
+                    Rng& rng, const TreeOptions& options)
+{
+    const int node_id = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{});
+    nodes_[static_cast<std::size_t>(node_id)].value = mean_of(y, indices);
+
+    if (depth >= options.max_depth ||
+        indices.size() < 2 * options.min_samples_leaf) {
+        return node_id;
+    }
+
+    const std::size_t num_features = x[0].size();
+    std::size_t subset = options.feature_subset;
+    if (subset == 0 || subset > num_features) {
+        subset = num_features;
+    }
+    const std::vector<std::size_t> features =
+        rng.sample_without_replacement(num_features, subset);
+
+    // Find the split minimizing the summed squared error of children.
+    double best_score = std::numeric_limits<double>::infinity();
+    int best_feature = -1;
+    double best_threshold = 0.0;
+
+    std::vector<std::pair<double, std::size_t>> sorted;
+    for (const std::size_t f : features) {
+        sorted.clear();
+        for (const std::size_t i : indices) {
+            sorted.emplace_back(x[i][f], i);
+        }
+        std::sort(sorted.begin(), sorted.end());
+
+        // Prefix sums enable O(1) variance updates while scanning.
+        double left_sum = 0.0;
+        double left_sq = 0.0;
+        double right_sum = 0.0;
+        double right_sq = 0.0;
+        for (const auto& [value, i] : sorted) {
+            (void)value;
+            right_sum += y[i];
+            right_sq += y[i] * y[i];
+        }
+        for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+            const double yi = y[sorted[k].second];
+            left_sum += yi;
+            left_sq += yi * yi;
+            right_sum -= yi;
+            right_sq -= yi * yi;
+            if (sorted[k].first == sorted[k + 1].first) {
+                continue; // no valid threshold between equal values
+            }
+            const std::size_t nl = k + 1;
+            const std::size_t nr = sorted.size() - nl;
+            if (nl < options.min_samples_leaf ||
+                nr < options.min_samples_leaf) {
+                continue;
+            }
+            const double sse_left =
+                left_sq - left_sum * left_sum / static_cast<double>(nl);
+            const double sse_right =
+                right_sq - right_sum * right_sum / static_cast<double>(nr);
+            const double score = sse_left + sse_right;
+            if (score < best_score) {
+                best_score = score;
+                best_feature = static_cast<int>(f);
+                best_threshold =
+                    0.5 * (sorted[k].first + sorted[k + 1].first);
+            }
+        }
+    }
+
+    if (best_feature < 0) {
+        return node_id; // no useful split found
+    }
+
+    std::vector<std::size_t> left_idx;
+    std::vector<std::size_t> right_idx;
+    for (const std::size_t i : indices) {
+        if (x[i][static_cast<std::size_t>(best_feature)] <= best_threshold) {
+            left_idx.push_back(i);
+        } else {
+            right_idx.push_back(i);
+        }
+    }
+    if (left_idx.empty() || right_idx.empty()) {
+        return node_id;
+    }
+
+    nodes_[static_cast<std::size_t>(node_id)].feature = best_feature;
+    nodes_[static_cast<std::size_t>(node_id)].threshold = best_threshold;
+    const int left = build(x, y, left_idx, depth + 1, rng, options);
+    const int right = build(x, y, right_idx, depth + 1, rng, options);
+    nodes_[static_cast<std::size_t>(node_id)].left = left;
+    nodes_[static_cast<std::size_t>(node_id)].right = right;
+    return node_id;
+}
+
+double
+DecisionTree::predict(const std::vector<double>& x) const
+{
+    CAFQA_REQUIRE(!nodes_.empty(), "tree has not been fitted");
+    std::size_t node = 0;
+    while (nodes_[node].feature >= 0) {
+        const auto f = static_cast<std::size_t>(nodes_[node].feature);
+        CAFQA_REQUIRE(f < x.size(), "feature vector too short");
+        node = static_cast<std::size_t>(
+            (x[f] <= nodes_[node].threshold) ? nodes_[node].left
+                                             : nodes_[node].right);
+    }
+    return nodes_[node].value;
+}
+
+} // namespace cafqa

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regression tree over discrete/continuous feature vectors — the building
+ * block of the random-forest surrogate model used by CAFQA's Bayesian
+ * optimization (paper Section 5).
+ */
+#ifndef CAFQA_OPT_DECISION_TREE_HPP
+#define CAFQA_OPT_DECISION_TREE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cafqa {
+
+/** Tree growth controls. */
+struct TreeOptions
+{
+    std::size_t max_depth = 16;
+    std::size_t min_samples_leaf = 2;
+    /** Features considered per split; 0 means all. */
+    std::size_t feature_subset = 0;
+};
+
+/** CART-style regression tree (variance-reduction splits). */
+class DecisionTree
+{
+  public:
+    /**
+     * Fit to rows `x[i]` with targets `y[i]`. `rng` drives the random
+     * feature subsets (pass a fixed-seed Rng for determinism).
+     */
+    void fit(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y, Rng& rng,
+             const TreeOptions& options = {});
+
+    /** Predict the target for one row. */
+    double predict(const std::vector<double>& x) const;
+
+    /** Number of nodes (for tests). */
+    std::size_t node_count() const { return nodes_.size(); }
+
+  private:
+    struct Node
+    {
+        // Leaf when feature < 0.
+        int feature = -1;
+        double threshold = 0.0;
+        double value = 0.0;
+        int left = -1;
+        int right = -1;
+    };
+
+    int build(const std::vector<std::vector<double>>& x,
+              const std::vector<double>& y,
+              std::vector<std::size_t>& indices, std::size_t depth,
+              Rng& rng, const TreeOptions& options);
+
+    std::vector<Node> nodes_;
+};
+
+} // namespace cafqa
+
+#endif // CAFQA_OPT_DECISION_TREE_HPP

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Nelder-Mead downhill simplex minimizer for small continuous problems.
+ * Used by the STO-nG basis fitter and available as a noise-free baseline
+ * optimizer for post-CAFQA VQA tuning.
+ */
+#ifndef CAFQA_OPT_NELDER_MEAD_HPP
+#define CAFQA_OPT_NELDER_MEAD_HPP
+
+#include <functional>
+#include <vector>
+
+namespace cafqa {
+
+/** Options for Nelder-Mead. */
+struct NelderMeadOptions
+{
+    std::size_t max_evaluations = 2000;
+    /** Stop when the simplex f-value spread falls below this. */
+    double f_tolerance = 1e-12;
+    /** Initial simplex edge length per coordinate. */
+    double initial_step = 0.5;
+};
+
+/** Result of a minimization. */
+struct OptimizeResult
+{
+    std::vector<double> x;
+    double f = 0.0;
+    std::size_t evaluations = 0;
+};
+
+/** Minimize `objective` starting from `x0`. */
+OptimizeResult
+nelder_mead(const std::function<double(const std::vector<double>&)>& objective,
+            std::vector<double> x0, const NelderMeadOptions& options = {});
+
+} // namespace cafqa
+
+#endif // CAFQA_OPT_NELDER_MEAD_HPP

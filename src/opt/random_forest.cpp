@@ -1,0 +1,69 @@
+#include "opt/random_forest.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+void
+RandomForest::fit(const std::vector<std::vector<double>>& x,
+                  const std::vector<double>& y, std::uint64_t seed,
+                  ForestOptions options)
+{
+    CAFQA_REQUIRE(!x.empty() && x.size() == y.size(),
+                  "training data shape mismatch");
+    Rng rng(seed);
+    trees_.assign(options.num_trees, DecisionTree{});
+
+    // Default per-split feature count: sqrt(d), the usual forest choice.
+    if (options.tree.feature_subset == 0) {
+        options.tree.feature_subset = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::round(std::sqrt(static_cast<double>(x[0].size())))));
+    }
+
+    const auto sample_size = static_cast<std::size_t>(
+        std::max(1.0, options.bootstrap_fraction *
+                          static_cast<double>(x.size())));
+
+    std::vector<std::vector<double>> bx;
+    std::vector<double> by;
+    for (auto& tree : trees_) {
+        bx.clear();
+        by.clear();
+        for (std::size_t s = 0; s < sample_size; ++s) {
+            const auto i = static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(x.size()) - 1));
+            bx.push_back(x[i]);
+            by.push_back(y[i]);
+        }
+        tree.fit(bx, by, rng, options.tree);
+    }
+}
+
+double
+RandomForest::predict(const std::vector<double>& x) const
+{
+    return predict_with_variance(x).mean;
+}
+
+ForestPrediction
+RandomForest::predict_with_variance(const std::vector<double>& x) const
+{
+    CAFQA_REQUIRE(!trees_.empty(), "forest has not been fitted");
+    double sum = 0.0;
+    double sq = 0.0;
+    for (const auto& tree : trees_) {
+        const double p = tree.predict(x);
+        sum += p;
+        sq += p * p;
+    }
+    const double n = static_cast<double>(trees_.size());
+    ForestPrediction out;
+    out.mean = sum / n;
+    out.variance = std::max(0.0, sq / n - out.mean * out.mean);
+    return out;
+}
+
+} // namespace cafqa

@@ -1,0 +1,69 @@
+#include "opt/simulated_annealing.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+BayesOptResult
+simulated_annealing_minimize(
+    const std::function<double(const std::vector<int>&)>& objective,
+    const DiscreteSpace& space, const AnnealingOptions& options)
+{
+    CAFQA_REQUIRE(space.num_parameters() > 0, "empty search space");
+    CAFQA_REQUIRE(options.iterations >= 1, "need at least one iteration");
+    CAFQA_REQUIRE(options.initial_temperature > 0.0 &&
+                      options.final_temperature > 0.0,
+                  "temperatures must be positive");
+    Rng rng(options.seed);
+
+    BayesOptResult result;
+    auto record = [&](const std::vector<int>& config, double value) {
+        result.history.push_back(value);
+        if (result.best_trace.empty() || value < result.best_trace.back()) {
+            result.best_trace.push_back(value);
+            result.best_value = value;
+            result.best_config = config;
+            result.evaluations_to_best = result.history.size();
+        } else {
+            result.best_trace.push_back(result.best_trace.back());
+        }
+    };
+
+    std::vector<int> current(space.num_parameters());
+    for (std::size_t i = 0; i < current.size(); ++i) {
+        current[i] =
+            static_cast<int>(rng.uniform_int(0, space.cardinalities[i] - 1));
+    }
+    double current_value = objective(current);
+    record(current, current_value);
+
+    const double cooling = std::pow(
+        options.final_temperature / options.initial_temperature,
+        1.0 / static_cast<double>(options.iterations));
+    double temperature = options.initial_temperature;
+
+    for (std::size_t it = 1; it < options.iterations; ++it) {
+        std::vector<int> proposal = current;
+        for (std::size_t m = 0; m < options.mutations_per_step; ++m) {
+            const auto pos = static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(proposal.size()) - 1));
+            proposal[pos] = static_cast<int>(
+                rng.uniform_int(0, space.cardinalities[pos] - 1));
+        }
+        const double value = objective(proposal);
+        record(proposal, value);
+
+        const double delta = value - current_value;
+        if (delta <= 0.0 ||
+            rng.uniform_real() < std::exp(-delta / temperature)) {
+            current = std::move(proposal);
+            current_value = value;
+        }
+        temperature *= cooling;
+    }
+    return result;
+}
+
+} // namespace cafqa

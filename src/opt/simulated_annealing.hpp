@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Simulated annealing over discrete configuration spaces — a baseline
+ * search strategy used by the ablation bench to justify the paper's
+ * choice of Bayesian optimization with a random-forest surrogate
+ * (Section 5).
+ */
+#ifndef CAFQA_OPT_SIMULATED_ANNEALING_HPP
+#define CAFQA_OPT_SIMULATED_ANNEALING_HPP
+
+#include <functional>
+
+#include "opt/bayes_opt.hpp"
+
+namespace cafqa {
+
+/** Annealing schedule controls. */
+struct AnnealingOptions
+{
+    std::size_t iterations = 500;
+    double initial_temperature = 1.0;
+    double final_temperature = 1e-3;
+    std::uint64_t seed = 99;
+    /** Coordinates mutated per proposal. */
+    std::size_t mutations_per_step = 1;
+};
+
+/**
+ * Minimize `objective` over a discrete space with geometric-cooling
+ * Metropolis annealing. Returns the same result shape as the Bayesian
+ * optimizer so the two are directly comparable.
+ */
+BayesOptResult simulated_annealing_minimize(
+    const std::function<double(const std::vector<int>&)>& objective,
+    const DiscreteSpace& space, const AnnealingOptions& options = {});
+
+} // namespace cafqa
+
+#endif // CAFQA_OPT_SIMULATED_ANNEALING_HPP

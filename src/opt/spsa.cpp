@@ -1,0 +1,61 @@
+#include "opt/spsa.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cafqa {
+
+SpsaResult
+spsa_minimize(const std::function<double(const std::vector<double>&)>& objective,
+              std::vector<double> x0, const SpsaOptions& options)
+{
+    CAFQA_REQUIRE(!x0.empty(), "empty start point");
+    const std::size_t n = x0.size();
+    Rng rng(options.seed);
+
+    SpsaResult result;
+    result.trace.reserve(options.iterations);
+
+    std::vector<double> x = std::move(x0);
+    std::vector<double> delta(n);
+    std::vector<double> x_plus(n);
+    std::vector<double> x_minus(n);
+
+    double best_f = objective(x);
+    std::vector<double> best_x = x;
+
+    for (std::size_t k = 0; k < options.iterations; ++k) {
+        const double a_k =
+            options.a /
+            std::pow(k + 1.0 + options.stability, options.alpha);
+        const double c_k = options.c / std::pow(k + 1.0, options.gamma);
+
+        for (std::size_t i = 0; i < n; ++i) {
+            delta[i] = rng.rademacher();
+            x_plus[i] = x[i] + c_k * delta[i];
+            x_minus[i] = x[i] - c_k * delta[i];
+        }
+        const double f_plus = objective(x_plus);
+        const double f_minus = objective(x_minus);
+        const double diff = (f_plus - f_minus) / (2.0 * c_k);
+
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] -= a_k * diff / delta[i];
+        }
+
+        const double f_now = objective(x);
+        result.trace.push_back(SpsaTracePoint{k, f_now});
+        if (f_now < best_f) {
+            best_f = f_now;
+            best_x = x;
+        }
+    }
+
+    result.x = best_x;
+    result.f = best_f;
+    return result;
+}
+
+} // namespace cafqa

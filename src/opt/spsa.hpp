@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Simultaneous Perturbation Stochastic Approximation (SPSA) — the
+ * continuous optimizer the paper uses for post-CAFQA variational tuning
+ * on (noisy) quantum hardware (Fig. 4, right box; Fig. 14).
+ *
+ * SPSA estimates the gradient with two objective evaluations per
+ * iteration regardless of dimension, which makes it the standard choice
+ * for noisy VQE objectives.
+ */
+#ifndef CAFQA_OPT_SPSA_HPP
+#define CAFQA_OPT_SPSA_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cafqa {
+
+/** SPSA hyperparameters (Spall's standard gain sequences). */
+struct SpsaOptions
+{
+    std::size_t iterations = 200;
+    double a = 0.2;      ///< step-size numerator
+    double c = 0.1;      ///< perturbation magnitude
+    double alpha = 0.602; ///< step-size decay exponent
+    double gamma = 0.101; ///< perturbation decay exponent
+    double stability = 10.0; ///< A in a_k = a / (k + 1 + A)^alpha
+    std::uint64_t seed = 1234;
+};
+
+/** Per-iteration trace entry. */
+struct SpsaTracePoint
+{
+    std::size_t iteration;
+    /** Objective value at the current iterate (one extra evaluation). */
+    double value;
+};
+
+/** Result of an SPSA run. */
+struct SpsaResult
+{
+    std::vector<double> x;
+    double f = 0.0;
+    /** Objective evaluated at the iterate after each step. */
+    std::vector<SpsaTracePoint> trace;
+};
+
+/** Minimize a (possibly stochastic) objective from `x0`. */
+SpsaResult
+spsa_minimize(const std::function<double(const std::vector<double>&)>& objective,
+              std::vector<double> x0, const SpsaOptions& options = {});
+
+} // namespace cafqa
+
+#endif // CAFQA_OPT_SPSA_HPP

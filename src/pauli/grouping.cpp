@@ -1,0 +1,54 @@
+#include "pauli/grouping.hpp"
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+bool
+qubitwise_commute(const PauliString& a, const PauliString& b)
+{
+    CAFQA_REQUIRE(a.num_qubits() == b.num_qubits(), "qubit count mismatch");
+    for (std::size_t q = 0; q < a.num_qubits(); ++q) {
+        const PauliLetter la = a.letter(q);
+        const PauliLetter lb = b.letter(q);
+        if (la != PauliLetter::I && lb != PauliLetter::I && la != lb) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<MeasurementGroup>
+group_qubitwise_commuting(const PauliSum& op)
+{
+    std::vector<MeasurementGroup> groups;
+    for (std::size_t t = 0; t < op.num_terms(); ++t) {
+        const PauliString& term = op.terms()[t].string;
+        bool placed = false;
+        for (auto& group : groups) {
+            if (qubitwise_commute(group.basis, term)) {
+                group.term_indices.push_back(t);
+                // Extend the shared basis with this term's letters.
+                for (std::size_t q = 0; q < term.num_qubits(); ++q) {
+                    if (term.letter(q) != PauliLetter::I) {
+                        group.basis.set_letter(q, term.letter(q));
+                    }
+                }
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            MeasurementGroup group;
+            group.term_indices.push_back(t);
+            group.basis = PauliString(op.num_qubits());
+            for (std::size_t q = 0; q < term.num_qubits(); ++q) {
+                group.basis.set_letter(q, term.letter(q));
+            }
+            groups.push_back(std::move(group));
+        }
+    }
+    return groups;
+}
+
+} // namespace cafqa

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Qubit-wise-commuting (QWC) grouping of Pauli sums — the
+ * measurement-setting reduction of Gokhale et al. (paper reference
+ * [25]): terms that commute qubit-by-qubit can be estimated from the
+ * same measured bitstrings, cutting the number of state preparations a
+ * real device needs per energy evaluation.
+ */
+#ifndef CAFQA_PAULI_GROUPING_HPP
+#define CAFQA_PAULI_GROUPING_HPP
+
+#include <vector>
+
+#include "pauli/pauli_sum.hpp"
+
+namespace cafqa {
+
+/** True when the strings commute on every qubit individually (letters
+ *  equal, or at least one is I). */
+bool qubitwise_commute(const PauliString& a, const PauliString& b);
+
+/** One measurement group: term indices plus the shared basis. */
+struct MeasurementGroup
+{
+    /** Indices into the PauliSum's term list. */
+    std::vector<std::size_t> term_indices;
+    /** Per-qubit measurement basis: the non-identity letter shared by
+     *  the group (I where no term touches the qubit). */
+    PauliString basis;
+};
+
+/**
+ * Greedy first-fit QWC grouping. Every term lands in exactly one group;
+ * terms within a group are pairwise qubit-wise commuting.
+ */
+std::vector<MeasurementGroup> group_qubitwise_commuting(const PauliSum& op);
+
+} // namespace cafqa
+
+#endif // CAFQA_PAULI_GROUPING_HPP

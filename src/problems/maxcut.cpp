@@ -1,0 +1,121 @@
+#include "problems/maxcut.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cafqa::problems {
+
+namespace {
+
+PauliSum
+edges_to_hamiltonian(std::size_t n,
+                     const std::vector<std::pair<std::size_t, std::size_t>>&
+                         edges)
+{
+    PauliSum h(n);
+    for (const auto& [a, b] : edges) {
+        PauliString zz(n);
+        zz.set_letter(a, PauliLetter::Z);
+        zz.set_letter(b, PauliLetter::Z);
+        h.add_term(0.5, std::move(zz));
+        h.add_term(-0.5, PauliString(n));
+    }
+    h.simplify();
+    return h;
+}
+
+} // namespace
+
+double
+MaxCutProblem::optimal_cut() const
+{
+    CAFQA_REQUIRE(num_vertices <= 24,
+                  "brute-force MaxCut limited to 24 vertices");
+    std::size_t best = 0;
+    const std::uint64_t limit = std::uint64_t{1} << num_vertices;
+    for (std::uint64_t assignment = 0; assignment < limit; ++assignment) {
+        std::size_t cut = 0;
+        for (const auto& [a, b] : edges) {
+            if (((assignment >> a) & 1) != ((assignment >> b) & 1)) {
+                ++cut;
+            }
+        }
+        best = std::max(best, cut);
+    }
+    return static_cast<double>(best);
+}
+
+MaxCutProblem
+make_random_maxcut(std::size_t num_vertices, double edge_probability,
+                   std::uint64_t seed, const std::string& name)
+{
+    CAFQA_REQUIRE(num_vertices >= 2, "need at least two vertices");
+    Rng rng(seed);
+    MaxCutProblem problem;
+    problem.name = name;
+    problem.num_vertices = num_vertices;
+    for (std::size_t a = 0; a < num_vertices; ++a) {
+        for (std::size_t b = a + 1; b < num_vertices; ++b) {
+            if (rng.bernoulli(edge_probability)) {
+                problem.edges.emplace_back(a, b);
+            }
+        }
+    }
+    // Guarantee connectivity of the sampled instance by adding a path.
+    for (std::size_t v = 0; v + 1 < num_vertices; ++v) {
+        bool present = false;
+        for (const auto& [a, b] : problem.edges) {
+            if ((a == v && b == v + 1) || (a == v + 1 && b == v)) {
+                present = true;
+                break;
+            }
+        }
+        if (!present && rng.bernoulli(0.5)) {
+            problem.edges.emplace_back(v, v + 1);
+        }
+    }
+    CAFQA_REQUIRE(!problem.edges.empty(), "sampled graph has no edges");
+    problem.hamiltonian =
+        edges_to_hamiltonian(num_vertices, problem.edges);
+    return problem;
+}
+
+MaxCutProblem
+make_ring_maxcut(std::size_t num_vertices)
+{
+    CAFQA_REQUIRE(num_vertices >= 3, "ring needs at least three vertices");
+    MaxCutProblem problem;
+    problem.name = "ring" + std::to_string(num_vertices);
+    problem.num_vertices = num_vertices;
+    for (std::size_t v = 0; v < num_vertices; ++v) {
+        problem.edges.emplace_back(v, (v + 1) % num_vertices);
+    }
+    problem.hamiltonian =
+        edges_to_hamiltonian(num_vertices, problem.edges);
+    return problem;
+}
+
+Circuit
+make_qaoa_ansatz(const MaxCutProblem& problem, std::size_t layers)
+{
+    CAFQA_REQUIRE(layers >= 1, "QAOA needs at least one layer");
+    Circuit circuit(problem.num_vertices);
+    for (std::size_t q = 0; q < problem.num_vertices; ++q) {
+        circuit.h(q);
+    }
+    for (std::size_t layer = 0; layer < layers; ++layer) {
+        const int gamma = circuit.new_param();
+        for (const auto& [a, b] : problem.edges) {
+            circuit.rzz_at(a, b, gamma);
+        }
+        const int beta = circuit.new_param();
+        for (std::size_t q = 0; q < problem.num_vertices; ++q) {
+            circuit.rx_at(q, beta);
+        }
+    }
+    return circuit;
+}
+
+} // namespace cafqa::problems

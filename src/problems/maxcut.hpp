@@ -1,0 +1,55 @@
+/**
+ * @file
+ * MaxCut problem instances as Ising Hamiltonians (paper Fig. 15 includes
+ * two MaxCut problems in the BO-iteration study; Section 2.1 notes CAFQA
+ * suits variational algorithms beyond VQE, e.g. QAOA).
+ *
+ * The Hamiltonian is H = sum_{(i,j)} w_ij (Z_i Z_j - 1)/2 whose minimum
+ * is minus the maximum cut weight.
+ */
+#ifndef CAFQA_PROBLEMS_MAXCUT_HPP
+#define CAFQA_PROBLEMS_MAXCUT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace cafqa::problems {
+
+/** A MaxCut instance. */
+struct MaxCutProblem
+{
+    std::string name;
+    std::size_t num_vertices = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    PauliSum hamiltonian;
+
+    /** Brute-force optimum cut size (vertices <= 24). */
+    double optimal_cut() const;
+};
+
+/** Erdos-Renyi random graph with unit edge weights. */
+MaxCutProblem make_random_maxcut(std::size_t num_vertices,
+                                 double edge_probability,
+                                 std::uint64_t seed,
+                                 const std::string& name);
+
+/** Cycle graph C_n (known optimum: n for even n, n-1 for odd n). */
+MaxCutProblem make_ring_maxcut(std::size_t num_vertices);
+
+/**
+ * QAOA ansatz for a MaxCut instance: p layers of problem unitaries
+ * (shared-angle RZZ per edge) interleaved with mixer layers
+ * (shared-angle RX per vertex), after an initial Hadamard wall. All
+ * fixed gates are Clifford and every rotation is Clifford at
+ * quarter-turn angles, so the circuit is directly CAFQA-searchable
+ * with 2p discrete parameters.
+ */
+Circuit make_qaoa_ansatz(const MaxCutProblem& problem, std::size_t layers);
+
+} // namespace cafqa::problems
+
+#endif // CAFQA_PROBLEMS_MAXCUT_HPP

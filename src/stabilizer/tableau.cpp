@@ -1,0 +1,260 @@
+#include "stabilizer/tableau.hpp"
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+Tableau::Tableau(std::size_t num_qubits) : num_qubits_(num_qubits)
+{
+    CAFQA_REQUIRE(num_qubits >= 1, "tableau needs at least one qubit");
+    rows_.reserve(2 * num_qubits);
+    for (std::size_t i = 0; i < num_qubits; ++i) {
+        PauliString d(num_qubits);
+        d.set_x_bit(i, true);
+        rows_.push_back(std::move(d));
+    }
+    for (std::size_t i = 0; i < num_qubits; ++i) {
+        PauliString s(num_qubits);
+        s.set_z_bit(i, true);
+        rows_.push_back(std::move(s));
+    }
+}
+
+template <typename Rule>
+void
+Tableau::apply_single_qubit(std::size_t q, Rule rule)
+{
+    CAFQA_REQUIRE(q < num_qubits_, "qubit index out of range");
+    for (auto& row : rows_) {
+        const bool x = row.x_bit(q);
+        const bool z = row.z_bit(q);
+        if (!x && !z) {
+            continue;
+        }
+        rule(row, q, x, z);
+    }
+}
+
+void
+Tableau::h(std::size_t q)
+{
+    // H: X^x Z^z -> Z^x X^z = (-1)^{xz} X^z Z^x
+    apply_single_qubit(q, [](PauliString& row, std::size_t qq, bool x,
+                             bool z) {
+        if (x && z) {
+            row.mul_phase(2);
+        }
+        row.set_x_bit(qq, z);
+        row.set_z_bit(qq, x);
+    });
+}
+
+void
+Tableau::x(std::size_t q)
+{
+    // X: Z -> -Z, X -> X  =>  phase += 2z
+    apply_single_qubit(q, [](PauliString& row, std::size_t, bool, bool z) {
+        if (z) {
+            row.mul_phase(2);
+        }
+    });
+}
+
+void
+Tableau::y(std::size_t q)
+{
+    // Y: X -> -X, Z -> -Z  =>  phase += 2*(x XOR z)
+    apply_single_qubit(q, [](PauliString& row, std::size_t, bool x, bool z) {
+        if (x != z) {
+            row.mul_phase(2);
+        }
+    });
+}
+
+void
+Tableau::z(std::size_t q)
+{
+    // Z: X -> -X  =>  phase += 2x
+    apply_single_qubit(q, [](PauliString& row, std::size_t, bool x, bool) {
+        if (x) {
+            row.mul_phase(2);
+        }
+    });
+}
+
+void
+Tableau::s(std::size_t q)
+{
+    // S: X^x Z^z -> i^x X^x Z^{z^x}
+    apply_single_qubit(q, [](PauliString& row, std::size_t qq, bool x,
+                             bool z) {
+        if (x) {
+            row.mul_phase(1);
+            row.set_z_bit(qq, !z);
+        }
+    });
+}
+
+void
+Tableau::sdg(std::size_t q)
+{
+    // Sdg: X^x Z^z -> i^{-x} X^x Z^{z^x}
+    apply_single_qubit(q, [](PauliString& row, std::size_t qq, bool x,
+                             bool z) {
+        if (x) {
+            row.mul_phase(3);
+            row.set_z_bit(qq, !z);
+        }
+    });
+}
+
+void
+Tableau::cx(std::size_t control, std::size_t target)
+{
+    CAFQA_REQUIRE(control < num_qubits_ && target < num_qubits_,
+                  "qubit index out of range");
+    CAFQA_REQUIRE(control != target, "control equals target");
+    // In the i^k X^x Z^z convention CX needs no phase update:
+    //   X_c -> X_c X_t, Z_t -> Z_c Z_t.
+    for (auto& row : rows_) {
+        if (row.x_bit(control)) {
+            row.set_x_bit(target, !row.x_bit(target));
+        }
+        if (row.z_bit(target)) {
+            row.set_z_bit(control, !row.z_bit(control));
+        }
+    }
+}
+
+void
+Tableau::cz(std::size_t a, std::size_t b)
+{
+    // CZ = (I ox H) CX (I ox H)
+    h(b);
+    cx(a, b);
+    h(b);
+}
+
+void
+Tableau::swap(std::size_t a, std::size_t b)
+{
+    cx(a, b);
+    cx(b, a);
+    cx(a, b);
+}
+
+void
+Tableau::rx_steps(std::size_t q, int k)
+{
+    switch (((k % 4) + 4) % 4) {
+      case 0: break;
+      case 1: sdg(q); h(q); sdg(q); break; // RX(pi/2) = Sdg H Sdg
+      case 2: x(q); break;
+      case 3: s(q); h(q); s(q); break;     // RX(3pi/2) = S H S
+    }
+}
+
+void
+Tableau::ry_steps(std::size_t q, int k)
+{
+    switch (((k % 4) + 4) % 4) {
+      case 0: break;
+      case 1: z(q); h(q); break;           // RY(pi/2) = H * Z
+      case 2: y(q); break;
+      case 3: h(q); z(q); break;           // RY(3pi/2) = Z * H
+    }
+}
+
+void
+Tableau::rz_steps(std::size_t q, int k)
+{
+    switch (((k % 4) + 4) % 4) {
+      case 0: break;
+      case 1: s(q); break;
+      case 2: z(q); break;
+      case 3: sdg(q); break;
+    }
+}
+
+void
+Tableau::rzz_steps(std::size_t a, std::size_t b, int k)
+{
+    if (((k % 4) + 4) % 4 == 0) {
+        return;
+    }
+    cx(a, b);
+    rz_steps(b, k);
+    cx(a, b);
+}
+
+int
+Tableau::expectation(const PauliString& pauli) const
+{
+    CAFQA_REQUIRE(pauli.num_qubits() == num_qubits_,
+                  "operator qubit count mismatch");
+    CAFQA_REQUIRE(pauli.is_hermitian(),
+                  "expectation requires a Hermitian Pauli string");
+
+    // If P anticommutes with any stabilizer generator, <P> = 0.
+    for (std::size_t i = 0; i < num_qubits_; ++i) {
+        if (!pauli.commutes_with(rows_[num_qubits_ + i])) {
+            return 0;
+        }
+    }
+
+    // Otherwise P is +/- a product of stabilizer generators; generator i
+    // participates iff P anticommutes with destabilizer i.
+    PauliString product(num_qubits_);
+    for (std::size_t i = 0; i < num_qubits_; ++i) {
+        if (!pauli.commutes_with(rows_[i])) {
+            product *= rows_[num_qubits_ + i];
+        }
+    }
+    CAFQA_ASSERT(product.equal_letters(pauli),
+                 "commuting Pauli is not in the stabilizer group");
+    // <product> = +1 by construction, so <P> = sign(P) * sign(product).
+    const double ratio =
+        (pauli.sign() * std::conj(product.sign())).real();
+    return ratio > 0 ? 1 : -1;
+}
+
+const PauliString&
+Tableau::stabilizer(std::size_t i) const
+{
+    CAFQA_REQUIRE(i < num_qubits_, "stabilizer index out of range");
+    return rows_[num_qubits_ + i];
+}
+
+const PauliString&
+Tableau::destabilizer(std::size_t i) const
+{
+    CAFQA_REQUIRE(i < num_qubits_, "destabilizer index out of range");
+    return rows_[i];
+}
+
+bool
+Tableau::check_invariants() const
+{
+    for (const auto& row : rows_) {
+        if (!row.is_hermitian()) {
+            return false;
+        }
+    }
+    for (std::size_t i = 0; i < num_qubits_; ++i) {
+        for (std::size_t j = 0; j < num_qubits_; ++j) {
+            const bool commute = rows_[i].commutes_with(rows_[num_qubits_ + j]);
+            if ((i == j) == commute) {
+                return false; // d_i must anticommute exactly with s_i
+            }
+            if (!rows_[num_qubits_ + i].commutes_with(rows_[num_qubits_ + j])) {
+                return false; // stabilizers commute pairwise
+            }
+            if (!rows_[i].commutes_with(rows_[j])) {
+                return false; // destabilizers commute pairwise
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace cafqa

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Aaronson-Gottesman stabilizer tableau (Gottesman-Knill simulation,
+ * paper Section 2.3).
+ *
+ * The tableau tracks n destabilizer rows and n stabilizer rows, each a
+ * signed Pauli string, starting from the |0...0> state (destabilizer_i =
+ * X_i, stabilizer_i = Z_i). Conjugation by Clifford gates updates rows in
+ * O(n/64); Pauli expectation values are computed exactly, returning only
+ * -1, 0 or +1 — the property the paper exploits to evaluate each Pauli
+ * term with a single noise-free "shot" (Section 3, item 7).
+ */
+#ifndef CAFQA_STABILIZER_TABLEAU_HPP
+#define CAFQA_STABILIZER_TABLEAU_HPP
+
+#include <vector>
+
+#include "pauli/pauli_string.hpp"
+
+namespace cafqa {
+
+/** Stabilizer tableau for a pure n-qubit stabilizer state. */
+class Tableau
+{
+  public:
+    /** Tableau of the all-zeros computational basis state. */
+    explicit Tableau(std::size_t num_qubits);
+
+    std::size_t num_qubits() const { return num_qubits_; }
+
+    /** @name Clifford gate conjugations (in-place). */
+    /// @{
+    void h(std::size_t q);
+    void x(std::size_t q);
+    void y(std::size_t q);
+    void z(std::size_t q);
+    void s(std::size_t q);
+    void sdg(std::size_t q);
+    void cx(std::size_t control, std::size_t target);
+    void cz(std::size_t a, std::size_t b);
+    void swap(std::size_t a, std::size_t b);
+    /// @}
+
+    /** Rotation by k*pi/2 about X/Y/Z (k taken mod 4). */
+    void rx_steps(std::size_t q, int k);
+    void ry_steps(std::size_t q, int k);
+    void rz_steps(std::size_t q, int k);
+    /** Two-qubit ZZ rotation by k*pi/2 (RZZ = CX . RZ_b . CX). */
+    void rzz_steps(std::size_t a, std::size_t b, int k);
+
+    /**
+     * Exact expectation of a Hermitian Pauli string on the current state.
+     * @return +1, -1, or 0.
+     */
+    int expectation(const PauliString& pauli) const;
+
+    /** Read access to stabilizer generator i (sign included). */
+    const PauliString& stabilizer(std::size_t i) const;
+    /** Read access to destabilizer generator i. */
+    const PauliString& destabilizer(std::size_t i) const;
+
+    /**
+     * Internal consistency check: destabilizer/stabilizer pairs satisfy
+     * the symplectic anticommutation pattern and every row is Hermitian.
+     * Used by tests and debug assertions.
+     */
+    bool check_invariants() const;
+
+  private:
+    /** Apply a single-qubit conjugation given the bit/phase update rule:
+     *  (x,z) -> (new_x, new_z), phase += phase_step(x, z). */
+    template <typename Rule>
+    void apply_single_qubit(std::size_t q, Rule rule);
+
+    std::size_t num_qubits_;
+    /** Rows 0..n-1: destabilizers; rows n..2n-1: stabilizers. */
+    std::vector<PauliString> rows_;
+};
+
+} // namespace cafqa
+
+#endif // CAFQA_STABILIZER_TABLEAU_HPP

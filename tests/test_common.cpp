@@ -1,0 +1,204 @@
+// Tests for the shared utilities: linear algebra, RNG, tables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/linalg.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace cafqa {
+namespace {
+
+TEST(Matrix, BasicOps)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(0, 1) = 2.0;
+    a(1, 0) = 3.0;
+    a(1, 1) = 4.0;
+    const Matrix at = a.transpose();
+    EXPECT_EQ(at(0, 1), 3.0);
+    const Matrix prod = a * Matrix::identity(2);
+    EXPECT_EQ(prod.max_abs_diff(a), 0.0);
+    Matrix sum = a + a;
+    EXPECT_EQ(sum(1, 1), 8.0);
+    sum *= 0.5;
+    EXPECT_EQ(sum.max_abs_diff(a), 0.0);
+}
+
+TEST(SymmetricEigen, DiagonalMatrix)
+{
+    Matrix a(3, 3);
+    a(0, 0) = 3.0;
+    a(1, 1) = 1.0;
+    a(2, 2) = 2.0;
+    const SymmetricEigen eig = symmetric_eigen(a);
+    EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+    EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+    EXPECT_NEAR(eig.values[2], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix)
+{
+    Rng rng(17);
+    const std::size_t n = 6;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            a(i, j) = a(j, i) = rng.normal();
+        }
+    }
+    const SymmetricEigen eig = symmetric_eigen(a);
+    // A == V diag(w) V^T
+    Matrix reconstructed(n, n);
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                reconstructed(i, j) +=
+                    eig.vectors(i, k) * eig.values[k] * eig.vectors(j, k);
+            }
+        }
+    }
+    EXPECT_LT(a.max_abs_diff(reconstructed), 1e-10);
+
+    // Eigenvectors are orthonormal.
+    const Matrix vtv = eig.vectors.transpose() * eig.vectors;
+    EXPECT_LT(vtv.max_abs_diff(Matrix::identity(n)), 1e-10);
+}
+
+TEST(SolveLinear, RandomSystems)
+{
+    Rng rng(23);
+    const std::size_t n = 5;
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x_true[i] = rng.normal();
+        for (std::size_t j = 0; j < n; ++j) {
+            a(i, j) = rng.normal();
+        }
+        a(i, i) += 4.0; // diagonally dominant, safely nonsingular
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            b[i] += a(i, j) * x_true[j];
+        }
+    }
+    const std::vector<double> x = solve_linear(a, b);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(x[i], x_true[i], 1e-10);
+    }
+}
+
+TEST(SolveLinear, SingularThrows)
+{
+    Matrix a(2, 2); // all zeros
+    EXPECT_THROW(solve_linear(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(InverseSqrt, SatisfiesDefinition)
+{
+    Rng rng(5);
+    const std::size_t n = 4;
+    // Build a well-conditioned SPD matrix A = B B^T + I.
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            b(i, j) = rng.normal();
+        }
+    }
+    Matrix a = b * b.transpose();
+    for (std::size_t i = 0; i < n; ++i) {
+        a(i, i) += 1.0;
+    }
+    const Matrix s = inverse_sqrt(a);
+    const Matrix should_be_identity = s * a * s;
+    EXPECT_LT(should_be_identity.max_abs_diff(Matrix::identity(n)), 1e-9);
+}
+
+TEST(TridiagonalEigenvalues, KnownValues)
+{
+    // Tridiag(-1, 2, -1) of size n has eigenvalues 2 - 2cos(k pi/(n+1)).
+    const std::size_t n = 8;
+    std::vector<double> alpha(n, 2.0);
+    std::vector<double> beta(n - 1, -1.0);
+    const std::vector<double> values = tridiagonal_eigenvalues(alpha, beta);
+    for (std::size_t k = 1; k <= n; ++k) {
+        const double expected =
+            2.0 - 2.0 * std::cos(k * M_PI / static_cast<double>(n + 1));
+        EXPECT_NEAR(values[k - 1], expected, 1e-10);
+    }
+}
+
+TEST(Rng, Reproducibility)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(-3, 7);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(Rng, SampleWithoutReplacement)
+{
+    Rng rng(2);
+    const auto sample = rng.sample_without_replacement(10, 6);
+    EXPECT_EQ(sample.size(), 6u);
+    const std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 6u);
+    for (const auto v : sample) {
+        EXPECT_LT(v, 10u);
+    }
+    EXPECT_THROW(rng.sample_without_replacement(3, 4),
+                 std::invalid_argument);
+}
+
+TEST(Rng, RademacherIsBalanced)
+{
+    Rng rng(3);
+    int sum = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i) {
+        sum += rng.rademacher();
+    }
+    EXPECT_LT(std::abs(sum), 400); // ~4 sigma
+}
+
+TEST(Table, AlignedOutput)
+{
+    Table t("demo");
+    t.set_header({"name", "value"});
+    t.add_row({"alpha", Table::num(1.5, 2)});
+    t.add_row({"b", Table::sci(0.000123, 2)});
+    std::ostringstream out;
+    t.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("1.50"), std::string::npos);
+    EXPECT_NE(text.find("1.23e-04"), std::string::npos);
+}
+
+TEST(Table, RowWidthValidation)
+{
+    Table t("demo");
+    t.set_header({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace cafqa

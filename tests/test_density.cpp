@@ -1,0 +1,179 @@
+// Tests for the density-matrix simulator and noise channels.
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/efficient_su2.hpp"
+#include "common/rng.hpp"
+#include "density/noise_model.hpp"
+#include "statevector/statevector.hpp"
+
+namespace cafqa {
+namespace {
+
+Circuit
+random_circuit(std::size_t n, int gates, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Circuit c(n);
+    for (int g = 0; g < gates; ++g) {
+        const auto q = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        auto q2 = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        if (q2 == q) {
+            q2 = (q + 1) % n;
+        }
+        switch (rng.uniform_int(0, 5)) {
+          case 0: c.h(q); break;
+          case 1: c.s(q); break;
+          case 2: c.rx(q, rng.uniform_real(0, 6.28)); break;
+          case 3: c.ry(q, rng.uniform_real(0, 6.28)); break;
+          case 4: c.cx(q, q2); break;
+          default: c.cz(q, q2); break;
+        }
+    }
+    return c;
+}
+
+TEST(DensityMatrix, PureEvolutionMatchesStatevector)
+{
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        const std::size_t n = 3;
+        const Circuit c = random_circuit(n, 25, seed);
+
+        DensityMatrix rho(n);
+        Statevector psi(n);
+        for (const auto& op : c.ops()) {
+            rho.apply(op);
+        }
+        psi.apply_circuit(c);
+
+        EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+        EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+
+        Rng prng(seed + 100);
+        for (int probe = 0; probe < 40; ++probe) {
+            PauliString p(n);
+            for (std::size_t q = 0; q < n; ++q) {
+                p.set_letter(q,
+                             static_cast<PauliLetter>(prng.uniform_int(0, 3)));
+            }
+            EXPECT_NEAR(rho.expectation(p).real(),
+                        psi.expectation(p).real(), 1e-10)
+                << p.to_label();
+            EXPECT_NEAR(rho.expectation(p).imag(), 0.0, 1e-10);
+        }
+    }
+}
+
+TEST(DensityMatrix, DepolarizingShrinksBloch)
+{
+    DensityMatrix rho(1);
+    rho.apply(GateOp{GateKind::H, 0, 0, -1, 0.0});
+    const double p = 0.3;
+    rho.depolarize_1q(0, p);
+    // <X> shrinks by exactly (1 - 4p/3).
+    EXPECT_NEAR(rho.expectation(PauliString::from_label("X")).real(),
+                1.0 - 4.0 * p / 3.0, 1e-12);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+    EXPECT_LT(rho.purity(), 1.0);
+}
+
+TEST(DensityMatrix, TwoQubitDepolarizingShrinksCorrelators)
+{
+    DensityMatrix rho(2);
+    rho.apply(GateOp{GateKind::H, 0, 0, -1, 0.0});
+    rho.apply(GateOp{GateKind::CX, 0, 1, -1, 0.0});
+    const double p = 0.15;
+    rho.depolarize_2q(0, 1, p);
+    // Non-identity two-qubit Paulis shrink by (1 - 16p/15).
+    EXPECT_NEAR(rho.expectation(PauliString::from_label("XX")).real(),
+                1.0 - 16.0 * p / 15.0, 1e-12);
+    EXPECT_NEAR(rho.expectation(PauliString::from_label("ZZ")).real(),
+                1.0 - 16.0 * p / 15.0, 1e-12);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, FullDepolarizingGivesMaximallyMixed)
+{
+    DensityMatrix rho(1);
+    rho.apply(GateOp{GateKind::H, 0, 0, -1, 0.0});
+    rho.depolarize_1q(0, 0.75); // p = 3/4 is the fully mixing point
+    EXPECT_NEAR(rho.expectation(PauliString::from_label("X")).real(), 0.0,
+                1e-12);
+    EXPECT_NEAR(rho.expectation(PauliString::from_label("Z")).real(), 0.0,
+                1e-12);
+    EXPECT_NEAR(rho.purity(), 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, AmplitudeDampingFixedPoint)
+{
+    DensityMatrix rho(1);
+    rho.apply(GateOp{GateKind::X, 0, 0, -1, 0.0}); // |1>
+    rho.amplitude_damp(0, 0.4);
+    // <Z> = -(1 - gamma) + gamma = 2 gamma - 1.
+    EXPECT_NEAR(rho.expectation(PauliString::from_label("Z")).real(),
+                2.0 * 0.4 - 1.0, 1e-12);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+
+    // |0> is a fixed point.
+    DensityMatrix zero(1);
+    zero.amplitude_damp(0, 0.9);
+    EXPECT_NEAR(zero.expectation(PauliString::from_label("Z")).real(), 1.0,
+                1e-12);
+}
+
+TEST(NoiseModel, PresetsAreOrdered)
+{
+    const NoiseModel casablanca = noise_model_casablanca();
+    const NoiseModel manhattan = noise_model_manhattan();
+    EXPECT_TRUE(casablanca.enabled());
+    EXPECT_TRUE(manhattan.enabled());
+    EXPECT_LT(casablanca.depolarizing_2q, manhattan.depolarizing_2q);
+}
+
+TEST(NoiseModel, MicrobenchmarkNoiseFloors)
+{
+    // Fig. 5: the ideal minimum of <XX> is -1 at theta = 3pi/2; the noisy
+    // backends must be strictly above it, with Manhattan above
+    // Casablanca (heavier noise -> shallower minimum).
+    const Circuit ansatz = make_microbenchmark_ansatz();
+    const PauliSum xx = PauliSum::from_terms(2, {{1.0, "XX"}});
+    const std::vector<double> theta = {3.0 * std::numbers::pi / 2.0};
+
+    const DensityMatrix ideal =
+        simulate_noisy(ansatz, theta, NoiseModel{});
+    const DensityMatrix casa =
+        simulate_noisy(ansatz, theta, noise_model_casablanca());
+    const DensityMatrix manh =
+        simulate_noisy(ansatz, theta, noise_model_manhattan());
+
+    EXPECT_NEAR(ideal.expectation(xx), -1.0, 1e-10);
+    const double e_casa = casa.expectation(xx);
+    const double e_manh = manh.expectation(xx);
+    EXPECT_GT(e_casa, -1.0);
+    EXPECT_GT(e_manh, e_casa);
+    // Floors within the neighborhoods the paper reports.
+    EXPECT_NEAR(e_casa, -0.85, 0.07);
+    EXPECT_NEAR(e_manh, -0.70, 0.07);
+}
+
+TEST(DensityMatrix, KrausChannelTracePreserving)
+{
+    DensityMatrix rho(2);
+    rho.apply(GateOp{GateKind::H, 0, 0, -1, 0.0});
+    rho.apply(GateOp{GateKind::CX, 0, 1, -1, 0.0});
+    for (int round = 0; round < 3; ++round) {
+        rho.depolarize_1q(0, 0.05);
+        rho.depolarize_2q(0, 1, 0.02);
+        rho.amplitude_damp(1, 0.03);
+    }
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+    EXPECT_LE(rho.purity(), 1.0 + 1e-12);
+    EXPECT_GE(rho.purity(), 0.25 - 1e-12);
+}
+
+} // namespace
+} // namespace cafqa

@@ -1,0 +1,233 @@
+// Error-contract tests: every module must reject API misuse with
+// std::invalid_argument (precondition violations) rather than crash or
+// silently misbehave. Each test exercises a distinct guard.
+
+#include <gtest/gtest.h>
+
+#include "chem/basis.hpp"
+#include "chem/boys.hpp"
+#include "chem/mo_integrals.hpp"
+#include "chem/molecule.hpp"
+#include "core/cafqa_driver.hpp"
+#include "core/evaluator.hpp"
+#include "core/hartree_fock_baseline.hpp"
+#include "core/sampled_evaluator.hpp"
+#include "density/density_matrix.hpp"
+#include "mapping/encoding.hpp"
+#include "mapping/z2_reduction.hpp"
+#include "opt/bayes_opt.hpp"
+#include "opt/nelder_mead.hpp"
+#include "opt/spsa.hpp"
+#include "problems/maxcut.hpp"
+#include "problems/molecule_factory.hpp"
+#include "stabilizer/tableau.hpp"
+#include "statevector/lanczos.hpp"
+#include "statevector/statevector.hpp"
+
+namespace cafqa {
+namespace {
+
+TEST(ErrorContracts, PauliQubitCountMismatch)
+{
+    PauliString a(3);
+    const PauliString b(4);
+    EXPECT_THROW(a *= b, std::invalid_argument);
+    EXPECT_THROW((void)a.commutes_with(b), std::invalid_argument);
+    EXPECT_THROW(a.remove_qubit(3), std::invalid_argument);
+
+    PauliSum sum(3);
+    EXPECT_THROW(sum.add_term(1.0, b), std::invalid_argument);
+    EXPECT_THROW(PauliSum::from_terms(3, {{1.0, "XX"}}),
+                 std::invalid_argument);
+    EXPECT_THROW(PauliString::from_label("XQ"), std::invalid_argument);
+}
+
+TEST(ErrorContracts, TableauGuards)
+{
+    Tableau t(2);
+    EXPECT_THROW(t.h(2), std::invalid_argument);
+    EXPECT_THROW(t.cx(0, 0), std::invalid_argument);
+    EXPECT_THROW(t.expectation(PauliString::from_label("ZZZ")),
+                 std::invalid_argument);
+    // Non-Hermitian Pauli (phase i) rejected.
+    EXPECT_THROW(t.expectation(PauliString::from_label("+iZZ")),
+                 std::invalid_argument);
+    EXPECT_THROW(Tableau(0), std::invalid_argument);
+}
+
+TEST(ErrorContracts, StatevectorGuards)
+{
+    EXPECT_THROW(Statevector(0), std::invalid_argument);
+    EXPECT_THROW(Statevector(29), std::invalid_argument);
+    EXPECT_THROW(Statevector::basis_state(2, 4), std::invalid_argument);
+
+    Statevector psi(2);
+    EXPECT_THROW(psi.apply_cx(0, 0), std::invalid_argument);
+    EXPECT_THROW(psi.expectation(PauliString::from_label("Z")),
+                 std::invalid_argument);
+
+    Statevector zero(1);
+    zero.amplitudes()[0] = {0.0, 0.0};
+    EXPECT_THROW(zero.normalize(), std::invalid_argument);
+
+    Circuit wrong(3);
+    EXPECT_THROW(psi.apply_circuit(wrong), std::invalid_argument);
+}
+
+TEST(ErrorContracts, DensityMatrixGuards)
+{
+    EXPECT_THROW(DensityMatrix(13), std::invalid_argument);
+    DensityMatrix rho(2);
+    EXPECT_THROW(rho.depolarize_1q(0, 1.5), std::invalid_argument);
+    EXPECT_THROW(rho.depolarize_2q(0, 0, 0.1), std::invalid_argument);
+    EXPECT_THROW(rho.amplitude_damp(0, 2.0), std::invalid_argument);
+    EXPECT_THROW(rho.apply_kraus_1q({}, 0), std::invalid_argument);
+}
+
+TEST(ErrorContracts, LanczosGuards)
+{
+    const PauliSum empty(2);
+    EXPECT_THROW(lanczos_ground_state(empty), std::invalid_argument);
+
+    PauliSum non_hermitian(1);
+    non_hermitian.add_term(std::complex<double>{0.0, 1.0},
+                           PauliString::from_label("X"));
+    EXPECT_THROW(lanczos_ground_state(non_hermitian),
+                 std::invalid_argument);
+
+    // A filter that keeps nothing must be detected.
+    const PauliSum h = PauliSum::from_terms(2, {{1.0, "ZZ"}});
+    LanczosOptions options;
+    options.basis_filter = [](std::uint64_t) { return false; };
+    EXPECT_THROW(lanczos_ground_state(h, options), std::invalid_argument);
+
+    EXPECT_THROW(dense_spectrum(non_hermitian), std::invalid_argument);
+}
+
+TEST(ErrorContracts, ChemistryGuards)
+{
+    EXPECT_THROW(chem::boys_function(-1, 1.0), std::invalid_argument);
+    EXPECT_THROW(chem::element_number("Uuo"), std::invalid_argument);
+    EXPECT_THROW(chem::element_symbol(99), std::invalid_argument);
+    EXPECT_THROW(chem::Molecule(std::vector<chem::Atom>{}),
+                 std::invalid_argument);
+    EXPECT_THROW(chem::make_active_space(5, 3, 3), std::invalid_argument);
+    // Coincident nuclei are rejected at E_nn evaluation.
+    const chem::Molecule bad({chem::Atom{1, {0, 0, 0}},
+                              chem::Atom{1, {0, 0, 0}}});
+    EXPECT_THROW((void)bad.nuclear_repulsion(), std::invalid_argument);
+}
+
+TEST(ErrorContracts, EncodingGuards)
+{
+    const FermionEncoding enc(EncodingKind::Parity, 3);
+    EXPECT_THROW((void)enc.majorana(6), std::invalid_argument);
+    EXPECT_THROW((void)enc.occupation_to_bits({1, 0}),
+                 std::invalid_argument);
+    EXPECT_THROW(FermionEncoding(EncodingKind::Parity, 0),
+                 std::invalid_argument);
+}
+
+TEST(ErrorContracts, Z2ReductionGuards)
+{
+    const PauliSum odd(3);
+    EXPECT_THROW(reduce_two_qubits(odd, ParitySector{1, 1}),
+                 std::invalid_argument);
+    EXPECT_THROW(reduce_bits({1, 0, 1}), std::invalid_argument);
+}
+
+TEST(ErrorContracts, OptimizerGuards)
+{
+    EXPECT_THROW(
+        nelder_mead([](const std::vector<double>&) { return 0.0; }, {}),
+        std::invalid_argument);
+    EXPECT_THROW(
+        spsa_minimize([](const std::vector<double>&) { return 0.0; }, {}),
+        std::invalid_argument);
+
+    DecisionTree tree;
+    EXPECT_THROW((void)tree.predict({1.0}), std::invalid_argument);
+    RandomForest forest;
+    EXPECT_THROW((void)forest.predict({1.0}), std::invalid_argument);
+
+    DiscreteSpace empty;
+    EXPECT_THROW(
+        bayes_opt_minimize([](const std::vector<int>&) { return 0.0; },
+                           empty, {}),
+        std::invalid_argument);
+    DiscreteSpace zero_card;
+    zero_card.cardinalities = {4, 0};
+    EXPECT_THROW(
+        bayes_opt_minimize([](const std::vector<int>&) { return 0.0; },
+                           zero_card, {}),
+        std::invalid_argument);
+}
+
+TEST(ErrorContracts, EvaluatorGuards)
+{
+    Circuit ansatz(2);
+    ansatz.ry_param(0);
+    const PauliSum op = PauliSum::from_terms(2, {{1.0, "ZZ"}});
+
+    CliffordEvaluator clifford(ansatz);
+    EXPECT_THROW((void)clifford.expectation(op), std::invalid_argument);
+
+    IdealEvaluator ideal(ansatz);
+    EXPECT_THROW((void)ideal.expectation(op), std::invalid_argument);
+
+    NoisyEvaluator noisy(ansatz, NoiseModel{});
+    EXPECT_THROW((void)noisy.expectation(op), std::invalid_argument);
+
+    SampledEvaluator sampled(ansatz, 16, 1);
+    EXPECT_THROW((void)sampled.expectation(op), std::invalid_argument);
+    EXPECT_THROW(SampledEvaluator(ansatz, 0, 1), std::invalid_argument);
+}
+
+TEST(ErrorContracts, DriverGuards)
+{
+    Circuit ansatz(2);
+    ansatz.ry_param(0);
+    VqaObjective objective;
+    objective.hamiltonian = PauliSum::from_terms(3, {{1.0, "ZZZ"}});
+    EXPECT_THROW(run_cafqa(ansatz, objective), std::invalid_argument);
+
+    Circuit big(2);
+    for (int i = 0; i < 13; ++i) {
+        big.ry_param(0);
+    }
+    VqaObjective ok;
+    ok.hamiltonian = PauliSum::from_terms(2, {{1.0, "ZZ"}});
+    EXPECT_THROW(exhaustive_clifford_search(big, ok),
+                 std::invalid_argument);
+
+    EXPECT_THROW(
+        basis_state_expectation(ok.hamiltonian, {1, 0, 1}),
+        std::invalid_argument);
+
+    // Infeasible constraints in the bitstring search.
+    EXPECT_THROW(best_constrained_bitstring(
+                     ok.hamiltonian,
+                     {{PauliSum::from_terms(2, {{1.0, "II"}}), 5.0}}, 2),
+                 std::invalid_argument);
+}
+
+TEST(ErrorContracts, ProblemGuards)
+{
+    EXPECT_THROW(problems::make_random_maxcut(1, 0.5, 1, "x"),
+                 std::invalid_argument);
+    EXPECT_THROW(problems::make_ring_maxcut(2), std::invalid_argument);
+    const auto ring = problems::make_ring_maxcut(4);
+    EXPECT_THROW(problems::make_qaoa_ansatz(ring, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(problems::molecule_info("Unobtainium"),
+                 std::invalid_argument);
+
+    // Sector that cannot fit the active space.
+    problems::MolecularSystemOptions options;
+    options.sector_spin_2sz = 8; // H2 has only 2 active orbitals
+    EXPECT_THROW(problems::make_molecular_system("H2", 0.74, options),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace cafqa

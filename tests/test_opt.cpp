@@ -1,0 +1,281 @@
+// Tests for the optimization substrate: Nelder-Mead, SPSA, regression
+// trees/forests, and the discrete Bayesian optimizer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/bayes_opt.hpp"
+#include "opt/nelder_mead.hpp"
+#include "opt/simulated_annealing.hpp"
+#include "opt/spsa.hpp"
+
+namespace cafqa {
+namespace {
+
+TEST(NelderMead, Quadratic)
+{
+    auto f = [](const std::vector<double>& x) {
+        return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] + 2.0) * (x[1] + 2.0);
+    };
+    const OptimizeResult r = nelder_mead(f, {0.0, 0.0});
+    EXPECT_NEAR(r.x[0], 1.0, 1e-5);
+    EXPECT_NEAR(r.x[1], -2.0, 1e-5);
+    EXPECT_LT(r.f, 1e-9);
+}
+
+TEST(NelderMead, Rosenbrock)
+{
+    auto f = [](const std::vector<double>& x) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+    };
+    const OptimizeResult r = nelder_mead(
+        f, {-1.2, 1.0}, {.max_evaluations = 5000, .f_tolerance = 1e-14,
+                         .initial_step = 0.5});
+    EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(Spsa, NoiselessQuadratic)
+{
+    auto f = [](const std::vector<double>& x) {
+        double s = 0.0;
+        for (const double v : x) {
+            s += (v - 0.5) * (v - 0.5);
+        }
+        return s;
+    };
+    const SpsaResult r = spsa_minimize(f, {3.0, -2.0, 1.0},
+                                       {.iterations = 800,
+                                        .a = 0.5,
+                                        .c = 0.1,
+                                        .alpha = 0.602,
+                                        .gamma = 0.101,
+                                        .stability = 10.0,
+                                        .seed = 5});
+    EXPECT_LT(r.f, 1e-2);
+    EXPECT_EQ(r.trace.size(), 800u);
+}
+
+TEST(Spsa, NoisyObjectiveStillDescends)
+{
+    Rng noise(3);
+    auto f = [&](const std::vector<double>& x) {
+        double s = 0.0;
+        for (const double v : x) {
+            s += v * v;
+        }
+        return s + noise.normal(0.0, 0.01);
+    };
+    const SpsaResult r = spsa_minimize(f, {2.0, 2.0}, {.iterations = 500});
+    EXPECT_LT(r.f, 0.5);
+}
+
+TEST(DecisionTree, FitsPiecewiseConstantExactly)
+{
+    // y = 1 if x0 <= 0.5 else 3.
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 32; ++i) {
+        const double v = i / 31.0;
+        x.push_back({v});
+        y.push_back(v <= 0.5 ? 1.0 : 3.0);
+    }
+    DecisionTree tree;
+    Rng rng(1);
+    tree.fit(x, y, rng, {.max_depth = 4, .min_samples_leaf = 1,
+                         .feature_subset = 0});
+    EXPECT_NEAR(tree.predict({0.2}), 1.0, 1e-12);
+    EXPECT_NEAR(tree.predict({0.9}), 3.0, 1e-12);
+}
+
+TEST(DecisionTree, DiscreteFeatures)
+{
+    // y = x0 XOR x1 on {0,1}^2 — needs depth 2.
+    std::vector<std::vector<double>> x = {
+        {0, 0}, {0, 1}, {1, 0}, {1, 1},
+        {0, 0}, {0, 1}, {1, 0}, {1, 1}};
+    std::vector<double> y = {0, 1, 1, 0, 0, 1, 1, 0};
+    DecisionTree tree;
+    Rng rng(2);
+    tree.fit(x, y, rng, {.max_depth = 4, .min_samples_leaf = 1,
+                         .feature_subset = 0});
+    EXPECT_NEAR(tree.predict({0, 1}), 1.0, 1e-12);
+    EXPECT_NEAR(tree.predict({1, 1}), 0.0, 1e-12);
+}
+
+TEST(RandomForest, PredictsSmoothFunction)
+{
+    Rng data_rng(7);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 400; ++i) {
+        const double a = data_rng.uniform_real(0, 3);
+        const double b = data_rng.uniform_real(0, 3);
+        x.push_back({a, b});
+        y.push_back(a * a + b);
+    }
+    RandomForest forest;
+    forest.fit(x, y, 42, {.num_trees = 40, .tree = {}, .bootstrap_fraction = 1.0});
+    double mse = 0.0;
+    for (int i = 0; i < 50; ++i) {
+        const double a = 0.05 + (i % 10) * 0.3;
+        const double b = 0.05 + (i / 10) * 0.6;
+        const double pred = forest.predict({a, b});
+        mse += (pred - (a * a + b)) * (pred - (a * a + b));
+    }
+    EXPECT_LT(mse / 50.0, 0.5);
+}
+
+TEST(RandomForest, VarianceIsNonnegativeAndInformative)
+{
+    std::vector<std::vector<double>> x = {{0}, {1}, {2}, {3}};
+    std::vector<double> y = {0, 1, 2, 3};
+    RandomForest forest;
+    forest.fit(x, y, 9, {.num_trees = 16, .tree = {.max_depth = 3,
+                                                   .min_samples_leaf = 1,
+                                                   .feature_subset = 0},
+                         .bootstrap_fraction = 1.0});
+    const ForestPrediction p = forest.predict_with_variance({1.5});
+    EXPECT_GE(p.variance, 0.0);
+    EXPECT_GT(p.mean, 0.0);
+    EXPECT_LT(p.mean, 3.0);
+}
+
+TEST(BayesOpt, FindsDiscreteOptimum)
+{
+    // Separable objective over {0..3}^6, optimum at all-2s.
+    auto f = [](const std::vector<int>& config) {
+        double s = 0.0;
+        for (const int v : config) {
+            s += (v - 2) * (v - 2);
+        }
+        return s;
+    };
+    DiscreteSpace space;
+    space.cardinalities.assign(6, 4);
+    const BayesOptResult r = bayes_opt_minimize(
+        f, space, {.warmup = 40, .iterations = 120, .seed = 3});
+    EXPECT_EQ(r.best_value, 0.0);
+    for (const int v : r.best_config) {
+        EXPECT_EQ(v, 2);
+    }
+}
+
+TEST(BayesOpt, TraceIsMonotoneAndConsistent)
+{
+    auto f = [](const std::vector<int>& config) {
+        return static_cast<double>(config[0] * 7 + config[1]);
+    };
+    DiscreteSpace space;
+    space.cardinalities = {4, 4};
+    const BayesOptResult r = bayes_opt_minimize(
+        f, space, {.warmup = 8, .iterations = 20, .seed = 1});
+    ASSERT_EQ(r.best_trace.size(), r.history.size());
+    for (std::size_t i = 1; i < r.best_trace.size(); ++i) {
+        EXPECT_LE(r.best_trace[i], r.best_trace[i - 1] + 1e-15);
+        EXPECT_LE(r.best_trace[i], r.history[i] + 1e-15);
+    }
+    EXPECT_GE(r.evaluations_to_best, 1u);
+    EXPECT_NEAR(r.history[r.evaluations_to_best - 1], r.best_value, 1e-15);
+}
+
+TEST(BayesOpt, BeatsShortRandomSearchOnStructuredProblem)
+{
+    // A correlated objective where model guidance should help: count
+    // matches to a hidden pattern, with interactions between neighbors.
+    const std::vector<int> hidden = {1, 3, 0, 2, 1, 3, 0, 2, 1, 3};
+    auto f = [&](const std::vector<int>& config) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < config.size(); ++i) {
+            s += std::abs(config[i] - hidden[i]);
+            if (i > 0 && config[i] == config[i - 1]) {
+                s += 0.5;
+            }
+        }
+        return s;
+    };
+    DiscreteSpace space;
+    space.cardinalities.assign(10, 4);
+
+    const BayesOptResult guided = bayes_opt_minimize(
+        f, space, {.warmup = 60, .iterations = 240, .seed = 11});
+    const BayesOptResult random_only = bayes_opt_minimize(
+        f, space, {.warmup = 300, .iterations = 0, .seed = 11});
+    EXPECT_LT(guided.best_value, random_only.best_value + 1e-12);
+}
+
+TEST(BayesOpt, StallLimitStopsEarly)
+{
+    auto f = [](const std::vector<int>& config) {
+        return static_cast<double>(config[0]);
+    };
+    DiscreteSpace space;
+    space.cardinalities = {2};
+    const BayesOptResult r = bayes_opt_minimize(
+        f, space,
+        {.warmup = 2, .iterations = 500, .seed = 1, .stall_limit = 5});
+    EXPECT_LT(r.history.size(), 60u);
+    EXPECT_EQ(r.best_value, 0.0);
+}
+
+TEST(BayesOpt, SeedConfigsAreEvaluatedFirst)
+{
+    auto f = [](const std::vector<int>& config) {
+        return static_cast<double>(config[0] + config[1]);
+    };
+    DiscreteSpace space;
+    space.cardinalities = {4, 4};
+    BayesOptOptions options{.warmup = 5, .iterations = 5, .seed = 2};
+    options.seed_configs = {{0, 0}};
+    const BayesOptResult r = bayes_opt_minimize(f, space, options);
+    EXPECT_EQ(r.best_value, 0.0);
+    EXPECT_EQ(r.evaluations_to_best, 1u);
+    EXPECT_NEAR(r.history.front(), 0.0, 1e-15);
+}
+
+TEST(BayesOpt, SeedConfigValidation)
+{
+    auto f = [](const std::vector<int>&) { return 0.0; };
+    DiscreteSpace space;
+    space.cardinalities = {4, 4};
+    BayesOptOptions options{.warmup = 2, .iterations = 2, .seed = 2};
+    options.seed_configs = {{0, 9}};
+    EXPECT_THROW(bayes_opt_minimize(f, space, options),
+                 std::invalid_argument);
+}
+
+TEST(SimulatedAnnealing, FindsDiscreteOptimum)
+{
+    auto f = [](const std::vector<int>& config) {
+        double s = 0.0;
+        for (const int v : config) {
+            s += (v - 1) * (v - 1);
+        }
+        return s;
+    };
+    DiscreteSpace space;
+    space.cardinalities.assign(6, 4);
+    const BayesOptResult r = simulated_annealing_minimize(
+        f, space,
+        {.iterations = 2000, .initial_temperature = 2.0,
+         .final_temperature = 1e-3, .seed = 4, .mutations_per_step = 1});
+    EXPECT_EQ(r.best_value, 0.0);
+    EXPECT_EQ(r.history.size(), 2000u);
+    // Trace is a running minimum.
+    for (std::size_t i = 1; i < r.best_trace.size(); ++i) {
+        EXPECT_LE(r.best_trace[i], r.best_trace[i - 1] + 1e-15);
+    }
+}
+
+TEST(BayesOpt, SpaceSizeAccounting)
+{
+    DiscreteSpace space;
+    space.cardinalities.assign(48, 4);
+    EXPECT_NEAR(space.log10_size(), 48 * std::log10(4.0), 1e-12);
+}
+
+} // namespace
+} // namespace cafqa

@@ -1,0 +1,215 @@
+// Unit and property tests for the Pauli algebra module.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "pauli/pauli_string.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace cafqa {
+namespace {
+
+TEST(PauliString, IdentityDefaults)
+{
+    PauliString p(4);
+    EXPECT_EQ(p.num_qubits(), 4u);
+    EXPECT_TRUE(p.is_identity_letters());
+    EXPECT_TRUE(p.is_hermitian());
+    EXPECT_EQ(p.weight(), 0u);
+    EXPECT_EQ(p.to_label(), "IIII");
+}
+
+TEST(PauliString, FromLabelRoundTrip)
+{
+    for (const std::string label :
+         {"XIZY", "-XX", "+iZZ", "-iYI", "IIII", "YYYY", "-YZXI"}) {
+        const PauliString p = PauliString::from_label(label);
+        std::string expect = label;
+        if (expect[0] != '-' && expect[0] != '+') {
+            // no prefix
+        } else if (expect.substr(0, 2) == "+i") {
+            // canonical form
+        }
+        EXPECT_EQ(PauliString::from_label(p.to_label()), p) << label;
+    }
+    EXPECT_EQ(PauliString::from_label("XIZY").to_label(), "XIZY");
+    EXPECT_EQ(PauliString::from_label("-XX").to_label(), "-XX");
+}
+
+TEST(PauliString, SingleQubitMultiplicationTable)
+{
+    // Expected products with phases: row * column.
+    const std::map<std::pair<char, char>, std::string> table = {
+        {{'X', 'X'}, "I"},   {{'Y', 'Y'}, "I"},   {{'Z', 'Z'}, "I"},
+        {{'X', 'Y'}, "+iZ"}, {{'Y', 'X'}, "-iZ"}, {{'Y', 'Z'}, "+iX"},
+        {{'Z', 'Y'}, "-iX"}, {{'Z', 'X'}, "+iY"}, {{'X', 'Z'}, "-iY"},
+        {{'X', 'I'}, "X"},   {{'I', 'X'}, "X"},   {{'I', 'I'}, "I"},
+    };
+    for (const auto& [operands, expected] : table) {
+        const PauliString a =
+            PauliString::from_label(std::string(1, operands.first));
+        const PauliString b =
+            PauliString::from_label(std::string(1, operands.second));
+        EXPECT_EQ((a * b).to_label(), expected)
+            << operands.first << " * " << operands.second;
+    }
+}
+
+TEST(PauliString, CommutationRules)
+{
+    const PauliString xx = PauliString::from_label("XX");
+    const PauliString zz = PauliString::from_label("ZZ");
+    const PauliString zi = PauliString::from_label("ZI");
+    EXPECT_TRUE(xx.commutes_with(zz));
+    EXPECT_FALSE(xx.commutes_with(zi));
+    EXPECT_TRUE(zz.commutes_with(zi));
+}
+
+TEST(PauliString, HermiticityTracking)
+{
+    EXPECT_TRUE(PauliString::from_label("Y").is_hermitian());
+    EXPECT_TRUE(PauliString::from_label("-YYZ").is_hermitian());
+    EXPECT_FALSE(PauliString::from_label("+iX").is_hermitian());
+    const PauliString y2 = PauliString::from_label("YY");
+    EXPECT_NEAR((y2.sign() - std::complex<double>{1.0, 0.0}).real(), 0.0,
+                1e-15);
+}
+
+TEST(PauliString, SetLetterPreservesSign)
+{
+    PauliString p = PauliString::from_label("-XIZ");
+    p.set_letter(1, PauliLetter::Y);
+    EXPECT_EQ(p.to_label(), "-XYZ");
+    p.set_letter(1, PauliLetter::I);
+    EXPECT_EQ(p.to_label(), "-XIZ");
+}
+
+TEST(PauliString, RemoveQubit)
+{
+    PauliString p = PauliString::from_label("-XZYI");
+    p.remove_qubit(1);
+    EXPECT_EQ(p.to_label(), "-XYI");
+    EXPECT_THROW(p.remove_qubit(1), std::invalid_argument); // Y has X bit
+}
+
+TEST(PauliString, WideStringsCrossWordBoundary)
+{
+    PauliString p(130);
+    p.set_letter(0, PauliLetter::X);
+    p.set_letter(64, PauliLetter::Y);
+    p.set_letter(129, PauliLetter::Z);
+    EXPECT_EQ(p.weight(), 3u);
+    EXPECT_TRUE(p.is_hermitian());
+
+    PauliString q(130);
+    q.set_letter(64, PauliLetter::Z); // anticommutes with the Y at 64
+    EXPECT_FALSE(p.commutes_with(q));
+    q.set_letter(0, PauliLetter::Z);  // second anticommuting position
+    EXPECT_TRUE(p.commutes_with(q));
+}
+
+// Property: multiplication is associative and phase-exact on random strings.
+class PauliAlgebraProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PauliAlgebraProperty, AssociativityAndInverse)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(1, 9));
+    auto random_string = [&]() {
+        PauliString p(n);
+        for (std::size_t q = 0; q < n; ++q) {
+            p.set_letter(q,
+                         static_cast<PauliLetter>(rng.uniform_int(0, 3)));
+        }
+        if (rng.bernoulli(0.5)) {
+            p.mul_phase(2); // random sign
+        }
+        return p;
+    };
+    const PauliString a = random_string();
+    const PauliString b = random_string();
+    const PauliString c = random_string();
+
+    EXPECT_EQ(((a * b) * c), (a * (b * c)));
+
+    // P * P = sign-squared identity for Hermitian P.
+    const PauliString sq = a * a;
+    EXPECT_TRUE(sq.is_identity_letters());
+    EXPECT_NEAR(std::abs(sq.sign() - std::complex<double>{1.0, 0.0}), 0.0,
+                1e-15);
+
+    // Commutation is symmetric.
+    EXPECT_EQ(a.commutes_with(b), b.commutes_with(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, PauliAlgebraProperty,
+                         ::testing::Range(0, 25));
+
+TEST(PauliSum, SimplifyCombinesTerms)
+{
+    PauliSum sum(2);
+    sum.add_term(1.0, PauliString::from_label("XY"));
+    sum.add_term(0.5, PauliString::from_label("XY"));
+    sum.add_term(-1.5, PauliString::from_label("XY"));
+    sum.add_term(2.0, PauliString::from_label("ZZ"));
+    sum.simplify();
+    ASSERT_EQ(sum.num_terms(), 1u);
+    EXPECT_EQ(sum.terms()[0].string.to_label(), "ZZ");
+}
+
+TEST(PauliSum, SignsFoldIntoCoefficients)
+{
+    PauliSum sum(1);
+    sum.add_term(2.0, PauliString::from_label("-Z"));
+    sum.simplify();
+    ASSERT_EQ(sum.num_terms(), 1u);
+    EXPECT_NEAR(sum.terms()[0].coefficient.real(), -2.0, 1e-15);
+    EXPECT_EQ(sum.terms()[0].string.to_label(), "Z");
+}
+
+TEST(PauliSum, ProductMatchesAlgebra)
+{
+    // (X + Z) * (X - Z) = XX - XZ + ZX - ZZ = I - (-iY)... validated
+    // numerically below: X*Z = -iY, Z*X = +iY, so the product is
+    // I*1 - (-iY) + (iY) - I = 2iY.
+    const PauliSum a = PauliSum::from_terms(1, {{1.0, "X"}, {1.0, "Z"}});
+    const PauliSum b = PauliSum::from_terms(1, {{1.0, "X"}, {-1.0, "Z"}});
+    PauliSum prod = a * b;
+    prod.simplify();
+    ASSERT_EQ(prod.num_terms(), 1u);
+    EXPECT_EQ(prod.terms()[0].string.to_label(), "Y");
+    EXPECT_NEAR(prod.terms()[0].coefficient.imag(), 2.0, 1e-15);
+}
+
+TEST(PauliSum, DiagonalPartExtraction)
+{
+    const PauliSum h = PauliSum::from_terms(
+        4, {{0.1, "XYXY"}, {0.5, "IZZI"}, {0.25, "ZIII"}, {-0.3, "IXII"}});
+    EXPECT_FALSE(h.is_diagonal());
+    const PauliSum diag = h.diagonal_part();
+    EXPECT_EQ(diag.num_terms(), 2u);
+    EXPECT_TRUE(diag.is_diagonal());
+    EXPECT_NEAR(diag.one_norm(), 0.75, 1e-15);
+}
+
+TEST(PauliSum, IdentityCoefficient)
+{
+    const PauliSum h =
+        PauliSum::from_terms(2, {{1.5, "II"}, {0.5, "ZZ"}});
+    EXPECT_NEAR(h.identity_coefficient().real(), 1.5, 1e-15);
+}
+
+TEST(PauliSum, HermitianChopRejectsComplex)
+{
+    PauliSum sum(1);
+    sum.add_term(std::complex<double>{0.0, 1.0},
+                 PauliString::from_label("X"));
+    EXPECT_THROW(sum.chop_to_hermitian(), std::invalid_argument);
+}
+
+} // namespace
+} // namespace cafqa
