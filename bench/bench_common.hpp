@@ -15,8 +15,8 @@
 #include <string>
 #include <vector>
 
-#include "core/cafqa_driver.hpp"
 #include "core/clifford_ansatz.hpp"
+#include "core/pipeline.hpp"
 #include "problems/molecule_factory.hpp"
 #include "statevector/lanczos.hpp"
 
@@ -109,6 +109,43 @@ molecular_budget(const problems::MolecularSystem& system,
     options.seed_steps.push_back(efficient_su2_bitstring_steps(
         system.num_qubits, system.hf_bits));
     return options;
+}
+
+/**
+ * Pipeline configuration for a molecular system: constrained objective,
+ * scale-aware budget, HF prior injection. The returned config is ready
+ * for `CafqaPipeline` (set `tuner`/`threads` as needed before
+ * constructing).
+ */
+inline PipelineConfig
+molecular_pipeline_config(const problems::MolecularSystem& system,
+                          std::uint64_t seed)
+{
+    PipelineConfig config;
+    config.ansatz = system.ansatz;
+    config.objective = problems::make_objective(system);
+    config.search = molecular_budget(system, seed);
+    return config;
+}
+
+/** Run just the Clifford-search stage for a molecular system. */
+inline CafqaResult
+run_molecular_cafqa(const problems::MolecularSystem& system,
+                    std::uint64_t seed)
+{
+    CafqaPipeline pipeline(molecular_pipeline_config(system, seed));
+    return pipeline.run_clifford_search();
+}
+
+/** Same, with an explicit objective (sector constraints etc.). */
+inline CafqaResult
+run_molecular_cafqa(const problems::MolecularSystem& system,
+                    std::uint64_t seed, const VqaObjective& objective)
+{
+    PipelineConfig config = molecular_pipeline_config(system, seed);
+    config.objective = objective;
+    CafqaPipeline pipeline(std::move(config));
+    return pipeline.run_clifford_search();
 }
 
 /** Exact ground energy via Lanczos with a scale-aware iteration cap. */

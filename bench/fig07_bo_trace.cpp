@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "core/evaluator.hpp"
 #include "common/table.hpp"
 
 namespace {
@@ -19,29 +20,37 @@ print_fig07()
     banner("Fig. 7: H2O @ 4.0 A — CAFQA discrete search trace");
 
     const auto system = problems::make_molecular_system("H2O", 4.0);
-    const VqaObjective objective = problems::make_objective(system);
     const double exact = exact_energy(system.hamiltonian);
 
-    CafqaOptions options = molecular_budget(system, 1111);
-    options.warmup = pick(300, 1000);
-    options.iterations = pick(500, 1000);
+    PipelineConfig config = molecular_pipeline_config(system, 1111);
+    config.search.warmup = pick(300, 1000);
+    config.search.iterations = pick(500, 1000);
+    const std::size_t warmup = config.search.warmup;
+    const std::size_t iterations = config.search.iterations;
 
-    const CafqaResult result =
-        run_cafqa(system.ansatz, objective, options);
+    // The trace is collected through the pipeline observer — one
+    // Progress event per objective evaluation.
+    CafqaPipeline pipeline(std::move(config));
+    std::vector<double> best_trace;
+    pipeline.set_observer([&](const PipelineEvent& event) {
+        if (event.event == PipelineEvent::Kind::Progress) {
+            best_trace.push_back(event.best_value);
+        }
+    });
+    const CafqaResult& result = pipeline.run_clifford_search();
 
     Table trace("Best-so-far energy error vs search iteration");
     trace.set_header({"Iteration", "Phase", "BestEnergyError(Ha)",
                       "WithinChemicalAccuracy"});
     const std::size_t stride =
-        std::max<std::size_t>(1, result.best_trace.size() / 40);
-    for (std::size_t i = 0; i < result.best_trace.size(); ++i) {
-        if (i % stride != 0 && i + 1 != result.best_trace.size()) {
+        std::max<std::size_t>(1, best_trace.size() / 40);
+    for (std::size_t i = 0; i < best_trace.size(); ++i) {
+        if (i % stride != 0 && i + 1 != best_trace.size()) {
             continue;
         }
-        const double error =
-            std::max(result.best_trace[i] - exact, 1e-10);
+        const double error = std::max(best_trace[i] - exact, 1e-10);
         trace.add_row({std::to_string(i + 1),
-                       (i < options.warmup) ? "warmup" : "search",
+                       (i < warmup) ? "warmup" : "search",
                        Table::sci(error, 3),
                        error <= chemical_accuracy ? "yes" : "no"});
     }
@@ -49,9 +58,9 @@ print_fig07()
 
     Table summary("Summary");
     summary.set_header({"Quantity", "Value"});
-    summary.add_row({"Warm-up iterations", std::to_string(options.warmup)});
+    summary.add_row({"Warm-up iterations", std::to_string(warmup)});
     summary.add_row(
-        {"Search iterations", std::to_string(options.iterations)});
+        {"Search iterations", std::to_string(iterations)});
     summary.add_row({"HF error (Ha)",
                      Table::sci(system.hf_energy - exact, 3)});
     summary.add_row({"CAFQA error (Ha)",

@@ -31,11 +31,8 @@ print_fig08()
 
     for (const double bond : bonds) {
         const auto system = problems::make_molecular_system("H2", bond);
-        const VqaObjective objective = problems::make_objective(system);
-        const CafqaResult cafqa = run_cafqa(
-            system.ansatz, objective,
-            molecular_budget(system,
-                          1000 + static_cast<std::uint64_t>(bond * 100)));
+        const CafqaResult cafqa = run_molecular_cafqa(
+            system, 1000 + static_cast<std::uint64_t>(bond * 100));
         const double exact = exact_energy(system.hamiltonian);
 
         // Cation sector: one electron, enforced through the objective
@@ -45,12 +42,9 @@ print_fig08()
         cation_options.sector_spin_2sz = +1;
         const auto cation =
             problems::make_molecular_system("H2", bond, cation_options);
-        const VqaObjective cation_objective =
-            problems::make_objective(cation, 4.0, 4.0);
-        const CafqaResult cation_cafqa = run_cafqa(
-            cation.ansatz, cation_objective,
-            molecular_budget(cation,
-                          7000 + static_cast<std::uint64_t>(bond * 100)));
+        const CafqaResult cation_cafqa = run_molecular_cafqa(
+            cation, 7000 + static_cast<std::uint64_t>(bond * 100),
+            problems::make_objective(cation, 4.0, 4.0));
 
         const double hf_err = std::abs(system.hf_energy - exact);
         const double cafqa_err = std::abs(cafqa.best_energy - exact);

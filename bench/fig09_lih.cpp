@@ -29,11 +29,8 @@ print_fig09()
 
     for (const double bond : bonds) {
         const auto system = problems::make_molecular_system("LiH", bond);
-        const VqaObjective objective = problems::make_objective(system);
-        const CafqaResult cafqa = run_cafqa(
-            system.ansatz, objective,
-            molecular_budget(system,
-                          2000 + static_cast<std::uint64_t>(bond * 100)));
+        const CafqaResult cafqa = run_molecular_cafqa(
+            system, 2000 + static_cast<std::uint64_t>(bond * 100));
         const double exact = exact_energy(system.hamiltonian);
 
         energy.add_row({Table::num(bond, 2), Table::num(system.hf_energy, 5),

@@ -32,22 +32,16 @@ print_fig10()
 
     for (const double bond : bonds) {
         const auto singlet = problems::make_molecular_system("H2O", bond);
-        const VqaObjective objective_s = problems::make_objective(singlet);
-        const CafqaResult cafqa_s = run_cafqa(
-            singlet.ansatz, objective_s,
-            molecular_budget(singlet,
-                          3000 + static_cast<std::uint64_t>(bond * 100)));
+        const CafqaResult cafqa_s = run_molecular_cafqa(
+            singlet, 3000 + static_cast<std::uint64_t>(bond * 100));
 
         problems::MolecularSystemOptions triplet_options;
         triplet_options.sector_spin_2sz = 2;
         const auto triplet =
             problems::make_molecular_system("H2O", bond, triplet_options);
-        const VqaObjective objective_t =
-            problems::make_objective(triplet, 4.0, 4.0);
-        const CafqaResult cafqa_t = run_cafqa(
-            triplet.ansatz, objective_t,
-            molecular_budget(triplet,
-                          8000 + static_cast<std::uint64_t>(bond * 100)));
+        const CafqaResult cafqa_t = run_molecular_cafqa(
+            triplet, 8000 + static_cast<std::uint64_t>(bond * 100),
+            problems::make_objective(triplet, 4.0, 4.0));
 
         const double cafqa_best =
             std::min(cafqa_s.best_energy, cafqa_t.best_energy);

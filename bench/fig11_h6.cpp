@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "core/evaluator.hpp"
 #include "common/table.hpp"
 
 namespace {
@@ -32,11 +33,8 @@ print_fig11()
 
     for (const double bond : bonds) {
         const auto system = problems::make_molecular_system("H6", bond);
-        const VqaObjective objective = problems::make_objective(system);
-        const CafqaResult cafqa = run_cafqa(
-            system.ansatz, objective,
-            molecular_budget(system,
-                          4000 + static_cast<std::uint64_t>(bond * 100)));
+        const CafqaResult cafqa = run_molecular_cafqa(
+            system, 4000 + static_cast<std::uint64_t>(bond * 100));
 
         // 'opt.': best over spin sectors (2Sz in {0, 2, 4}).
         double opt_energy = cafqa.best_energy;
@@ -45,13 +43,10 @@ print_fig11()
             options.sector_spin_2sz = two_sz;
             const auto sector =
                 problems::make_molecular_system("H6", bond, options);
-            const VqaObjective sector_objective =
-                problems::make_objective(sector, 4.0, 4.0);
-            const CafqaResult sector_cafqa = run_cafqa(
-                sector.ansatz, sector_objective,
-                molecular_budget(sector,
-                              9000 + static_cast<std::uint64_t>(
-                                        bond * 100 + two_sz)));
+            const CafqaResult sector_cafqa = run_molecular_cafqa(
+                sector,
+                9000 + static_cast<std::uint64_t>(bond * 100 + two_sz),
+                problems::make_objective(sector, 4.0, 4.0));
             opt_energy = std::min(opt_energy, sector_cafqa.best_energy);
         }
 

@@ -60,14 +60,13 @@ print_fig12()
     for (const double bond : bonds) {
         const auto system =
             problems::make_molecular_system("Cr2", bond, options);
-        const VqaObjective objective = problems::make_objective(system);
-        CafqaOptions budget = molecular_budget(system, 2024);
+        PipelineConfig config = molecular_pipeline_config(system, 2024);
         if (scale() == Scale::Quick) {
-            budget.warmup = 120;
-            budget.iterations = 150;
+            config.search.warmup = 120;
+            config.search.iterations = 150;
         }
-        const CafqaResult cafqa =
-            run_cafqa(system.ansatz, objective, budget);
+        CafqaPipeline pipeline(std::move(config));
+        const CafqaResult cafqa = pipeline.run_clifford_search();
 
         const double hf_rel = system.hf_energy - 2.0 * atom_energy;
         const double cafqa_rel = cafqa.best_energy - 2.0 * atom_energy;

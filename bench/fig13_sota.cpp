@@ -37,11 +37,8 @@ evaluate_molecule(const std::string& name, std::size_t num_bonds,
     std::size_t counted = 0;
     for (const double bond : bonds) {
         const auto system = problems::make_molecular_system(name, bond);
-        const VqaObjective objective = problems::make_objective(system);
-        const CafqaResult cafqa = run_cafqa(
-            system.ansatz, objective,
-            molecular_budget(system,
-                          seed + static_cast<std::uint64_t>(bond * 100)));
+        const CafqaResult cafqa = run_molecular_cafqa(
+            system, seed + static_cast<std::uint64_t>(bond * 100));
         const double exact = exact_energy(system.hamiltonian);
 
         const double hf_err = std::abs(system.hf_energy - exact);

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "core/evaluator.hpp"
 #include "common/table.hpp"
 #include "core/clifford_ansatz.hpp"
 #include "core/vqa_tuner.hpp"
@@ -25,9 +26,7 @@ print_fig14()
     objective.hamiltonian = system.hamiltonian;
     const double exact = exact_energy(system.hamiltonian);
 
-    const CafqaResult cafqa = run_cafqa(
-        system.ansatz, problems::make_objective(system),
-        molecular_budget(system, 1414));
+    const CafqaResult cafqa = run_molecular_cafqa(system, 1414);
     const std::vector<double> cafqa_init =
         steps_to_angles(cafqa.best_steps);
     const std::vector<double> hf_init = steps_to_angles(

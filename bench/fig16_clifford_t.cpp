@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "core/evaluator.hpp"
 #include "common/table.hpp"
 
 namespace {
@@ -33,20 +34,20 @@ sweep_molecule(const std::string& name, std::size_t max_t,
 
     for (const double bond : bonds) {
         const auto system = problems::make_molecular_system(name, bond);
-        const VqaObjective objective = problems::make_objective(system);
-        CafqaOptions options = molecular_budget(system, seed);
-        const CafqaKtResult kt =
-            run_cafqa_kt(system.ansatz, objective, max_t, options);
+        CafqaPipeline pipeline(molecular_pipeline_config(system, seed));
+        const CafqaResult& base = pipeline.run_clifford_search();
+        const TBoostResult& boost = pipeline.run_t_boost(max_t);
         const double exact = exact_energy(system.hamiltonian);
 
         const double rec_clifford = correlation_recovered_percent(
-            system.hf_energy, kt.base.best_energy, exact);
+            system.hf_energy, base.best_energy, exact);
         const double rec_kt = correlation_recovered_percent(
-            system.hf_energy, kt.best_energy, exact);
+            system.hf_energy, boost.best_energy, exact);
         table.add_row({Table::num(bond, 2),
-                       Table::num(kt.base.best_energy, 5),
-                       Table::num(kt.best_energy, 5), Table::num(exact, 5),
-                       std::to_string(kt.t_positions.size()),
+                       Table::num(base.best_energy, 5),
+                       Table::num(boost.best_energy, 5),
+                       Table::num(exact, 5),
+                       std::to_string(boost.t_positions.size()),
                        Table::num(rec_clifford, 1) + " -> " +
                            Table::num(rec_kt, 1)});
     }

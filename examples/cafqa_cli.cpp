@@ -4,17 +4,25 @@
  * molecule at any bond length with configurable budgets and emit a
  * machine-readable CSV line, suitable for scripting dissociation sweeps.
  *
+ * Drives the `CafqaPipeline` facade end to end: discrete Clifford
+ * search, optional Clifford+kT boost, optional continuous VQA tuning on
+ * any registered backend ("statevector", "density", "sampled", ...).
+ *
  * Usage:
  *   cafqa_cli --molecule LiH --bond 2.4 [--warmup 200] [--iterations 300]
- *             [--seed 7] [--max-t 0] [--no-hf-seed] [--csv-header]
+ *             [--seed 7] [--max-t 0] [--tune 0] [--tune-backend KIND]
+ *             [--threads 0] [--no-hf-seed] [--trace] [--csv-header]
+ *
+ * --tune-backend accepts any registered kind or "auto" (the default:
+ * statevector, or density when a noise model is configured).
  */
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
-#include "core/cafqa_driver.hpp"
 #include "core/clifford_ansatz.hpp"
+#include "core/pipeline.hpp"
 #include "problems/molecule_factory.hpp"
 #include "statevector/lanczos.hpp"
 
@@ -26,8 +34,17 @@ usage()
     std::cerr
         << "cafqa_cli --molecule <name> --bond <angstrom>\n"
         << "          [--warmup N] [--iterations N] [--seed N]\n"
-        << "          [--max-t K] [--no-hf-seed] [--csv-header]\n"
-        << "molecules:";
+        << "          [--max-t K] [--tune N] [--tune-backend KIND]\n"
+        << "          [--threads N] [--no-hf-seed] [--trace]\n"
+        << "          [--csv-header]\n"
+        << "  --tune N          run N SPSA iterations after the search\n"
+        << "  --tune-backend    backend registry kind for tuning\n"
+        << "                    (default: statevector; others:";
+    for (const auto& kind : cafqa::registered_backends()) {
+        std::cerr << ' ' << kind;
+    }
+    std::cerr << ")\n  --trace           print stage progress to stderr\n"
+              << "molecules:";
     for (const auto& name : cafqa::problems::supported_molecules()) {
         std::cerr << ' ' << name;
     }
@@ -43,9 +60,13 @@ main(int argc, char** argv)
 
     std::string molecule;
     double bond = 0.0;
-    CafqaOptions options{.warmup = 200, .iterations = 300, .seed = 7};
+    CafqaOptions search{.warmup = 200, .iterations = 300, .seed = 7};
     std::size_t max_t = 0;
+    std::size_t tune_iterations = 0;
+    std::string tune_backend;
+    std::size_t threads = 0;
     bool hf_seed = true;
+    bool trace = false;
     bool csv_header = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -62,16 +83,28 @@ main(int argc, char** argv)
         } else if (arg == "--bond") {
             bond = std::atof(next());
         } else if (arg == "--warmup") {
-            options.warmup = static_cast<std::size_t>(std::atoi(next()));
+            search.warmup = static_cast<std::size_t>(std::atoi(next()));
         } else if (arg == "--iterations") {
-            options.iterations =
+            search.iterations =
                 static_cast<std::size_t>(std::atoi(next()));
         } else if (arg == "--seed") {
-            options.seed = static_cast<std::uint64_t>(std::atoll(next()));
+            search.seed = static_cast<std::uint64_t>(std::atoll(next()));
         } else if (arg == "--max-t") {
             max_t = static_cast<std::size_t>(std::atoi(next()));
+        } else if (arg == "--tune") {
+            tune_iterations =
+                static_cast<std::size_t>(std::atoi(next()));
+        } else if (arg == "--tune-backend") {
+            tune_backend = next();
+            if (tune_backend == "auto") {
+                tune_backend.clear();
+            }
+        } else if (arg == "--threads") {
+            threads = static_cast<std::size_t>(std::atoi(next()));
         } else if (arg == "--no-hf-seed") {
             hf_seed = false;
+        } else if (arg == "--trace") {
+            trace = true;
         } else if (arg == "--csv-header") {
             csv_header = true;
         } else {
@@ -86,34 +119,64 @@ main(int argc, char** argv)
 
     if (csv_header) {
         std::cout << "molecule,bond_angstrom,qubits,scf_converged,"
-                     "hf_energy,cafqa_energy,exact_energy,t_gates,"
-                     "evals_to_best,corr_recovered_pct\n";
+                     "hf_energy,cafqa_energy,tuned_value,exact_energy,"
+                     "t_gates,evals_to_best,corr_recovered_pct\n";
     }
 
     try {
         const auto system =
             problems::make_molecular_system(molecule, bond);
-        const VqaObjective objective = problems::make_objective(system);
+
+        PipelineConfig config;
+        config.ansatz = system.ansatz;
+        config.objective = problems::make_objective(system);
+        config.search = search;
+        config.threads = threads;
+        config.tuner.iterations = tune_iterations;
+        config.tuner.seed = search.seed + 1;
+        config.tuner.backend = tune_backend;
         if (hf_seed) {
-            options.seed_steps.push_back(efficient_su2_bitstring_steps(
-                system.num_qubits, system.hf_bits));
+            config.search.seed_steps.push_back(
+                efficient_su2_bitstring_steps(system.num_qubits,
+                                              system.hf_bits));
         }
 
-        double cafqa_energy = 0.0;
-        std::size_t evals = 0;
-        std::size_t t_gates = 0;
-        if (max_t == 0) {
-            const CafqaResult result =
-                run_cafqa(system.ansatz, objective, options);
-            cafqa_energy = result.best_energy;
-            evals = result.evaluations_to_best;
-        } else {
-            const CafqaKtResult result =
-                run_cafqa_kt(system.ansatz, objective, max_t, options);
-            cafqa_energy = result.best_energy;
-            evals = result.base.evaluations_to_best;
-            t_gates = result.t_positions.size();
+        CafqaPipeline pipeline(std::move(config));
+        if (trace) {
+            pipeline.set_observer([](const PipelineEvent& event) {
+                switch (event.event) {
+                  case PipelineEvent::Kind::StageBegin:
+                    std::cerr << "[" << event.stage << "] begin\n";
+                    break;
+                  case PipelineEvent::Kind::StageEnd:
+                    std::cerr << "[" << event.stage << "] end, best "
+                              << event.best_value << '\n';
+                    break;
+                  case PipelineEvent::Kind::Progress:
+                    if (event.evaluation % 50 == 0) {
+                        std::cerr << "[" << event.stage << "] eval "
+                                  << event.evaluation << ", best "
+                                  << event.best_value << '\n';
+                    }
+                    break;
+                }
+            });
         }
+
+        pipeline.run_clifford_search();
+        if (max_t > 0) {
+            pipeline.run_t_boost(max_t);
+        }
+        double tuned_value = 0.0;
+        if (tune_iterations > 0) {
+            tuned_value = pipeline.run_vqa_tune().final_value;
+        }
+
+        const double cafqa_energy = pipeline.best_energy();
+        const std::size_t evals =
+            pipeline.clifford_result().evaluations_to_best;
+        const std::size_t t_gates =
+            max_t > 0 ? pipeline.t_boost_result().t_positions.size() : 0;
 
         double exact = 0.0;
         double recovered = 0.0;
@@ -128,8 +191,8 @@ main(int argc, char** argv)
         std::cout << molecule << ',' << bond << ',' << system.num_qubits
                   << ',' << (system.scf_converged ? 1 : 0) << ','
                   << system.hf_energy << ',' << cafqa_energy << ','
-                  << exact << ',' << t_gates << ',' << evals << ','
-                  << recovered << '\n';
+                  << tuned_value << ',' << exact << ',' << t_gates << ','
+                  << evals << ',' << recovered << '\n';
     } catch (const std::exception& error) {
         std::cerr << "error: " << error.what() << '\n';
         return 1;

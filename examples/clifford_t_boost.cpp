@@ -12,8 +12,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/cafqa_driver.hpp"
 #include "core/clifford_ansatz.hpp"
+#include "core/pipeline.hpp"
 #include "problems/molecule_factory.hpp"
 #include "statevector/lanczos.hpp"
 
@@ -37,22 +37,27 @@ main(int argc, char** argv)
                                     system.n_alpha + system.n_beta, 2.0);
     objective.add_sz_constraint(system.sz_op, 0.0, 2.0);
 
-    CafqaOptions options{.warmup = 120, .iterations = 160, .seed = 3};
-    options.seed_steps.push_back(efficient_su2_bitstring_steps(
+    PipelineConfig config;
+    config.ansatz = system.ansatz;
+    config.objective = objective;
+    config.search = {.warmup = 120, .iterations = 160, .seed = 3};
+    config.search.seed_steps.push_back(efficient_su2_bitstring_steps(
         system.num_qubits, system.hf_bits));
-    const CafqaKtResult kt =
-        run_cafqa_kt(system.ansatz, objective, max_t, options);
+
+    CafqaPipeline pipeline(std::move(config));
+    const CafqaResult& base = pipeline.run_clifford_search();
+    const TBoostResult& boost = pipeline.run_t_boost(max_t);
     const GroundState exact = lanczos_ground_state(system.hamiltonian);
 
     std::cout << "H2 @ " << bond << " A\n"
               << "Hartree-Fock:        " << system.hf_energy << " Ha\n"
-              << "CAFQA (Clifford):    " << kt.base.best_energy << " Ha\n"
-              << "CAFQA + " << kt.t_positions.size()
-              << "T:          " << kt.best_energy << " Ha\n"
+              << "CAFQA (Clifford):    " << base.best_energy << " Ha\n"
+              << "CAFQA + " << boost.t_positions.size()
+              << "T:          " << boost.best_energy << " Ha\n"
               << "Exact:               " << exact.energy << " Ha\n";
-    if (!kt.t_positions.empty()) {
+    if (!boost.t_positions.empty()) {
         std::cout << "T gates inserted after rotation slots:";
-        for (const auto slot : kt.t_positions) {
+        for (const auto slot : boost.t_positions) {
             std::cout << ' ' << slot;
         }
         std::cout << '\n';
@@ -60,8 +65,8 @@ main(int argc, char** argv)
         std::cout << "No T insertion improved the objective at this bond"
                      " length (Clifford-only is already tight).\n";
     }
-    std::cout << "Branch count at k=" << kt.t_positions.size() << ": "
-              << (std::size_t{1} << kt.t_positions.size())
+    std::cout << "Branch count at k=" << boost.t_positions.size() << ": "
+              << (std::size_t{1} << boost.t_positions.size())
               << " Clifford branches per evaluation\n";
     return 0;
 }

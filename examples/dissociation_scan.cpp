@@ -14,8 +14,8 @@
 #include <string>
 
 #include "common/table.hpp"
-#include "core/cafqa_driver.hpp"
 #include "core/clifford_ansatz.hpp"
+#include "core/pipeline.hpp"
 #include "problems/molecule_factory.hpp"
 #include "statevector/lanczos.hpp"
 
@@ -46,14 +46,16 @@ main(int argc, char** argv)
                 (points - 1);
         const auto system =
             problems::make_molecular_system(molecule, bond);
-        const VqaObjective objective = problems::make_objective(system);
-        CafqaOptions options{.warmup = 150,
-                             .iterations = 200,
-                             .seed = 11 + static_cast<std::uint64_t>(i)};
-        options.seed_steps.push_back(efficient_su2_bitstring_steps(
+        PipelineConfig config;
+        config.ansatz = system.ansatz;
+        config.objective = problems::make_objective(system);
+        config.search = {.warmup = 150,
+                         .iterations = 200,
+                         .seed = 11 + static_cast<std::uint64_t>(i)};
+        config.search.seed_steps.push_back(efficient_su2_bitstring_steps(
             system.num_qubits, system.hf_bits));
-        const CafqaResult cafqa =
-            run_cafqa(system.ansatz, objective, options);
+        CafqaPipeline pipeline(std::move(config));
+        const CafqaResult& cafqa = pipeline.run_clifford_search();
         const GroundState exact =
             lanczos_ground_state(system.hamiltonian);
 

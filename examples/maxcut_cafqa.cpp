@@ -11,7 +11,7 @@
 #include <iostream>
 
 #include "circuit/efficient_su2.hpp"
-#include "core/cafqa_driver.hpp"
+#include "core/pipeline.hpp"
 #include "problems/maxcut.hpp"
 
 int
@@ -28,13 +28,14 @@ main(int argc, char** argv)
     std::cout << "MaxCut instance: " << problem.num_vertices
               << " vertices, " << problem.edges.size() << " edges\n";
 
-    VqaObjective objective;
-    objective.hamiltonian = problem.hamiltonian;
-    const Circuit ansatz = make_efficient_su2(problem.num_vertices);
+    PipelineConfig config;
+    config.objective.hamiltonian = problem.hamiltonian;
+    config.ansatz = make_efficient_su2(problem.num_vertices);
+    config.search = {.warmup = 250, .iterations = 500, .seed = 5,
+                     .stall_limit = 200};
 
-    const CafqaResult result = run_cafqa(
-        ansatz, objective,
-        {.warmup = 250, .iterations = 500, .seed = 5, .stall_limit = 200});
+    CafqaPipeline pipeline(std::move(config));
+    const CafqaResult& result = pipeline.run_clifford_search();
 
     const double cafqa_cut = -result.best_energy;
     const double optimal = problem.optimal_cut();

@@ -17,8 +17,8 @@
  */
 #include <iostream>
 
-#include "core/cafqa_driver.hpp"
 #include "core/clifford_ansatz.hpp"
+#include "core/pipeline.hpp"
 #include "problems/molecule_factory.hpp"
 #include "statevector/lanczos.hpp"
 
@@ -38,15 +38,19 @@ main()
               << "Ansatz parameters (each in {0, pi/2, pi, 3pi/2}): "
               << system.ansatz.num_params() << "\n\n";
 
-    // 2. The CAFQA search. The objective adds electron-count and S_z
-    //    penalties so the search stays in the neutral singlet sector.
-    const VqaObjective objective = problems::make_objective(system);
-    CafqaOptions options{.warmup = 150, .iterations = 200, .seed = 7};
+    // 2. The CAFQA search through the pipeline facade. The objective
+    //    adds electron-count and S_z penalties so the search stays in
+    //    the neutral singlet sector.
+    PipelineConfig config;
+    config.ansatz = system.ansatz;
+    config.objective = problems::make_objective(system);
+    config.search = {.warmup = 150, .iterations = 200, .seed = 7};
     // Prior-inject the Hartree-Fock point: it is itself a Clifford
     // state, so CAFQA is guaranteed to do at least as well as HF.
-    options.seed_steps.push_back(efficient_su2_bitstring_steps(
+    config.search.seed_steps.push_back(efficient_su2_bitstring_steps(
         system.num_qubits, system.hf_bits));
-    const CafqaResult result = run_cafqa(system.ansatz, objective, options);
+    CafqaPipeline pipeline(std::move(config));
+    const CafqaResult& result = pipeline.run_clifford_search();
 
     std::cout << "CAFQA best Clifford steps: ";
     for (const int s : result.best_steps) {

@@ -1,0 +1,113 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0) {
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+        workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+}
+
+void
+ThreadPool::worker_loop(std::size_t worker)
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        std::unique_lock lock(mutex_);
+        work_ready_.wait(lock, [&] {
+            return stopping_ || (job_ != nullptr &&
+                                 generation_ != seen_generation);
+        });
+        if (stopping_) {
+            return;
+        }
+        seen_generation = generation_;
+        const auto* job = job_;
+        ++active_workers_;
+        while (next_index_ < job_count_ && !first_error_) {
+            const std::size_t index = next_index_++;
+            lock.unlock();
+            try {
+                (*job)(worker, index);
+            } catch (...) {
+                lock.lock();
+                if (!first_error_) {
+                    first_error_ = std::current_exception();
+                }
+                break;
+            }
+            lock.lock();
+        }
+        --active_workers_;
+        if (active_workers_ == 0) {
+            work_done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t worker, std::size_t index)>& fn)
+{
+    if (count == 0) {
+        return;
+    }
+    // Single worker or single item: run inline, no synchronization.
+    if (workers_.size() == 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            fn(0, i);
+        }
+        return;
+    }
+    std::lock_guard caller_lock(caller_mutex_);
+    std::unique_lock lock(mutex_);
+    CAFQA_ASSERT(job_ == nullptr, "parallel_for re-entered from a job");
+    job_ = &fn;
+    job_count_ = count;
+    next_index_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+    work_ready_.notify_all();
+    work_done_.wait(lock, [&] {
+        return active_workers_ == 0 &&
+               (next_index_ >= job_count_ || first_error_);
+    });
+    job_ = nullptr;
+    if (first_error_) {
+        std::exception_ptr error = first_error_;
+        first_error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+ThreadPool&
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace cafqa

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool for fan-out over independent work items
+ * (batched candidate evaluation in the CAFQA warm-up phase, exhaustive
+ * Clifford enumeration). Workers are long-lived; `parallel_for` blocks
+ * the caller until every index has been processed.
+ */
+#ifndef CAFQA_COMMON_THREAD_POOL_HPP
+#define CAFQA_COMMON_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cafqa {
+
+/** Long-lived worker pool with an indexed parallel-for primitive. */
+class ThreadPool
+{
+  public:
+    /** @param threads  worker count; 0 picks the hardware concurrency. */
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of workers. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Run `fn(worker, index)` for every index in [0, count), distributing
+     * indices dynamically across the pool. `worker` is a stable id in
+     * [0, size()) so callers can keep per-worker scratch state (e.g. one
+     * backend clone per worker). Blocks until all indices are done; the
+     * first exception thrown by any invocation is rethrown here.
+     *
+     * Safe to call from several threads at once — concurrent jobs are
+     * serialized, one at a time (relevant for the shared() pool, which
+     * every default-configured search funnels through). Must not be
+     * called from inside a running job (deadlock).
+     */
+    void parallel_for(std::size_t count,
+                      const std::function<void(std::size_t worker,
+                                               std::size_t index)>& fn);
+
+    /** Process-wide default pool, sized to the hardware. */
+    static ThreadPool& shared();
+
+  private:
+    void worker_loop(std::size_t worker);
+
+    std::vector<std::thread> workers_;
+    /** Serializes concurrent parallel_for callers (held for the whole
+     *  job). */
+    std::mutex caller_mutex_;
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable work_done_;
+
+    // Current job state (all guarded by mutex_).
+    const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+    std::size_t job_count_ = 0;
+    std::size_t next_index_ = 0;
+    std::size_t active_workers_ = 0;
+    std::uint64_t generation_ = 0;
+    std::exception_ptr first_error_;
+    bool stopping_ = false;
+};
+
+} // namespace cafqa
+
+#endif // CAFQA_COMMON_THREAD_POOL_HPP

@@ -1,0 +1,132 @@
+#include "core/backend_registry.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "core/evaluator.hpp"
+#include "core/sampled_evaluator.hpp"
+
+namespace cafqa {
+
+namespace {
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, BackendFactory> factories;
+};
+
+/** The process-wide registry, with the built-in kinds pre-registered.
+ *  Function-local static so registration order is independent of
+ *  translation-unit initialization order. */
+Registry&
+registry()
+{
+    static Registry instance;
+    static const bool built_ins_registered = [] {
+        auto& factories = instance.factories;
+        factories["clifford"] = [](const BackendConfig& config) {
+            return std::make_unique<CliffordEvaluator>(config.ansatz);
+        };
+        factories["clifford_t"] = [](const BackendConfig& config) {
+            return std::make_unique<CliffordTEvaluator>(config.ansatz);
+        };
+        factories["statevector"] = [](const BackendConfig& config) {
+            return std::make_unique<IdealEvaluator>(config.ansatz);
+        };
+        factories["density"] = [](const BackendConfig& config) {
+            return std::make_unique<NoisyEvaluator>(config.ansatz,
+                                                    config.noise);
+        };
+        factories["sampled"] = [](const BackendConfig& config) {
+            return std::make_unique<SampledEvaluator>(
+                config.ansatz, config.shots, config.seed);
+        };
+        return true;
+    }();
+    (void)built_ins_registered;
+    return instance;
+}
+
+} // namespace
+
+void
+register_backend(const std::string& kind, BackendFactory factory)
+{
+    CAFQA_REQUIRE(!kind.empty(), "backend kind must be non-empty");
+    CAFQA_REQUIRE(factory != nullptr, "backend factory must be callable");
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    r.factories[kind] = std::move(factory);
+}
+
+bool
+backend_registered(const std::string& kind)
+{
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    return r.factories.count(kind) != 0;
+}
+
+std::vector<std::string>
+registered_backends()
+{
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    std::vector<std::string> kinds;
+    kinds.reserve(r.factories.size());
+    for (const auto& [kind, factory] : r.factories) {
+        kinds.push_back(kind);
+    }
+    return kinds;
+}
+
+std::unique_ptr<Backend>
+make_backend(const BackendConfig& config)
+{
+    BackendFactory factory;
+    {
+        Registry& r = registry();
+        std::lock_guard lock(r.mutex);
+        const auto it = r.factories.find(config.kind);
+        if (it == r.factories.end()) {
+            std::string all;
+            for (const auto& [kind, unused] : r.factories) {
+                all += all.empty() ? kind : ", " + kind;
+            }
+            CAFQA_REQUIRE(false, "unknown backend kind \"" + config.kind +
+                                     "\" (registered: " + all + ")");
+        }
+        factory = it->second;
+    }
+    std::unique_ptr<Backend> backend = factory(config);
+    CAFQA_ASSERT(backend != nullptr, "backend factory returned null");
+    return backend;
+}
+
+std::unique_ptr<DiscreteBackend>
+make_discrete_backend(const BackendConfig& config)
+{
+    std::unique_ptr<Backend> backend = make_backend(config);
+    auto* discrete = dynamic_cast<DiscreteBackend*>(backend.get());
+    CAFQA_REQUIRE(discrete != nullptr,
+                  "backend kind \"" + config.kind +
+                      "\" is not a discrete (quarter-turn) backend");
+    backend.release();
+    return std::unique_ptr<DiscreteBackend>(discrete);
+}
+
+std::unique_ptr<ContinuousBackend>
+make_continuous_backend(const BackendConfig& config)
+{
+    std::unique_ptr<Backend> backend = make_backend(config);
+    auto* continuous = dynamic_cast<ContinuousBackend*>(backend.get());
+    CAFQA_REQUIRE(continuous != nullptr,
+                  "backend kind \"" + config.kind +
+                      "\" is not a continuous-parameter backend");
+    backend.release();
+    return std::unique_ptr<ContinuousBackend>(continuous);
+}
+
+} // namespace cafqa

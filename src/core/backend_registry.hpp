@@ -1,0 +1,76 @@
+/**
+ * @file
+ * String-keyed backend registry and factory: construct any evaluation
+ * backend from a `BackendConfig` without naming its concrete type.
+ *
+ * Built-in kinds:
+ *
+ * | key           | class              | domain     | extra config    |
+ * |---------------|--------------------|------------|-----------------|
+ * | "clifford"    | CliffordEvaluator  | discrete   | -               |
+ * | "clifford_t"  | CliffordTEvaluator | discrete   | -               |
+ * | "statevector" | IdealEvaluator     | continuous | -               |
+ * | "density"     | NoisyEvaluator     | continuous | noise           |
+ * | "sampled"     | SampledEvaluator   | continuous | shots, seed     |
+ *
+ * Additional kinds (remote executors, cached/sharded wrappers, ...) can
+ * be registered at runtime with `register_backend`; `CafqaPipeline` and
+ * the CLI resolve backends exclusively through this factory, so a new
+ * kind is immediately usable everywhere.
+ */
+#ifndef CAFQA_CORE_BACKEND_REGISTRY_HPP
+#define CAFQA_CORE_BACKEND_REGISTRY_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "core/backend.hpp"
+#include "density/noise_model.hpp"
+
+namespace cafqa {
+
+/** Everything a backend factory may need; unused fields are ignored. */
+struct BackendConfig
+{
+    /** Registry key selecting the backend kind. */
+    std::string kind = "statevector";
+    /** The ansatz circuit the backend prepares. */
+    Circuit ansatz;
+    /** Gate noise model ("density" only). */
+    NoiseModel noise;
+    /** Measurement shots per commuting group ("sampled" only). */
+    std::size_t shots = 4096;
+    /** Sampling RNG seed ("sampled" only). */
+    std::uint64_t seed = 1234;
+};
+
+/** Factory signature stored in the registry. */
+using BackendFactory =
+    std::function<std::unique_ptr<Backend>(const BackendConfig&)>;
+
+/** Register (or replace) a factory under `kind`. */
+void register_backend(const std::string& kind, BackendFactory factory);
+
+/** True if `kind` is registered. */
+bool backend_registered(const std::string& kind);
+
+/** Sorted list of registered kinds. */
+std::vector<std::string> registered_backends();
+
+/** Construct a backend; throws std::invalid_argument on unknown kind. */
+std::unique_ptr<Backend> make_backend(const BackendConfig& config);
+
+/** make_backend + checked downcast to the discrete interface. */
+std::unique_ptr<DiscreteBackend>
+make_discrete_backend(const BackendConfig& config);
+
+/** make_backend + checked downcast to the continuous interface. */
+std::unique_ptr<ContinuousBackend>
+make_continuous_backend(const BackendConfig& config);
+
+} // namespace cafqa
+
+#endif // CAFQA_CORE_BACKEND_REGISTRY_HPP

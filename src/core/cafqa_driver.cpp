@@ -1,7 +1,12 @@
 #include "core/cafqa_driver.hpp"
 
+#include <memory>
+
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "core/clifford_ansatz.hpp"
+#include "core/evaluator.hpp"
+#include "core/pipeline.hpp"
 
 namespace cafqa {
 
@@ -10,38 +15,12 @@ run_cafqa(const Circuit& ansatz, const VqaObjective& objective,
           const CafqaOptions& options)
 {
     require_clifford_ansatz(ansatz);
-    CAFQA_REQUIRE(objective.hamiltonian.num_qubits() == ansatz.num_qubits(),
-                  "Hamiltonian and ansatz qubit counts differ");
-
-    CliffordEvaluator evaluator(ansatz);
-    auto objective_fn = [&](const std::vector<int>& steps) {
-        evaluator.prepare(steps);
-        return objective.evaluate(evaluator);
-    };
-
-    BayesOptOptions bayes = options.bayes;
-    bayes.warmup = options.warmup;
-    bayes.iterations = options.iterations;
-    bayes.seed = options.seed;
-    bayes.stall_limit = options.stall_limit;
-    bayes.seed_configs.insert(bayes.seed_configs.end(),
-                              options.seed_steps.begin(),
-                              options.seed_steps.end());
-
-    const BayesOptResult search = bayes_opt_minimize(
-        objective_fn, clifford_search_space(ansatz), bayes);
-
-    CafqaResult result;
-    result.best_steps = search.best_config;
-    result.best_objective = search.best_value;
-    result.history = search.history;
-    result.best_trace = search.best_trace;
-    result.evaluations_to_best = search.evaluations_to_best;
-    result.num_parameters = ansatz.num_params();
-
-    evaluator.prepare(result.best_steps);
-    result.best_energy = objective.energy(evaluator);
-    return result;
+    PipelineConfig config;
+    config.ansatz = ansatz;
+    config.objective = objective;
+    config.search = options;
+    CafqaPipeline pipeline(std::move(config));
+    return pipeline.run_clifford_search();
 }
 
 CafqaResult
@@ -52,127 +31,104 @@ exhaustive_clifford_search(const Circuit& ansatz,
     const std::size_t num_params = ansatz.num_params();
     CAFQA_REQUIRE(num_params <= 12,
                   "exhaustive search limited to 12 parameters (4^12)");
+    CAFQA_REQUIRE(objective.hamiltonian.num_qubits() == ansatz.num_qubits(),
+                  "Hamiltonian and ansatz qubit counts differ");
 
-    CliffordEvaluator evaluator(ansatz);
+    const CliffordEvaluator prototype(ansatz);
+    const std::vector<PauliSum> observables = objective.gather_observables();
+    const std::uint64_t limit = std::uint64_t{1} << (2 * num_params);
+
+    const auto decode = [num_params](std::uint64_t code,
+                                     std::vector<int>& steps) {
+        for (std::size_t i = 0; i < num_params; ++i) {
+            steps[i] = static_cast<int>(code & 3);
+            code >>= 2;
+        }
+    };
+
+    // Fan the ascending code scan out in contiguous chunks; each worker
+    // keeps its own backend clone and chunk-local minimum, and the merge
+    // prefers lower codes on ties, so the result is identical to the
+    // serial scan (first code achieving the minimum wins).
+    ThreadPool& pool = ThreadPool::shared();
+    const std::uint64_t chunk_count = std::min<std::uint64_t>(
+        limit, static_cast<std::uint64_t>(pool.size()) * 8);
+    const std::uint64_t chunk_size =
+        (limit + chunk_count - 1) / chunk_count;
+
+    struct ChunkBest
+    {
+        double value = 0.0;
+        std::uint64_t code = 0;
+        bool valid = false;
+    };
+    std::vector<ChunkBest> chunk_best(chunk_count);
+    std::vector<std::unique_ptr<DiscreteBackend>> clones(pool.size());
+
+    pool.parallel_for(
+        chunk_count, [&](std::size_t worker, std::size_t chunk) {
+            auto& backend = clones[worker];
+            if (!backend) {
+                backend = prototype.clone_discrete();
+            }
+            const std::uint64_t lo = chunk * chunk_size;
+            const std::uint64_t hi =
+                std::min<std::uint64_t>(lo + chunk_size, limit);
+            std::vector<int> steps(num_params, 0);
+            ChunkBest best;
+            for (std::uint64_t code = lo; code < hi; ++code) {
+                decode(code, steps);
+                backend->prepare(steps);
+                const double value =
+                    objective.combine(backend->expectations(observables));
+                if (!best.valid || value < best.value) {
+                    best.value = value;
+                    best.code = code;
+                    best.valid = true;
+                }
+            }
+            chunk_best[chunk] = best;
+        });
+
     CafqaResult result;
     result.num_parameters = num_params;
-
-    std::vector<int> steps(num_params, 0);
-    const std::uint64_t limit = std::uint64_t{1} << (2 * num_params);
-    for (std::uint64_t code = 0; code < limit; ++code) {
-        std::uint64_t rest = code;
-        for (std::size_t i = 0; i < num_params; ++i) {
-            steps[i] = static_cast<int>(rest & 3);
-            rest >>= 2;
+    ChunkBest overall;
+    for (const ChunkBest& candidate : chunk_best) {
+        if (!candidate.valid) {
+            continue;
         }
-        evaluator.prepare(steps);
-        const double value = objective.evaluate(evaluator);
-        if (code == 0 || value < result.best_objective) {
-            result.best_objective = value;
-            result.best_steps = steps;
-            result.evaluations_to_best = code + 1;
+        if (!overall.valid || candidate.value < overall.value) {
+            overall = candidate;
         }
     }
+    CAFQA_ASSERT(overall.valid, "exhaustive search evaluated nothing");
+
+    result.best_objective = overall.value;
+    result.evaluations_to_best = overall.code + 1;
+    result.best_steps.assign(num_params, 0);
+    decode(overall.code, result.best_steps);
+
+    CliffordEvaluator evaluator(ansatz);
     evaluator.prepare(result.best_steps);
     result.best_energy = objective.energy(evaluator);
     return result;
 }
 
-namespace {
-
-/** Insert a T gate immediately after the rotation with parameter slot
- *  `slot`. */
-Circuit
-with_t_after_slot(const Circuit& ansatz, std::size_t slot)
-{
-    Circuit out(ansatz.num_qubits());
-    for (const auto& op : ansatz.ops()) {
-        out.mutable_ops().push_back(op);
-        if (is_rotation(op.kind) && op.param >= 0 &&
-            static_cast<std::size_t>(op.param) == slot) {
-            out.mutable_ops().push_back(
-                GateOp{GateKind::T, op.q0, 0, -1, 0.0});
-        }
-    }
-    return out;
-}
-
-/** Short Clifford-parameter search over a Clifford+T circuit using the
- *  exact branch evaluator. */
-std::pair<std::vector<int>, double>
-search_with_t(const Circuit& circuit_with_t, const VqaObjective& objective,
-              std::size_t num_params, const CafqaOptions& options,
-              const std::vector<int>& seed_steps)
-{
-    CliffordTEvaluator evaluator(circuit_with_t);
-    auto objective_fn = [&](const std::vector<int>& steps) {
-        evaluator.prepare(steps);
-        return objective.evaluate(evaluator);
-    };
-
-    BayesOptOptions bayes = options.bayes;
-    // T placement rounds use a reduced budget (the paper limits this
-    // exploration to "under 10 T gates" with careful cost control).
-    bayes.warmup = std::max<std::size_t>(options.warmup / 4, 16);
-    bayes.iterations = std::max<std::size_t>(options.iterations / 4, 32);
-    bayes.seed = options.seed + 101;
-    // Prior-inject the incumbent Clifford assignment so a T insertion
-    // can only be accepted when it genuinely improves on it.
-    bayes.seed_configs = {seed_steps};
-
-    DiscreteSpace space;
-    space.cardinalities.assign(num_params, 4);
-
-    const BayesOptResult search =
-        bayes_opt_minimize(objective_fn, space, bayes);
-    return {search.best_config, search.best_value};
-}
-
-} // namespace
-
 CafqaKtResult
 run_cafqa_kt(const Circuit& ansatz, const VqaObjective& objective,
              std::size_t max_t_gates, const CafqaOptions& options)
 {
+    require_clifford_ansatz(ansatz);
+    PipelineConfig config;
+    config.ansatz = ansatz;
+    config.objective = objective;
+    config.search = options;
+    CafqaPipeline pipeline(std::move(config));
+    pipeline.run_t_boost(max_t_gates);
+
     CafqaKtResult result;
-    result.base = run_cafqa(ansatz, objective, options);
-    result.best_steps = result.base.best_steps;
-    result.best_energy = result.base.best_energy;
-    double best_objective = result.base.best_objective;
-
-    Circuit current = ansatz;
-    for (std::size_t round = 0; round < max_t_gates; ++round) {
-        bool improved = false;
-        Circuit best_circuit = current;
-        std::vector<int> best_steps = result.best_steps;
-        double round_best = best_objective;
-        std::size_t best_slot = 0;
-
-        for (std::size_t slot = 0; slot < ansatz.num_params(); ++slot) {
-            const Circuit candidate = with_t_after_slot(current, slot);
-            const auto [steps, value] =
-                search_with_t(candidate, objective, ansatz.num_params(),
-                              options, result.best_steps);
-            if (value < round_best - 1e-10) {
-                round_best = value;
-                best_circuit = candidate;
-                best_steps = steps;
-                best_slot = slot;
-                improved = true;
-            }
-        }
-        if (!improved) {
-            break; // no single T insertion helps further
-        }
-        result.t_positions.push_back(best_slot);
-        current = best_circuit;
-        result.best_steps = best_steps;
-        best_objective = round_best;
-
-        CliffordTEvaluator evaluator(current);
-        evaluator.prepare(result.best_steps);
-        result.best_energy = objective.energy(evaluator);
-    }
+    result.base = pipeline.clifford_result();
+    result.boost = pipeline.t_boost_result();
     return result;
 }
 

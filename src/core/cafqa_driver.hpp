@@ -1,14 +1,20 @@
 /**
  * @file
- * The CAFQA search driver (paper Section 3, red box of Fig. 4): Bayesian
- * optimization over the discrete Clifford parameter space, with every
- * candidate evaluated exactly and noise-free by the stabilizer simulator.
+ * CAFQA search result/option types and the legacy free-function entry
+ * points (paper Section 3, red box of Fig. 4): Bayesian optimization
+ * over the discrete Clifford parameter space, with every candidate
+ * evaluated exactly and noise-free by the stabilizer simulator.
+ *
+ * The free functions below are thin deprecated shims over the
+ * `CafqaPipeline` facade (`core/pipeline.hpp`), kept so existing call
+ * sites keep working; new code should drive the pipeline directly (it
+ * adds stage observers, backend selection through the registry, and
+ * thread-pool batched candidate evaluation).
  */
 #ifndef CAFQA_CORE_CAFQA_DRIVER_HPP
 #define CAFQA_CORE_CAFQA_DRIVER_HPP
 
 #include "circuit/circuit.hpp"
-#include "core/evaluator.hpp"
 #include "core/objective.hpp"
 #include "opt/bayes_opt.hpp"
 
@@ -52,14 +58,54 @@ struct CafqaResult
     std::size_t num_parameters = 0;
 };
 
-/** Run the CAFQA Clifford search for an objective over an ansatz. */
+/**
+ * Outcome of the greedy Clifford + kT boost stage (paper Section 8 /
+ * Fig. 16). When no T insertion improves the objective, `t_positions`
+ * is empty and the fields echo the Clifford-stage optimum over the
+ * unmodified ansatz.
+ */
+struct TBoostResult
+{
+    /** Rotation-slot indices where T gates were inserted, in acceptance
+     *  order. */
+    std::vector<std::size_t> t_positions;
+    /** Best quarter-turn assignment over `circuit`. */
+    std::vector<int> best_steps;
+    /** Bare Hamiltonian expectation at the best steps. */
+    double best_energy = 0.0;
+    /** Objective (energy + penalties) at the best steps. */
+    double best_objective = 0.0;
+    /** The ansatz with the accepted T gates inserted. */
+    Circuit circuit;
+};
+
+/**
+ * Combined result of the legacy `run_cafqa_kt` shim: the Clifford-only
+ * stage plus the T-boost stage. (The boost fields used to be duplicated
+ * at the top level; they now live only in `boost`.)
+ */
+struct CafqaKtResult
+{
+    /** Clifford-only stage outcome. */
+    CafqaResult base;
+    /** T-boost stage outcome (echoes the base point when empty). */
+    TBoostResult boost;
+};
+
+/**
+ * Run the CAFQA Clifford search for an objective over an ansatz.
+ * Deprecated shim over `CafqaPipeline::run_clifford_search`.
+ */
 CafqaResult run_cafqa(const Circuit& ansatz, const VqaObjective& objective,
                       const CafqaOptions& options = {});
 
 /**
  * Exhaustive enumeration of the 4^num_params Clifford space — tractable
  * for small ansatze (<= 12 parameters) and used to certify that the
- * Bayesian search found the true Clifford optimum.
+ * Bayesian search found the true Clifford optimum. Fanned out across
+ * the shared thread pool with per-worker backend clones; the result is
+ * identical to a serial ascending scan (first code achieving the
+ * minimum wins).
  */
 CafqaResult exhaustive_clifford_search(const Circuit& ansatz,
                                        const VqaObjective& objective);
@@ -69,17 +115,8 @@ CafqaResult exhaustive_clifford_search(const Circuit& ansatz,
  * insert up to `max_t_gates` T gates after rotation slots, re-running a
  * (shorter) Clifford-parameter search for each accepted insertion. Each
  * candidate is evaluated with the exact branch decomposition.
+ * Deprecated shim over `CafqaPipeline::run_t_boost`.
  */
-struct CafqaKtResult
-{
-    CafqaResult base;
-    /** Rotation-slot indices where T gates were inserted. */
-    std::vector<std::size_t> t_positions;
-    /** Final energy with the accepted T gates. */
-    double best_energy = 0.0;
-    std::vector<int> best_steps;
-};
-
 CafqaKtResult run_cafqa_kt(const Circuit& ansatz,
                            const VqaObjective& objective,
                            std::size_t max_t_gates,

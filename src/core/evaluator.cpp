@@ -37,6 +37,12 @@ CliffordEvaluator::expectation(const PauliString& pauli) const
     return simulator_->expectation(pauli);
 }
 
+std::unique_ptr<Backend>
+CliffordEvaluator::clone() const
+{
+    return std::make_unique<CliffordEvaluator>(*this);
+}
+
 // ------------------------------------------------------------------- Ideal
 
 IdealEvaluator::IdealEvaluator(Circuit ansatz) : ansatz_(std::move(ansatz)) {}
@@ -62,6 +68,12 @@ IdealEvaluator::state() const
     return *state_;
 }
 
+std::unique_ptr<Backend>
+IdealEvaluator::clone() const
+{
+    return std::make_unique<IdealEvaluator>(*this);
+}
+
 // ------------------------------------------------------------------- Noisy
 
 NoisyEvaluator::NoisyEvaluator(Circuit ansatz, NoiseModel noise)
@@ -79,6 +91,12 @@ NoisyEvaluator::expectation(const PauliSum& op) const
 {
     CAFQA_REQUIRE(rho_.has_value(), "prepare() has not been called");
     return rho_->expectation(op);
+}
+
+std::unique_ptr<Backend>
+NoisyEvaluator::clone() const
+{
+    return std::make_unique<NoisyEvaluator>(*this);
 }
 
 // ------------------------------------------------------------- Clifford+kT
@@ -159,6 +177,12 @@ CliffordTEvaluator::expectation(const PauliSum& op) const
 {
     CAFQA_REQUIRE(state_.has_value(), "prepare() has not been called");
     return state_->expectation(op);
+}
+
+std::unique_ptr<Backend>
+CliffordTEvaluator::clone() const
+{
+    return std::make_unique<CliffordTEvaluator>(*this);
 }
 
 } // namespace cafqa

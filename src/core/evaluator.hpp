@@ -1,17 +1,24 @@
 /**
  * @file
- * State-preparation backends behind a common interface: prepare the
- * ansatz state for a parameter assignment, then evaluate expectation
- * values of any number of observables (Hamiltonian + constraint
- * operators) on the prepared state.
+ * Concrete state-preparation backends behind the common `Backend`
+ * interface (`core/backend.hpp`): prepare the ansatz state for a
+ * parameter assignment, then evaluate expectation values of any number
+ * of observables (Hamiltonian + constraint operators) on the prepared
+ * state.
  *
- * - CliffordEvaluator: exact polynomial-time stabilizer evaluation,
- *   CAFQA's classical search backend (integer quarter-turn parameters).
- * - IdealEvaluator: dense statevector, the "ideal machine".
- * - NoisyEvaluator: density matrix with a gate noise model, the "noisy
+ * - CliffordEvaluator ("clifford"): exact polynomial-time stabilizer
+ *   evaluation, CAFQA's classical search backend (integer quarter-turn
+ *   parameters).
+ * - IdealEvaluator ("statevector"): dense statevector, the "ideal
  *   machine".
- * - CliffordTEvaluator: Clifford + k T-gate circuits via the exact
- *   branch decomposition T = alpha I + beta S (Section 8).
+ * - NoisyEvaluator ("density"): density matrix with a gate noise model,
+ *   the "noisy machine".
+ * - CliffordTEvaluator ("clifford_t"): Clifford + k T-gate circuits via
+ *   the exact branch decomposition T = alpha I + beta S (Section 8).
+ *
+ * The finite-shot backend ("sampled") lives in
+ * `core/sampled_evaluator.hpp`. All five are constructible by string
+ * key through `make_backend` (`core/backend_registry.hpp`).
  */
 #ifndef CAFQA_CORE_EVALUATOR_HPP
 #define CAFQA_CORE_EVALUATOR_HPP
@@ -21,6 +28,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "core/backend.hpp"
 #include "density/noise_model.hpp"
 #include "pauli/pauli_sum.hpp"
 #include "stabilizer/stabilizer_simulator.hpp"
@@ -28,29 +36,24 @@
 
 namespace cafqa {
 
-/** Common interface: prepare with continuous params, then measure. */
-class ExpectationBackend
-{
-  public:
-    virtual ~ExpectationBackend() = default;
-    /** Prepare the ansatz state for a parameter vector. */
-    virtual void prepare(const std::vector<double>& params) = 0;
-    /** Expectation of a Hermitian operator on the prepared state. */
-    virtual double expectation(const PauliSum& op) const = 0;
-};
-
 /** Exact stabilizer backend over integer quarter-turn parameters. */
-class CliffordEvaluator
+class CliffordEvaluator final : public DiscreteBackend
 {
   public:
     explicit CliffordEvaluator(Circuit ansatz);
 
-    /** Rebuild the tableau for a step assignment. */
-    void prepare(const std::vector<int>& steps);
+    std::string_view kind() const override { return "clifford"; }
+    std::size_t num_qubits() const override { return ansatz_.num_qubits(); }
+    std::size_t num_params() const override { return ansatz_.num_params(); }
 
-    double expectation(const PauliSum& op) const;
+    /** Rebuild the tableau for a step assignment. */
+    void prepare(const std::vector<int>& steps) override;
+
+    double expectation(const PauliSum& op) const override;
     /** Single Pauli term: exactly -1, 0 or +1. */
     int expectation(const PauliString& pauli) const;
+
+    std::unique_ptr<Backend> clone() const override;
 
     const Circuit& ansatz() const { return ansatz_; }
 
@@ -60,12 +63,19 @@ class CliffordEvaluator
 };
 
 /** Noise-free statevector backend. */
-class IdealEvaluator : public ExpectationBackend
+class IdealEvaluator final : public ContinuousBackend
 {
   public:
     explicit IdealEvaluator(Circuit ansatz);
+
+    std::string_view kind() const override { return "statevector"; }
+    std::size_t num_qubits() const override { return ansatz_.num_qubits(); }
+    std::size_t num_params() const override { return ansatz_.num_params(); }
+
     void prepare(const std::vector<double>& params) override;
     double expectation(const PauliSum& op) const override;
+    std::unique_ptr<Backend> clone() const override;
+
     const Statevector& state() const;
 
   private:
@@ -74,12 +84,20 @@ class IdealEvaluator : public ExpectationBackend
 };
 
 /** Density-matrix backend with gate noise. */
-class NoisyEvaluator : public ExpectationBackend
+class NoisyEvaluator final : public ContinuousBackend
 {
   public:
     NoisyEvaluator(Circuit ansatz, NoiseModel noise);
+
+    std::string_view kind() const override { return "density"; }
+    std::size_t num_qubits() const override { return ansatz_.num_qubits(); }
+    std::size_t num_params() const override { return ansatz_.num_params(); }
+
     void prepare(const std::vector<double>& params) override;
     double expectation(const PauliSum& op) const override;
+    std::unique_ptr<Backend> clone() const override;
+
+    const NoiseModel& noise() const { return noise_; }
 
   private:
     Circuit ansatz_;
@@ -92,16 +110,27 @@ class NoisyEvaluator : public ExpectationBackend
  * branches using T = alpha I + beta S and sums the branch statevectors.
  * Rotation parameters remain integer quarter-turns.
  */
-class CliffordTEvaluator
+class CliffordTEvaluator final : public DiscreteBackend
 {
   public:
     explicit CliffordTEvaluator(Circuit ansatz_with_t);
 
+    std::string_view kind() const override { return "clifford_t"; }
+    std::size_t num_qubits() const override
+    {
+        return original_.num_qubits();
+    }
+    std::size_t num_params() const override
+    {
+        return original_.num_params();
+    }
+
     std::size_t num_t_gates() const { return num_t_; }
     std::size_t num_branches() const { return branches_.size(); }
 
-    void prepare(const std::vector<int>& steps);
-    double expectation(const PauliSum& op) const;
+    void prepare(const std::vector<int>& steps) override;
+    double expectation(const PauliSum& op) const override;
+    std::unique_ptr<Backend> clone() const override;
 
   private:
     struct Branch

@@ -1,5 +1,7 @@
 #include "core/objective.hpp"
 
+#include "common/error.hpp"
+
 namespace cafqa {
 
 void
@@ -14,6 +16,40 @@ void
 VqaObjective::add_sz_constraint(PauliSum sz_op, double sz, double weight)
 {
     penalties.push_back(ConstraintPenalty{std::move(sz_op), sz, weight});
+}
+
+std::vector<PauliSum>
+VqaObjective::gather_observables() const
+{
+    std::vector<PauliSum> observables;
+    observables.reserve(1 + penalties.size());
+    observables.push_back(hamiltonian);
+    for (const auto& penalty : penalties) {
+        observables.push_back(penalty.op);
+    }
+    return observables;
+}
+
+double
+VqaObjective::combine(std::span<const double> expectation_values) const
+{
+    CAFQA_REQUIRE(expectation_values.size() == 1 + penalties.size(),
+                  "expectation value count does not match the "
+                  "observable list");
+    double value = expectation_values[0];
+    for (std::size_t p = 0; p < penalties.size(); ++p) {
+        const double miss =
+            expectation_values[p + 1] - penalties[p].target;
+        value += penalties[p].weight * miss * miss;
+    }
+    return value;
+}
+
+double
+VqaObjective::evaluate_prepared(const Backend& backend) const
+{
+    const std::vector<PauliSum> observables = gather_observables();
+    return combine(backend.expectations(observables));
 }
 
 } // namespace cafqa

@@ -8,8 +8,10 @@
 #ifndef CAFQA_CORE_OBJECTIVE_HPP
 #define CAFQA_CORE_OBJECTIVE_HPP
 
+#include <span>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "pauli/pauli_sum.hpp"
 
 namespace cafqa {
@@ -35,12 +37,32 @@ struct VqaObjective
     void add_sz_constraint(PauliSum sz_op, double sz, double weight = 2.0);
 
     /**
+     * The observable list of the batched evaluation path: the
+     * Hamiltonian followed by every penalty operator, contiguous so it
+     * can be handed to `Backend::expectations` as one span. Gather once
+     * per search, not per evaluation.
+     */
+    std::vector<PauliSum> gather_observables() const;
+
+    /**
+     * Fold raw expectation values (in `gather_observables` order) into
+     * the objective: energy + quadratic penalty terms.
+     */
+    double combine(std::span<const double> expectation_values) const;
+
+    /**
+     * Evaluate on a prepared polymorphic backend through the batched
+     * `expectations` surface (one state, all observables).
+     */
+    double evaluate_prepared(const Backend& backend) const;
+
+    /**
      * Evaluate on any prepared backend exposing
      * `double expectation(const PauliSum&)`.
      */
-    template <typename Backend>
+    template <typename BackendT>
     double
-    evaluate(const Backend& backend) const
+    evaluate(const BackendT& backend) const
     {
         double value = backend.expectation(hamiltonian);
         for (const auto& penalty : penalties) {
@@ -52,9 +74,9 @@ struct VqaObjective
     }
 
     /** The bare energy (no penalties) on a prepared backend. */
-    template <typename Backend>
+    template <typename BackendT>
     double
-    energy(const Backend& backend) const
+    energy(const BackendT& backend) const
     {
         return backend.expectation(hamiltonian);
     }

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The CAFQA pipeline facade — the paper's full Fig. 4 flow behind one
+ * object:
+ *
+ *   PipelineConfig config{.ansatz = ..., .objective = ...};
+ *   CafqaPipeline pipeline(std::move(config));
+ *   pipeline.run_clifford_search();        // discrete stabilizer stage
+ *   pipeline.run_t_boost(2);               // optional Clifford + kT
+ *   pipeline.run_vqa_tune();               // continuous SPSA stage
+ *
+ * Each stage consumes the best initialization produced so far; stages
+ * are idempotent (a second call returns the cached result). Every
+ * backend is resolved through the string-keyed registry
+ * (`core/backend_registry.hpp`), and candidate evaluation in the
+ * warm-up phase is batched across a thread pool with per-worker backend
+ * clones. Observers receive begin/progress/end events per stage, which
+ * is how the bench harness collects its traces.
+ */
+#ifndef CAFQA_CORE_PIPELINE_HPP
+#define CAFQA_CORE_PIPELINE_HPP
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "common/thread_pool.hpp"
+#include "core/backend_registry.hpp"
+#include "core/cafqa_driver.hpp"
+#include "core/objective.hpp"
+#include "core/vqa_tuner.hpp"
+
+namespace cafqa {
+
+/** One observer notification. */
+struct PipelineEvent
+{
+    enum class Kind {
+        /** A stage started. */
+        StageBegin,
+        /** One objective evaluation completed (`evaluation`,
+         *  `best_value` filled). */
+        Progress,
+        /** A stage finished (`best_value` holds its final best). */
+        StageEnd,
+    };
+
+    Kind event = Kind::Progress;
+    /** "clifford_search", "t_boost" or "vqa_tune". */
+    std::string_view stage;
+    /** 1-based evaluation count within the stage (Progress only). */
+    std::size_t evaluation = 0;
+    /** Best objective value seen so far in the stage. */
+    double best_value = 0.0;
+};
+
+/** Observer callback; invoked synchronously from the running stage. */
+using PipelineObserver = std::function<void(const PipelineEvent&)>;
+
+/** Everything the pipeline needs up front. */
+struct PipelineConfig
+{
+    /** The parameterized (Clifford) ansatz circuit. */
+    Circuit ansatz;
+    /** Hamiltonian + constraint penalties. */
+    VqaObjective objective;
+    /** Discrete-search budget (warm-up, iterations, seeds, ...). */
+    CafqaOptions search;
+    /** Continuous-stage controls (SPSA budget, noise, backend kind). */
+    VqaTunerOptions tuner;
+    /** Worker threads for batched candidate evaluation; 0 uses the
+     *  process-wide shared pool (sized to the hardware). */
+    std::size_t threads = 0;
+    /** Registry kind of the discrete search backend. */
+    std::string search_backend = "clifford";
+};
+
+/**
+ * Facade over the three CAFQA stages. Construct once per problem; run
+ * the stages in order (later stages auto-run the Clifford search if it
+ * has not happened yet).
+ */
+class CafqaPipeline
+{
+  public:
+    explicit CafqaPipeline(PipelineConfig config);
+    ~CafqaPipeline();
+
+    CafqaPipeline(const CafqaPipeline&) = delete;
+    CafqaPipeline& operator=(const CafqaPipeline&) = delete;
+
+    /** Install (or clear) the stage observer. */
+    void set_observer(PipelineObserver observer);
+
+    /**
+     * Stage 1 (red box of Fig. 4): Bayesian optimization over the
+     * discrete Clifford space, warm-up fanned out across the thread
+     * pool. Idempotent.
+     */
+    const CafqaResult& run_clifford_search();
+
+    /**
+     * Optional stage 1b (Section 8): greedily insert up to
+     * `max_t_gates` T gates, re-searching Clifford parameters with the
+     * exact branch backend per candidate slot. Runs stage 1 first if
+     * needed. Idempotent (the first call's `max_t_gates` wins).
+     */
+    const TBoostResult& run_t_boost(std::size_t max_t_gates);
+
+    /**
+     * Stage 2 (blue box of Fig. 4): continuous SPSA tuning on the
+     * backend selected by the tuner options, starting from the best
+     * initialization produced by the earlier stages (runs stage 1 first
+     * if needed). Idempotent.
+     */
+    const VqaTuneResult& run_vqa_tune();
+
+    /** Stage 2 from an explicit initialization (no discrete stage
+     *  required); tunes over the current best circuit. Unlike the
+     *  no-argument overload this is NOT idempotent: a second call
+     *  throws rather than silently ignoring the new initialization —
+     *  use one pipeline per initialization to compare starts. */
+    const VqaTuneResult& run_vqa_tune(const std::vector<double>& initial);
+
+    // ---- Current best across the stages run so far. ----
+
+    /** Quarter-turn assignment of the best discrete point found. */
+    const std::vector<int>& best_steps() const;
+    /** Bare Hamiltonian energy at the best discrete point. */
+    double best_energy() const;
+    /** The circuit the best discrete point lives on (the ansatz, or the
+     *  T-boosted circuit once a T gate was accepted). */
+    const Circuit& best_circuit() const;
+    /** Radian parameters equivalent to `best_steps()` — the VQA
+     *  initialization. */
+    std::vector<double> initial_params() const;
+
+    // ---- Per-stage results (throw if the stage has not run). ----
+
+    bool clifford_search_done() const { return clifford_.has_value(); }
+    bool t_boost_done() const { return boost_.has_value(); }
+    bool vqa_tune_done() const { return tuned_.has_value(); }
+
+    const CafqaResult& clifford_result() const;
+    const TBoostResult& t_boost_result() const;
+    const VqaTuneResult& tune_result() const;
+
+    const PipelineConfig& config() const { return config_; }
+
+  private:
+    void emit(PipelineEvent::Kind kind, std::string_view stage,
+              std::size_t evaluation, double best_value) const;
+
+    ThreadPool& pool();
+
+    /** Objective values for a block of step candidates, fanned out over
+     *  the pool with per-worker clones of `prototype`. */
+    std::vector<double>
+    batch_objective(const DiscreteBackend& prototype,
+                    const std::vector<std::vector<int>>& candidates);
+
+    /** One Bayesian search over `space` on `backend` (shared by the
+     *  Clifford stage and every T-boost round). */
+    BayesOptResult discrete_search(DiscreteBackend& backend,
+                                   const DiscreteSpace& space,
+                                   const CafqaOptions& options,
+                                   std::string_view stage);
+
+    PipelineConfig config_;
+    PipelineObserver observer_;
+    std::vector<PauliSum> observables_;
+    std::unique_ptr<ThreadPool> own_pool_;
+
+    std::optional<CafqaResult> clifford_;
+    std::optional<TBoostResult> boost_;
+    std::optional<VqaTuneResult> tuned_;
+};
+
+} // namespace cafqa
+
+#endif // CAFQA_CORE_PIPELINE_HPP

@@ -97,4 +97,10 @@ SampledEvaluator::expectation(const PauliSum& op) const
     return total;
 }
 
+std::unique_ptr<Backend>
+SampledEvaluator::clone() const
+{
+    return std::make_unique<SampledEvaluator>(*this);
+}
+
 } // namespace cafqa

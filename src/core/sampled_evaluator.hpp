@@ -19,7 +19,7 @@
 namespace cafqa {
 
 /** Shot-based backend over the ideal statevector. */
-class SampledEvaluator : public ExpectationBackend
+class SampledEvaluator final : public ContinuousBackend
 {
   public:
     /**
@@ -30,8 +30,13 @@ class SampledEvaluator : public ExpectationBackend
     SampledEvaluator(Circuit ansatz, std::size_t shots,
                      std::uint64_t seed);
 
+    std::string_view kind() const override { return "sampled"; }
+    std::size_t num_qubits() const override { return ansatz_.num_qubits(); }
+    std::size_t num_params() const override { return ansatz_.num_params(); }
+
     void prepare(const std::vector<double>& params) override;
     double expectation(const PauliSum& op) const override;
+    std::unique_ptr<Backend> clone() const override;
 
     std::size_t shots() const { return shots_; }
 

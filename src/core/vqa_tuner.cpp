@@ -2,8 +2,7 @@
 
 #include <algorithm>
 
-#include "common/error.hpp"
-#include "core/evaluator.hpp"
+#include "core/pipeline.hpp"
 
 namespace cafqa {
 
@@ -12,34 +11,12 @@ tune_vqa(const Circuit& ansatz, const VqaObjective& objective,
          const std::vector<double>& initial_params,
          const VqaTunerOptions& options)
 {
-    CAFQA_REQUIRE(initial_params.size() == ansatz.num_params(),
-                  "initial parameter count mismatch");
-
-    std::unique_ptr<ExpectationBackend> backend;
-    if (options.noise.enabled()) {
-        backend = std::make_unique<NoisyEvaluator>(ansatz, options.noise);
-    } else {
-        backend = std::make_unique<IdealEvaluator>(ansatz);
-    }
-
-    auto objective_fn = [&](const std::vector<double>& params) {
-        backend->prepare(params);
-        return objective.evaluate(*backend);
-    };
-
-    SpsaOptions spsa = options.spsa;
-    spsa.iterations = options.iterations;
-    spsa.seed = options.seed;
-    const SpsaResult run = spsa_minimize(objective_fn, initial_params, spsa);
-
-    VqaTuneResult result;
-    result.trace.reserve(run.trace.size());
-    for (const auto& point : run.trace) {
-        result.trace.push_back(point.value);
-    }
-    result.final_params = run.x;
-    result.final_value = run.f;
-    return result;
+    PipelineConfig config;
+    config.ansatz = ansatz;
+    config.objective = objective;
+    config.tuner = options;
+    CafqaPipeline pipeline(std::move(config));
+    return pipeline.run_vqa_tune(initial_params);
 }
 
 std::size_t

@@ -8,6 +8,8 @@
 #ifndef CAFQA_CORE_VQA_TUNER_HPP
 #define CAFQA_CORE_VQA_TUNER_HPP
 
+#include <string>
+
 #include "circuit/circuit.hpp"
 #include "core/objective.hpp"
 #include "density/noise_model.hpp"
@@ -22,6 +24,14 @@ struct VqaTunerOptions
     std::uint64_t seed = 7;
     /** Noise model; an all-zero model selects the ideal backend. */
     NoiseModel noise;
+    /**
+     * Backend registry kind for the continuous stage. Empty picks
+     * automatically: "density" when `noise` is enabled, else
+     * "statevector". Set "sampled" for finite-shot tuning.
+     */
+    std::string backend;
+    /** Measurement shots per commuting group ("sampled" backend). */
+    std::size_t shots = 4096;
     /** SPSA gain parameters (iterations/seed fields are overridden).
      *  Defaults are sized for VQE angle landscapes in radians. */
     SpsaOptions spsa{.iterations = 200,
@@ -42,7 +52,10 @@ struct VqaTuneResult
     double final_value = 0.0;
 };
 
-/** Tune the ansatz parameters starting from `initial_params`. */
+/**
+ * Tune the ansatz parameters starting from `initial_params`.
+ * Deprecated shim over `CafqaPipeline::run_vqa_tune`.
+ */
 VqaTuneResult tune_vqa(const Circuit& ansatz, const VqaObjective& objective,
                        const std::vector<double>& initial_params,
                        const VqaTunerOptions& options = {});

@@ -68,8 +68,7 @@ bayes_opt_minimize(
     std::vector<double> values;
     std::unordered_set<std::size_t> seen;
 
-    auto evaluate = [&](const std::vector<int>& config) {
-        const double value = objective(config);
+    auto record = [&](const std::vector<int>& config, double value) {
         configs.push_back(config);
         features.push_back(to_features(config));
         values.push_back(value);
@@ -86,6 +85,11 @@ bayes_opt_minimize(
         if (options.progress) {
             options.progress(result.history.size(), result.best_value);
         }
+    };
+
+    auto evaluate = [&](const std::vector<int>& config) {
+        const double value = objective(config);
+        record(config, value);
         return value;
     };
 
@@ -104,14 +108,39 @@ bayes_opt_minimize(
     }
 
     // ---- Warm-up: random sampling (deduplicated, bounded retries). ----
-    for (std::size_t w = 0; w < options.warmup; ++w) {
-        std::vector<int> config = random_config(space, rng);
-        for (int attempt = 0;
-             attempt < 16 && seen.count(config_hash(config)) != 0;
-             ++attempt) {
-            config = random_config(space, rng);
+    if (options.warmup_batch && options.warmup > 0) {
+        // Batched path: generate the whole block first (same RNG/dedup
+        // draws as the serial loop — each config is marked seen before
+        // the next is drawn), evaluate it in one call, record in order.
+        std::vector<std::vector<int>> block;
+        block.reserve(options.warmup);
+        for (std::size_t w = 0; w < options.warmup; ++w) {
+            std::vector<int> config = random_config(space, rng);
+            for (int attempt = 0;
+                 attempt < 16 && seen.count(config_hash(config)) != 0;
+                 ++attempt) {
+                config = random_config(space, rng);
+            }
+            seen.insert(config_hash(config));
+            block.push_back(std::move(config));
         }
-        evaluate(config);
+        const std::vector<double> block_values =
+            options.warmup_batch(block);
+        CAFQA_REQUIRE(block_values.size() == block.size(),
+                      "warmup_batch returned wrong value count");
+        for (std::size_t w = 0; w < block.size(); ++w) {
+            record(block[w], block_values[w]);
+        }
+    } else {
+        for (std::size_t w = 0; w < options.warmup; ++w) {
+            std::vector<int> config = random_config(space, rng);
+            for (int attempt = 0;
+                 attempt < 16 && seen.count(config_hash(config)) != 0;
+                 ++attempt) {
+                config = random_config(space, rng);
+            }
+            evaluate(config);
+        }
     }
 
     // ---- Model-guided search. ----

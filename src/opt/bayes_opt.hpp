@@ -58,6 +58,18 @@ struct BayesOptOptions
     std::vector<std::vector<int>> seed_configs;
     /** Optional progress callback (evaluation index, current best). */
     std::function<void(std::size_t, double)> progress;
+    /**
+     * Optional batched evaluator for the warm-up phase: given a block of
+     * configurations, return their objective values in order. The warm-up
+     * configurations are generated up front with the same RNG/dedup
+     * sequence as the serial path and the results are recorded in
+     * generation order, so the search trajectory is bit-identical to the
+     * serial path — but the block can be fanned out across a thread pool
+     * (the objective must then be safe to evaluate concurrently, e.g. on
+     * per-thread backend clones).
+     */
+    std::function<std::vector<double>(const std::vector<std::vector<int>>&)>
+        warmup_batch;
 };
 
 /** Search outcome. */

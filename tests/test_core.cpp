@@ -268,11 +268,11 @@ TEST(CafqaKt, TGatesDoNotHurtAndCanHelp)
 
     const CafqaKtResult kt = run_cafqa_kt(system.ansatz, objective, 1,
                                           options);
-    EXPECT_LE(kt.best_energy, kt.base.best_energy + 1e-9);
-    EXPECT_LE(kt.t_positions.size(), 1u);
+    EXPECT_LE(kt.boost.best_energy, kt.base.best_energy + 1e-9);
+    EXPECT_LE(kt.boost.t_positions.size(), 1u);
 
     const GroundState exact = lanczos_ground_state(system.hamiltonian);
-    EXPECT_GE(kt.best_energy, exact.energy - 1e-9);
+    EXPECT_GE(kt.boost.best_energy, exact.energy - 1e-9);
 }
 
 TEST(VqaTuner, IdealTuningReachesExactFromCafqaInit)

@@ -1,0 +1,292 @@
+// Tests for the CafqaPipeline facade: parity with the legacy free
+// functions and with a hand-rolled serial search, determinism across
+// thread counts, observer events, staged execution, and the
+// exhaustive-search fan-out.
+
+#include <gtest/gtest.h>
+
+#include "circuit/efficient_su2.hpp"
+#include "core/cafqa_driver.hpp"
+#include "core/clifford_ansatz.hpp"
+#include "core/evaluator.hpp"
+#include "core/pipeline.hpp"
+#include "problems/molecule_factory.hpp"
+#include "statevector/lanczos.hpp"
+
+namespace cafqa {
+namespace {
+
+CafqaOptions
+small_budget(std::uint64_t seed)
+{
+    CafqaOptions options;
+    options.warmup = 60;
+    options.iterations = 60;
+    options.seed = seed;
+    return options;
+}
+
+TEST(CafqaPipeline, BatchedWarmupMatchesSerialBayesOpt)
+{
+    // The pipeline's thread-pool warm-up must reproduce the exact
+    // trajectory of a hand-rolled serial search with the same options.
+    const auto system = problems::make_molecular_system("H2", 2.2);
+    const VqaObjective objective = problems::make_objective(system);
+    const CafqaOptions options = small_budget(19);
+
+    // Serial reference: no warmup_batch hook, plain evaluator loop.
+    CliffordEvaluator evaluator(system.ansatz);
+    BayesOptOptions bayes = options.bayes;
+    bayes.warmup = options.warmup;
+    bayes.iterations = options.iterations;
+    bayes.seed = options.seed;
+    const BayesOptResult reference = bayes_opt_minimize(
+        [&](const std::vector<int>& steps) {
+            evaluator.prepare(steps);
+            return objective.evaluate(evaluator);
+        },
+        clifford_search_space(system.ansatz), bayes);
+
+    // Pipeline with a 3-worker pool.
+    PipelineConfig config;
+    config.ansatz = system.ansatz;
+    config.objective = objective;
+    config.search = options;
+    config.threads = 3;
+    CafqaPipeline pipeline(std::move(config));
+    const CafqaResult& result = pipeline.run_clifford_search();
+
+    ASSERT_EQ(result.history.size(), reference.history.size());
+    for (std::size_t i = 0; i < result.history.size(); ++i) {
+        EXPECT_DOUBLE_EQ(result.history[i], reference.history[i])
+            << "evaluation " << i;
+    }
+    EXPECT_EQ(result.best_steps, reference.best_config);
+    EXPECT_DOUBLE_EQ(result.best_objective, reference.best_value);
+    EXPECT_EQ(result.evaluations_to_best, reference.evaluations_to_best);
+}
+
+TEST(CafqaPipeline, DeterministicAcrossThreadCounts)
+{
+    const auto system = problems::make_molecular_system("H2", 1.5);
+    const VqaObjective objective = problems::make_objective(system);
+
+    std::vector<CafqaResult> results;
+    for (const std::size_t threads : {1u, 4u}) {
+        PipelineConfig config;
+        config.ansatz = system.ansatz;
+        config.objective = objective;
+        config.search = small_budget(7);
+        config.threads = threads;
+        CafqaPipeline pipeline(std::move(config));
+        results.push_back(pipeline.run_clifford_search());
+    }
+    EXPECT_EQ(results[0].best_steps, results[1].best_steps);
+    EXPECT_EQ(results[0].history, results[1].history);
+}
+
+TEST(CafqaPipeline, MatchesLegacyFreeFunctionOnH2)
+{
+    const auto system = problems::make_molecular_system("H2", 2.2);
+    const VqaObjective objective = problems::make_objective(system);
+    const CafqaOptions options = small_budget(23);
+
+    const CafqaResult legacy =
+        run_cafqa(system.ansatz, objective, options);
+
+    PipelineConfig config;
+    config.ansatz = system.ansatz;
+    config.objective = objective;
+    config.search = options;
+    CafqaPipeline pipeline(std::move(config));
+    const CafqaResult& modern = pipeline.run_clifford_search();
+
+    EXPECT_EQ(modern.best_steps, legacy.best_steps);
+    EXPECT_DOUBLE_EQ(modern.best_energy, legacy.best_energy);
+    EXPECT_DOUBLE_EQ(modern.best_objective, legacy.best_objective);
+    EXPECT_EQ(modern.history, legacy.history);
+}
+
+TEST(CafqaPipeline, ObserverSeesStagesAndProgress)
+{
+    const auto system = problems::make_molecular_system("H2", 1.2);
+
+    PipelineConfig config;
+    config.ansatz = system.ansatz;
+    config.objective = problems::make_objective(system);
+    config.search = small_budget(3);
+    config.tuner.iterations = 20;
+    CafqaPipeline pipeline(std::move(config));
+
+    std::vector<std::string> stages_begun;
+    std::vector<std::string> stages_ended;
+    std::size_t progress_events = 0;
+    pipeline.set_observer([&](const PipelineEvent& event) {
+        switch (event.event) {
+          case PipelineEvent::Kind::StageBegin:
+            stages_begun.emplace_back(event.stage);
+            break;
+          case PipelineEvent::Kind::StageEnd:
+            stages_ended.emplace_back(event.stage);
+            break;
+          case PipelineEvent::Kind::Progress:
+            ++progress_events;
+            break;
+        }
+    });
+
+    const CafqaResult& search = pipeline.run_clifford_search();
+    EXPECT_EQ(stages_begun,
+              std::vector<std::string>{"clifford_search"});
+    EXPECT_EQ(stages_ended, std::vector<std::string>{"clifford_search"});
+    // One progress event per discrete-search evaluation.
+    EXPECT_EQ(progress_events, search.history.size());
+
+    pipeline.run_vqa_tune();
+    EXPECT_EQ(stages_begun,
+              (std::vector<std::string>{"clifford_search", "vqa_tune"}));
+    EXPECT_EQ(stages_ended,
+              (std::vector<std::string>{"clifford_search", "vqa_tune"}));
+    EXPECT_GT(progress_events, search.history.size());
+}
+
+TEST(CafqaPipeline, StagesAreIdempotentAndChained)
+{
+    const auto system = problems::make_molecular_system("H2", 1.8);
+
+    PipelineConfig config;
+    config.ansatz = system.ansatz;
+    config.objective = problems::make_objective(system);
+    config.search = small_budget(5);
+    config.tuner.iterations = 30;
+    CafqaPipeline pipeline(std::move(config));
+
+    EXPECT_FALSE(pipeline.clifford_search_done());
+    EXPECT_THROW(pipeline.clifford_result(), std::invalid_argument);
+    EXPECT_THROW(pipeline.best_steps(), std::invalid_argument);
+
+    // run_vqa_tune auto-runs the Clifford stage first.
+    const VqaTuneResult& tuned = pipeline.run_vqa_tune();
+    EXPECT_TRUE(pipeline.clifford_search_done());
+    EXPECT_TRUE(pipeline.vqa_tune_done());
+
+    // Tuning from the CAFQA point can only improve the objective.
+    EXPECT_LE(tuned.final_value,
+              pipeline.clifford_result().best_objective + 1e-9);
+
+    // Second calls return the cached results.
+    const CafqaResult& first = pipeline.run_clifford_search();
+    const CafqaResult& second = pipeline.run_clifford_search();
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(&pipeline.run_vqa_tune(), &tuned);
+
+    // The explicit-initialization overload refuses to silently drop a
+    // new starting point once tuning has happened.
+    EXPECT_THROW(pipeline.run_vqa_tune(pipeline.initial_params()),
+                 std::invalid_argument);
+}
+
+TEST(CafqaPipeline, TBoostNeverHurtsAndFillsResultTypes)
+{
+    const auto system = problems::make_molecular_system("H2", 1.8);
+
+    PipelineConfig config;
+    config.ansatz = system.ansatz;
+    config.objective = problems::make_objective(system);
+    config.search = small_budget(13);
+    CafqaPipeline pipeline(std::move(config));
+
+    const TBoostResult& boost = pipeline.run_t_boost(1);
+    const CafqaResult& base = pipeline.clifford_result();
+
+    EXPECT_LE(boost.best_objective, base.best_objective + 1e-9);
+    EXPECT_LE(boost.t_positions.size(), 1u);
+    EXPECT_EQ(boost.circuit.count(GateKind::T), boost.t_positions.size());
+    if (boost.t_positions.empty()) {
+        // No insertion accepted: the boost echoes the Clifford point.
+        EXPECT_EQ(boost.best_steps, base.best_steps);
+        EXPECT_DOUBLE_EQ(boost.best_energy, base.best_energy);
+    }
+    EXPECT_EQ(&pipeline.best_circuit(), &boost.circuit);
+
+    const GroundState exact = lanczos_ground_state(system.hamiltonian);
+    EXPECT_GE(boost.best_energy, exact.energy - 1e-9);
+}
+
+TEST(CafqaPipeline, SampledTuneBackendRunsThroughRegistry)
+{
+    const auto system = problems::make_molecular_system("H2", 1.2);
+
+    PipelineConfig config;
+    config.ansatz = system.ansatz;
+    config.objective = problems::make_objective(system);
+    config.search = small_budget(29);
+    config.tuner.iterations = 10;
+    config.tuner.backend = "sampled";
+    config.tuner.shots = 256;
+    CafqaPipeline pipeline(std::move(config));
+
+    const VqaTuneResult& tuned = pipeline.run_vqa_tune();
+    EXPECT_EQ(tuned.trace.size(), 10u);
+    EXPECT_TRUE(std::isfinite(tuned.final_value));
+}
+
+TEST(ExhaustiveSearch, ParallelScanMatchesSerialReference)
+{
+    // 4 parameters -> 256 configurations: cheap enough to enumerate
+    // twice. The thread-pool fan-out must reproduce the serial scan
+    // exactly, including the first-winner tie-breaking.
+    Circuit ansatz(2);
+    ansatz.ry_param(0);
+    ansatz.ry_param(1);
+    ansatz.cx(0, 1);
+    ansatz.rz_param(0);
+    ansatz.ry_param(1);
+
+    VqaObjective objective;
+    objective.hamiltonian = PauliSum::from_terms(
+        2, {{0.5, "XX"}, {-0.3, "ZI"}, {0.2, "ZZ"}});
+
+    CliffordEvaluator evaluator(ansatz);
+    std::vector<int> steps(ansatz.num_params(), 0);
+    double best_value = 0.0;
+    std::vector<int> best_steps;
+    std::size_t best_code = 0;
+    const std::uint64_t limit =
+        std::uint64_t{1} << (2 * ansatz.num_params());
+    for (std::uint64_t code = 0; code < limit; ++code) {
+        std::uint64_t rest = code;
+        for (std::size_t i = 0; i < steps.size(); ++i) {
+            steps[i] = static_cast<int>(rest & 3);
+            rest >>= 2;
+        }
+        evaluator.prepare(steps);
+        const double value = objective.evaluate(evaluator);
+        if (code == 0 || value < best_value) {
+            best_value = value;
+            best_steps = steps;
+            best_code = code;
+        }
+    }
+
+    const CafqaResult result =
+        exhaustive_clifford_search(ansatz, objective);
+    EXPECT_EQ(result.best_steps, best_steps);
+    EXPECT_DOUBLE_EQ(result.best_objective, best_value);
+    EXPECT_EQ(result.evaluations_to_best, best_code + 1);
+}
+
+TEST(LegacyShims, RunCafqaKtSplitsBaseAndBoost)
+{
+    const auto system = problems::make_molecular_system("H2", 1.8);
+    const VqaObjective objective = problems::make_objective(system);
+
+    const CafqaKtResult kt =
+        run_cafqa_kt(system.ansatz, objective, 1, small_budget(31));
+    EXPECT_LE(kt.boost.best_objective, kt.base.best_objective + 1e-9);
+    EXPECT_EQ(kt.boost.circuit.count(GateKind::T),
+              kt.boost.t_positions.size());
+}
+
+} // namespace
+} // namespace cafqa
