@@ -74,10 +74,12 @@ print_fig14()
     }
     header.push_back("Exact");
     trace.set_header(header);
+    // trace[0] is the initialization's own energy; trace[i] the value
+    // after tuning step i.
     const std::size_t total = runs[0].result.trace.size();
     const std::size_t stride = std::max<std::size_t>(1, total / 25);
     for (std::size_t i = 0; i < total; i += stride) {
-        std::vector<std::string> row = {std::to_string(i + 1)};
+        std::vector<std::string> row = {std::to_string(i)};
         for (const auto& run : runs) {
             row.push_back(Table::num(run.result.trace[i], 5));
         }

@@ -11,10 +11,17 @@
  * Usage:
  *   cafqa_cli --molecule LiH --bond 2.4 [--warmup 200] [--iterations 300]
  *             [--seed 7] [--max-t 0] [--tune 0] [--tune-backend KIND]
- *             [--threads 0] [--no-hf-seed] [--trace] [--csv-header]
+ *             [--search KIND] [--tuner KIND] [--budget N]
+ *             [--target-energy E] [--threads 0] [--no-hf-seed] [--trace]
+ *             [--csv-header]
  *
  * --tune-backend accepts any registered kind or "auto" (the default:
  * statevector, or density when a noise model is configured).
+ * --search/--tuner accept any optimizer-registry kind ("bayes",
+ * "anneal", "random", "exhaustive" / "spsa", "nelder-mead", ...);
+ * --budget caps total objective evaluations per stage and
+ * --target-energy stops a stage as soon as its best objective value
+ * reaches the given energy (e.g. exact + chemical accuracy).
  */
 #include <cstdlib>
 #include <cstring>
@@ -35,15 +42,30 @@ usage()
         << "cafqa_cli --molecule <name> --bond <angstrom>\n"
         << "          [--warmup N] [--iterations N] [--seed N]\n"
         << "          [--max-t K] [--tune N] [--tune-backend KIND]\n"
-        << "          [--threads N] [--no-hf-seed] [--trace]\n"
-        << "          [--csv-header]\n"
-        << "  --tune N          run N SPSA iterations after the search\n"
+        << "          [--search KIND] [--tuner KIND] [--budget N]\n"
+        << "          [--target-energy E] [--threads N] [--no-hf-seed]\n"
+        << "          [--trace] [--csv-header]\n"
+        << "  --tune N          run N tuner iterations after the search\n"
         << "  --tune-backend    backend registry kind for tuning\n"
         << "                    (default: statevector; others:";
     for (const auto& kind : cafqa::registered_backends()) {
         std::cerr << ' ' << kind;
     }
-    std::cerr << ")\n  --trace           print stage progress to stderr\n"
+    std::cerr << ")\n  --search KIND     discrete search strategy (default:"
+                 " bayes; discrete:";
+    for (const auto& kind : cafqa::registered_discrete_optimizers()) {
+        std::cerr << ' ' << kind;
+    }
+    std::cerr << ")\n  --tuner KIND      continuous tuning strategy"
+                 " (default: spsa; continuous:";
+    for (const auto& kind : cafqa::registered_continuous_optimizers()) {
+        std::cerr << ' ' << kind;
+    }
+    std::cerr << ")\n  --budget N        cap objective evaluations per"
+                 " stage\n"
+              << "  --target-energy E stop a stage once its best"
+                 " objective reaches E\n"
+              << "  --trace           print stage progress to stderr\n"
               << "molecules:";
     for (const auto& name : cafqa::problems::supported_molecules()) {
         std::cerr << ' ' << name;
@@ -64,6 +86,9 @@ main(int argc, char** argv)
     std::size_t max_t = 0;
     std::size_t tune_iterations = 0;
     std::string tune_backend;
+    std::string search_kind = "bayes";
+    std::string tuner_kind = "spsa";
+    StoppingCriteria stopping;
     std::size_t threads = 0;
     bool hf_seed = true;
     bool trace = false;
@@ -99,6 +124,15 @@ main(int argc, char** argv)
             if (tune_backend == "auto") {
                 tune_backend.clear();
             }
+        } else if (arg == "--search") {
+            search_kind = next();
+        } else if (arg == "--tuner") {
+            tuner_kind = next();
+        } else if (arg == "--budget") {
+            stopping.max_evaluations =
+                static_cast<std::size_t>(std::atoll(next()));
+        } else if (arg == "--target-energy") {
+            stopping.target_value = std::atof(next());
         } else if (arg == "--threads") {
             threads = static_cast<std::size_t>(std::atoi(next()));
         } else if (arg == "--no-hf-seed") {
@@ -135,6 +169,9 @@ main(int argc, char** argv)
         config.tuner.iterations = tune_iterations;
         config.tuner.seed = search.seed + 1;
         config.tuner.backend = tune_backend;
+        config.search_optimizer = optimizer_config(search_kind);
+        config.tuner_optimizer = optimizer_config(tuner_kind);
+        config.stopping = stopping;
         if (hf_seed) {
             config.search.seed_steps.push_back(
                 efficient_su2_bitstring_steps(system.num_qubits,
@@ -164,12 +201,24 @@ main(int argc, char** argv)
         }
 
         pipeline.run_clifford_search();
+        if (trace) {
+            std::cerr << "[clifford_search] stop reason: "
+                      << to_string(
+                             pipeline.clifford_result().stop_reason)
+                      << '\n';
+        }
         if (max_t > 0) {
             pipeline.run_t_boost(max_t);
         }
         double tuned_value = 0.0;
         if (tune_iterations > 0) {
             tuned_value = pipeline.run_vqa_tune().final_value;
+            if (trace) {
+                std::cerr << "[vqa_tune] stop reason: "
+                          << to_string(
+                                 pipeline.tune_result().stop_reason)
+                          << '\n';
+            }
         }
 
         const double cafqa_energy = pipeline.best_energy();

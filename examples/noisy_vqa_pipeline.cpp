@@ -4,7 +4,11 @@
  * Clifford-space bootstrap, then continuous SPSA tuning on a simulated
  * noisy machine, compared against starting from Hartree-Fock.
  *
- * Usage: noisy_vqa_pipeline [bond_length_angstrom] [spsa_iterations]
+ * Usage: noisy_vqa_pipeline [bond_length_angstrom] [iterations] [tuner]
+ *
+ * `tuner` is any continuous optimizer-registry kind ("spsa" default,
+ * "nelder-mead" for the noise-free baseline) — the pipeline swaps the
+ * strategy without any other change.
  */
 #include <cstdlib>
 #include <iostream>
@@ -22,6 +26,7 @@ main(int argc, char** argv)
     const double bond = (argc > 1) ? std::atof(argv[1]) : 4.2;
     const std::size_t iterations =
         (argc > 2) ? static_cast<std::size_t>(std::atoi(argv[2])) : 250;
+    const std::string tuner_kind = (argc > 3) ? argv[3] : "spsa";
 
     const auto system = problems::make_molecular_system("LiH", bond);
     VqaObjective objective;
@@ -56,6 +61,7 @@ main(int argc, char** argv)
     cafqa_tune.ansatz = system.ansatz;
     cafqa_tune.objective = objective;
     cafqa_tune.tuner = tuner;
+    cafqa_tune.tuner_optimizer = optimizer_config(tuner_kind);
     CafqaPipeline tune_from_cafqa(std::move(cafqa_tune));
     const VqaTuneResult from_cafqa =
         tune_from_cafqa.run_vqa_tune(steps_to_angles(cafqa.best_steps));
@@ -65,6 +71,7 @@ main(int argc, char** argv)
     hf_tune.ansatz = system.ansatz;
     hf_tune.objective = objective;
     hf_tune.tuner = tuner;
+    hf_tune.tuner_optimizer = optimizer_config(tuner_kind);
     CafqaPipeline tune_from_hf(std::move(hf_tune));
     const VqaTuneResult from_hf = tune_from_hf.run_vqa_tune(
         steps_to_angles(efficient_su2_bitstring_steps(system.num_qubits,
@@ -77,6 +84,7 @@ main(int argc, char** argv)
 
     std::cout << "Exact ground energy:          " << exact.energy
               << " Ha\n"
+              << "Tuner strategy:               " << tuner_kind << "\n"
               << "Noisy VQA from CAFQA init:    " << from_cafqa.final_value
               << " Ha (converged in " << it_cafqa << " iterations)\n"
               << "Noisy VQA from HF init:       " << from_hf.final_value

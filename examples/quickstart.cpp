@@ -40,11 +40,19 @@ main()
 
     // 2. The CAFQA search through the pipeline facade. The objective
     //    adds electron-count and S_z penalties so the search stays in
-    //    the neutral singlet sector.
+    //    the neutral singlet sector. Since H2 is small enough for an
+    //    exact reference, the search is told to stop as soon as it is
+    //    within 0.02 Ha of the ground state instead of burning its
+    //    whole budget. (At this stretched geometry the best Clifford
+    //    state sits ~0.012 Ha above exact, so the target is reachable;
+    //    closing the rest is the continuous tuning stage's job.)
+    const GroundState exact = lanczos_ground_state(system.hamiltonian);
+
     PipelineConfig config;
     config.ansatz = system.ansatz;
     config.objective = problems::make_objective(system);
     config.search = {.warmup = 150, .iterations = 200, .seed = 7};
+    config.stopping.target_value = exact.energy + 0.02;
     // Prior-inject the Hartree-Fock point: it is itself a Clifford
     // state, so CAFQA is guaranteed to do at least as well as HF.
     config.search.seed_steps.push_back(efficient_su2_bitstring_steps(
@@ -56,11 +64,14 @@ main()
     for (const int s : result.best_steps) {
         std::cout << s;
     }
-    std::cout << "\nFound after " << result.evaluations_to_best
-              << " evaluations\n\n";
+    const CafqaOptions& budget = pipeline.config().search;
+    std::cout << "\nSearch used " << result.history.size() << " of "
+              << (budget.seed_steps.size() + budget.warmup +
+                  budget.iterations)
+              << " budgeted evaluations (stop reason: "
+              << to_string(result.stop_reason) << ")\n\n";
 
     // 3. Compare against Hartree-Fock and the exact ground state.
-    const GroundState exact = lanczos_ground_state(system.hamiltonian);
     const double hf_error = system.hf_energy - exact.energy;
     const double cafqa_error = result.best_energy - exact.energy;
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/linalg.hpp"
@@ -148,27 +149,26 @@ fit_sto_ng(int n, int l, int num_gaussians)
     };
 
     OptimizeResult best{};
-    best.f = 0.0;
     for (int restart = 0; restart < 3; ++restart) {
         std::vector<double> x0 = start;
         for (auto& v : x0) {
             v += 0.4 * restart;
         }
-        const OptimizeResult r = nelder_mead(
+        OptimizeResult r = nelder_mead(
             objective, x0,
             {.max_evaluations = 4000, .f_tolerance = 1e-13,
              .initial_step = 0.4});
-        if (restart == 0 || r.f < best.f) {
-            best = r;
+        if (restart == 0 || r.best_value < best.best_value) {
+            best = std::move(r);
         }
     }
 
     StoNgFit fit;
     fit.coefficients.resize(ng);
-    fit.overlap = overlap_for(best.x, &fit.coefficients);
+    fit.overlap = overlap_for(best.best_x, &fit.coefficients);
     fit.exponents.resize(ng);
     for (std::size_t i = 0; i < ng; ++i) {
-        fit.exponents[i] = std::exp(best.x[i]);
+        fit.exponents[i] = std::exp(best.best_x[i]);
     }
     return fit;
 }

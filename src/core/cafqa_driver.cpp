@@ -105,6 +105,7 @@ exhaustive_clifford_search(const Circuit& ansatz,
 
     result.best_objective = overall.value;
     result.evaluations_to_best = overall.code + 1;
+    result.stop_reason = StopReason::SpaceExhausted;
     result.best_steps.assign(num_params, 0);
     decode(overall.code, result.best_steps);
 

@@ -56,6 +56,8 @@ struct CafqaResult
      *  (Fig. 15 metric). */
     std::size_t evaluations_to_best = 0;
     std::size_t num_parameters = 0;
+    /** Why the search ended (budget, target-value early exit, ...). */
+    StopReason stop_reason = StopReason::BudgetExhausted;
 };
 
 /**

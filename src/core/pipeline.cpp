@@ -5,7 +5,6 @@
 
 #include "common/error.hpp"
 #include "core/clifford_ansatz.hpp"
-#include "opt/spsa.hpp"
 
 namespace cafqa {
 
@@ -67,39 +66,52 @@ CafqaPipeline::batch_objective(const DiscreteBackend& prototype,
     return values;
 }
 
-BayesOptResult
+OptimizeOutcome
 CafqaPipeline::discrete_search(DiscreteBackend& backend,
                                const DiscreteSpace& space,
                                const CafqaOptions& options,
                                std::string_view stage)
 {
-    BayesOptOptions bayes = options.bayes;
-    bayes.warmup = options.warmup;
-    bayes.iterations = options.iterations;
-    bayes.seed = options.seed;
-    bayes.stall_limit = options.stall_limit;
-    bayes.seed_configs.insert(bayes.seed_configs.end(),
-                              options.seed_steps.begin(),
-                              options.seed_steps.end());
+    // The stage budget knobs map onto the configured strategy: "bayes"
+    // consumes them as its warm-up/model split (bit-identical to the
+    // pre-registry path); every other strategy receives the same total
+    // evaluation budget through the stopping criteria.
+    OptimizerConfig optimizer_config = config_.search_optimizer;
+    if (optimizer_config.seed == 0) {
+        optimizer_config.seed = options.seed;
+    }
+    optimizer_config.bayes = options.bayes;
+    optimizer_config.bayes.warmup = options.warmup;
+    optimizer_config.bayes.iterations = options.iterations;
+    optimizer_config.bayes.seed = options.seed;
+    optimizer_config.bayes.stall_limit = options.stall_limit;
+
+    StoppingCriteria criteria = config_.stopping;
+    if (criteria.max_evaluations == 0 &&
+        optimizer_config.kind != "bayes") {
+        // "bayes" runs seed + warmup + iterations evaluations; give the
+        // other strategies the same total (their seeds count against
+        // the cap).
+        criteria.max_evaluations = options.seed_steps.size() +
+                                   options.warmup + options.iterations;
+    }
 
     auto objective_fn = [&](const std::vector<int>& steps) {
         backend.prepare(steps);
         return config_.objective.combine(backend.expectations(observables_));
     };
-    bayes.warmup_batch = [&](const std::vector<std::vector<int>>& block) {
+
+    SearchContext context;
+    context.seed_configs = options.seed_steps;
+    context.batch = [&](const std::vector<std::vector<int>>& block) {
         return batch_objective(backend, block);
     };
-
-    const auto user_progress = bayes.progress;
-    bayes.progress = [&, user_progress](std::size_t evaluation,
-                                        double best) {
-        if (user_progress) {
-            user_progress(evaluation, best);
-        }
+    context.progress = [&](std::size_t evaluation, double best) {
         emit(PipelineEvent::Kind::Progress, stage, evaluation, best);
     };
 
-    return bayes_opt_minimize(objective_fn, space, bayes);
+    const auto optimizer = make_discrete_optimizer(optimizer_config);
+    return optimizer->minimize(objective_fn, space, criteria, context);
 }
 
 const CafqaResult&
@@ -115,7 +127,7 @@ CafqaPipeline::run_clifford_search()
     backend_config.ansatz = config_.ansatz;
     const auto backend = make_discrete_backend(backend_config);
 
-    const BayesOptResult search =
+    const OptimizeOutcome search =
         discrete_search(*backend, clifford_search_space(config_.ansatz),
                         config_.search, "clifford_search");
 
@@ -126,6 +138,7 @@ CafqaPipeline::run_clifford_search()
     result.best_trace = search.best_trace;
     result.evaluations_to_best = search.evaluations_to_best;
     result.num_parameters = config_.ansatz.num_params();
+    result.stop_reason = search.stop_reason;
 
     backend->prepare(result.best_steps);
     result.best_energy = config_.objective.energy(*backend);
@@ -207,7 +220,7 @@ CafqaPipeline::run_t_boost(std::size_t max_t_gates)
             backend_config.kind = "clifford_t";
             backend_config.ansatz = candidate;
             const auto backend = make_discrete_backend(backend_config);
-            const BayesOptResult search = discrete_search(
+            const OptimizeOutcome search = discrete_search(
                 *backend, space,
                 t_round_options(config_.search, result.best_steps),
                 "t_boost");
@@ -293,18 +306,32 @@ CafqaPipeline::run_vqa_tune(const std::vector<double>& initial)
         return value;
     };
 
-    SpsaOptions spsa = options.spsa;
-    spsa.iterations = options.iterations;
-    spsa.seed = options.seed;
-    const SpsaResult run = spsa_minimize(objective_fn, initial, spsa);
+    // The configured continuous strategy; "spsa" consumes the stage
+    // budget as its iteration count (three objective calls per step),
+    // any other kind receives it as an evaluation cap.
+    OptimizerConfig optimizer_config = config_.tuner_optimizer;
+    if (optimizer_config.seed == 0) {
+        optimizer_config.seed = options.seed;
+    }
+    optimizer_config.spsa = options.spsa;
+    optimizer_config.spsa.iterations = options.iterations;
+    optimizer_config.spsa.seed = options.seed;
+
+    StoppingCriteria criteria = config_.stopping;
+    if (criteria.max_evaluations == 0 &&
+        optimizer_config.kind != "spsa") {
+        criteria.max_evaluations = options.iterations;
+    }
+
+    const auto optimizer = make_continuous_optimizer(optimizer_config);
+    OptimizeOutcome run =
+        optimizer->minimize(objective_fn, initial, criteria, {});
 
     VqaTuneResult result;
-    result.trace.reserve(run.trace.size());
-    for (const auto& point : run.trace) {
-        result.trace.push_back(point.value);
-    }
-    result.final_params = run.x;
-    result.final_value = run.f;
+    result.trace = std::move(run.history);
+    result.final_params = std::move(run.best_x);
+    result.final_value = run.best_value;
+    result.stop_reason = run.stop_reason;
     tuned_ = std::move(result);
 
     emit(PipelineEvent::Kind::StageEnd, "vqa_tune", evaluations,

@@ -12,10 +12,16 @@
  * Each stage consumes the best initialization produced so far; stages
  * are idempotent (a second call returns the cached result). Every
  * backend is resolved through the string-keyed registry
- * (`core/backend_registry.hpp`), and candidate evaluation in the
- * warm-up phase is batched across a thread pool with per-worker backend
- * clones. Observers receive begin/progress/end events per stage, which
- * is how the bench harness collects its traces.
+ * (`core/backend_registry.hpp`) and every search strategy through the
+ * optimizer registry (`opt/optimizer_registry.hpp`) — set
+ * `PipelineConfig::search_optimizer`/`tuner_optimizer` to swap the
+ * discrete search or the continuous tuner without touching any other
+ * code, and `PipelineConfig::stopping` for uniform early exits
+ * (target value such as chemical accuracy, wall clock, patience).
+ * Candidate evaluation in block-generated phases is batched across a
+ * thread pool with per-worker backend clones. Observers receive
+ * begin/progress/end events per stage, which is how the bench harness
+ * collects its traces.
  */
 #ifndef CAFQA_CORE_PIPELINE_HPP
 #define CAFQA_CORE_PIPELINE_HPP
@@ -31,6 +37,7 @@
 #include "core/cafqa_driver.hpp"
 #include "core/objective.hpp"
 #include "core/vqa_tuner.hpp"
+#include "opt/optimizer_registry.hpp"
 
 namespace cafqa {
 
@@ -75,6 +82,25 @@ struct PipelineConfig
     std::size_t threads = 0;
     /** Registry kind of the discrete search backend. */
     std::string search_backend = "clifford";
+    /** Discrete search strategy (any optimizer-registry kind that
+     *  minimizes over a `DiscreteSpace`); "bayes" reproduces the
+     *  paper. The stage budget (`search.warmup + search.iterations`)
+     *  and `search.seed` apply to every strategy. Note: the default
+     *  strategy's algorithm knobs live in `search.bayes` (this config's
+     *  own `bayes` field is replaced by it); the other option fields
+     *  (`anneal`, `random`, ...) are forwarded untouched. */
+    OptimizerConfig search_optimizer;
+    /** Continuous tuning strategy (any optimizer-registry kind that
+     *  minimizes from an `x0`); "spsa" reproduces the paper. As above,
+     *  the default strategy's knobs live in `tuner.spsa` (this config's
+     *  own `spsa` field is replaced by it); `nelder_mead` etc. are
+     *  forwarded untouched. */
+    OptimizerConfig tuner_optimizer = optimizer_config("spsa");
+    /** Uniform stopping criteria applied to every stage: target-value
+     *  early exit (e.g. exact energy + chemical accuracy), wall-clock
+     *  budget, patience. A zero `max_evaluations` defers to the stage
+     *  budgets above. */
+    StoppingCriteria stopping;
 };
 
 /**
@@ -161,12 +187,13 @@ class CafqaPipeline
     batch_objective(const DiscreteBackend& prototype,
                     const std::vector<std::vector<int>>& candidates);
 
-    /** One Bayesian search over `space` on `backend` (shared by the
-     *  Clifford stage and every T-boost round). */
-    BayesOptResult discrete_search(DiscreteBackend& backend,
-                                   const DiscreteSpace& space,
-                                   const CafqaOptions& options,
-                                   std::string_view stage);
+    /** One discrete search over `space` on `backend` with the
+     *  configured strategy (shared by the Clifford stage and every
+     *  T-boost round). */
+    OptimizeOutcome discrete_search(DiscreteBackend& backend,
+                                    const DiscreteSpace& space,
+                                    const CafqaOptions& options,
+                                    std::string_view stage);
 
     PipelineConfig config_;
     PipelineObserver observer_;

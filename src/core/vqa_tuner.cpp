@@ -28,7 +28,8 @@ iterations_to_converge(const std::vector<double>& trace, double tolerance)
     const double best = *std::min_element(trace.begin(), trace.end());
     for (std::size_t i = 0; i < trace.size(); ++i) {
         if (trace[i] <= best + tolerance) {
-            return i + 1;
+            // trace[0] is the start point: converging there took 0 steps.
+            return i;
         }
     }
     return trace.size();

@@ -1,9 +1,11 @@
 /**
  * @file
- * Post-CAFQA variational tuning (paper Section 7.3 / Fig. 14): SPSA over
- * the full continuous parameter space, on either the ideal statevector
- * backend or the noisy density-matrix backend, starting from a chosen
- * initialization (HF bitstring-equivalent parameters or CAFQA steps).
+ * Post-CAFQA variational tuning (paper Section 7.3 / Fig. 14): a
+ * continuous optimizer (SPSA by default; any registered
+ * `ContinuousOptimizer` via `PipelineConfig::tuner_optimizer`) over the
+ * full parameter space, on either the ideal statevector backend or the
+ * noisy density-matrix backend, starting from a chosen initialization
+ * (HF bitstring-equivalent parameters or CAFQA steps).
  */
 #ifndef CAFQA_CORE_VQA_TUNER_HPP
 #define CAFQA_CORE_VQA_TUNER_HPP
@@ -46,10 +48,14 @@ struct VqaTunerOptions
 /** Tuning outcome. */
 struct VqaTuneResult
 {
-    /** Objective value after each SPSA step. */
+    /** Recorded objective trace: the start-point value followed by the
+     *  value after each tuning step (for SPSA) or every evaluation
+     *  (other tuners). */
     std::vector<double> trace;
     std::vector<double> final_params;
     double final_value = 0.0;
+    /** Why the tuner ended (budget, target-value early exit, ...). */
+    StopReason stop_reason = StopReason::BudgetExhausted;
 };
 
 /**
@@ -61,9 +67,11 @@ VqaTuneResult tune_vqa(const Circuit& ansatz, const VqaObjective& objective,
                        const VqaTunerOptions& options = {});
 
 /**
- * Convergence metric for Fig. 14: the first iteration whose value is
- * within `tolerance` of the eventual best (returns trace.size() if the
- * trace never reaches it).
+ * Convergence metric for Fig. 14: the number of tuning steps until the
+ * trace value is within `tolerance` of the eventual best. `trace[0]`
+ * is the start point (0 steps), so an initialization already within
+ * tolerance returns 0. Returns trace.size() if the trace never reaches
+ * the tolerance band.
  */
 std::size_t iterations_to_converge(const std::vector<double>& trace,
                                    double tolerance);

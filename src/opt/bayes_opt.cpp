@@ -3,35 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_set>
+#include <utility>
 
 #include "common/error.hpp"
+#include "opt/discrete_sampling.hpp"
 
 namespace cafqa {
 
 namespace {
-
-/** Hash a configuration for deduplication. */
-std::size_t
-config_hash(const std::vector<int>& config)
-{
-    std::size_t h = 0x9e3779b97f4a7c15ull;
-    for (const int v : config) {
-        h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull +
-             (h << 6) + (h >> 2);
-    }
-    return h;
-}
-
-std::vector<int>
-random_config(const DiscreteSpace& space, Rng& rng)
-{
-    std::vector<int> config(space.num_parameters());
-    for (std::size_t i = 0; i < config.size(); ++i) {
-        config[i] =
-            static_cast<int>(rng.uniform_int(0, space.cardinalities[i] - 1));
-    }
-    return config;
-}
 
 std::vector<double>
 to_features(const std::vector<int>& config)
@@ -41,28 +20,37 @@ to_features(const std::vector<int>& config)
 
 } // namespace
 
-double
-DiscreteSpace::log10_size() const
+BayesOptimizer::BayesOptimizer(BayesOptOptions options)
+    : options_(std::move(options))
 {
-    double total = 0.0;
-    for (const int c : cardinalities) {
-        total += std::log10(static_cast<double>(c));
-    }
-    return total;
 }
 
-BayesOptResult
-bayes_opt_minimize(
-    const std::function<double(const std::vector<int>&)>& objective,
-    const DiscreteSpace& space, const BayesOptOptions& options)
+OptimizeOutcome
+BayesOptimizer::minimize(const DiscreteObjective& objective,
+                         const DiscreteSpace& space,
+                         const StoppingCriteria& criteria,
+                         const SearchContext& context)
 {
-    CAFQA_REQUIRE(space.num_parameters() > 0, "empty search space");
-    for (const int c : space.cardinalities) {
-        CAFQA_REQUIRE(c >= 1, "parameter cardinality must be positive");
-    }
+    validate_space(space);
+    validate_seed_configs(options_.seed_configs, space);
+    validate_seed_configs(context.seed_configs, space);
+    const BayesOptOptions& options = options_;
     Rng rng(options.seed);
 
-    BayesOptResult result;
+    ProgressCallback progress;
+    if (options.progress || context.progress) {
+        progress = [&options, &context](std::size_t evaluation,
+                                        double best) {
+            if (options.progress) {
+                options.progress(evaluation, best);
+            }
+            if (context.progress) {
+                context.progress(evaluation, best);
+            }
+        };
+    }
+    OutcomeRecorder recorder(criteria, criteria.max_evaluations, progress);
+
     std::vector<std::vector<int>> configs;
     std::vector<std::vector<double>> features;
     std::vector<double> values;
@@ -73,167 +61,175 @@ bayes_opt_minimize(
         features.push_back(to_features(config));
         values.push_back(value);
         seen.insert(config_hash(config));
-        result.history.push_back(value);
-        if (result.best_trace.empty() || value < result.best_trace.back()) {
-            result.best_trace.push_back(value);
-            result.best_value = value;
-            result.best_config = config;
-            result.evaluations_to_best = result.history.size();
-        } else {
-            result.best_trace.push_back(result.best_trace.back());
-        }
-        if (options.progress) {
-            options.progress(result.history.size(), result.best_value);
-        }
+        recorder.record(config, value);
     };
 
     auto evaluate = [&](const std::vector<int>& config) {
-        const double value = objective(config);
-        record(config, value);
-        return value;
+        record(config, objective(config));
     };
 
-    // ---- Prior injection: caller-provided configurations first. ----
-    for (const auto& config : options.seed_configs) {
-        CAFQA_REQUIRE(config.size() == space.num_parameters(),
-                      "seed configuration has wrong parameter count");
-        for (std::size_t i = 0; i < config.size(); ++i) {
-            CAFQA_REQUIRE(config[i] >= 0 &&
-                              config[i] < space.cardinalities[i],
-                          "seed configuration value out of range");
-        }
-        if (seen.count(config_hash(config)) == 0) {
-            evaluate(config);
-        }
-    }
+    const DiscreteBatchEvaluator& batch =
+        context.batch ? context.batch : options.warmup_batch;
 
-    // ---- Warm-up: random sampling (deduplicated, bounded retries). ----
-    if (options.warmup_batch && options.warmup > 0) {
-        // Batched path: generate the whole block first (same RNG/dedup
-        // draws as the serial loop — each config is marked seen before
-        // the next is drawn), evaluate it in one call, record in order.
-        std::vector<std::vector<int>> block;
-        block.reserve(options.warmup);
-        for (std::size_t w = 0; w < options.warmup; ++w) {
-            std::vector<int> config = random_config(space, rng);
-            for (int attempt = 0;
-                 attempt < 16 && seen.count(config_hash(config)) != 0;
-                 ++attempt) {
-                config = random_config(space, rng);
-            }
-            seen.insert(config_hash(config));
-            block.push_back(std::move(config));
-        }
-        const std::vector<double> block_values =
-            options.warmup_batch(block);
-        CAFQA_REQUIRE(block_values.size() == block.size(),
-                      "warmup_batch returned wrong value count");
-        for (std::size_t w = 0; w < block.size(); ++w) {
-            record(block[w], block_values[w]);
-        }
-    } else {
-        for (std::size_t w = 0; w < options.warmup; ++w) {
-            std::vector<int> config = random_config(space, rng);
-            for (int attempt = 0;
-                 attempt < 16 && seen.count(config_hash(config)) != 0;
-                 ++attempt) {
-                config = random_config(space, rng);
-            }
-            evaluate(config);
-        }
-    }
-
-    // ---- Model-guided search. ----
-    RandomForest forest;
-    std::size_t stall = 0;
-    double best_at_last_improvement = result.best_value;
-
-    for (std::size_t iter = 0; iter < options.iterations; ++iter) {
-        if (options.stall_limit > 0 && stall >= options.stall_limit) {
-            break;
-        }
-        if (iter % std::max<std::size_t>(1, options.refit_every) == 0) {
-            forest.fit(features, values, options.seed + 17 * (iter + 1),
-                       options.forest);
-        }
-
-        // Candidate pool: uniform random + mutations of elite configs.
-        std::vector<std::vector<int>> pool;
-        pool.reserve(options.random_candidates +
-                     options.mutation_candidates);
-        for (std::size_t c = 0; c < options.random_candidates; ++c) {
-            pool.push_back(random_config(space, rng));
-        }
-        if (!values.empty() && options.mutation_candidates > 0) {
-            // Rank evaluated configs by value, mutate the best few.
-            std::vector<std::size_t> order(values.size());
-            for (std::size_t i = 0; i < order.size(); ++i) {
-                order[i] = i;
-            }
-            std::sort(order.begin(), order.end(),
-                      [&](std::size_t a, std::size_t b) {
-                          return values[a] < values[b];
-                      });
-            const std::size_t elites =
-                std::min(options.elite_size, order.size());
-            for (std::size_t c = 0; c < options.mutation_candidates; ++c) {
-                const std::size_t parent = order[static_cast<std::size_t>(
-                    rng.uniform_int(0,
-                                    static_cast<std::int64_t>(elites) - 1))];
-                std::vector<int> child = configs[parent];
-                const int flips = static_cast<int>(rng.uniform_int(1, 2));
-                for (int fidx = 0; fidx < flips; ++fidx) {
-                    const auto pos = static_cast<std::size_t>(rng.uniform_int(
-                        0,
-                        static_cast<std::int64_t>(child.size()) - 1));
-                    child[pos] = static_cast<int>(rng.uniform_int(
-                        0, space.cardinalities[pos] - 1));
+    StopReason reason = StopReason::BudgetExhausted;
+    try {
+        // ---- Prior injection: caller-provided configurations first
+        //      (the options' own seeds, then the context's). ----
+        for (const auto* seeds : {&options.seed_configs,
+                                  &context.seed_configs}) {
+            for (const auto& config : *seeds) {
+                if (seen.count(config_hash(config)) == 0) {
+                    evaluate(config);
                 }
-                pool.push_back(std::move(child));
             }
         }
 
-        // Greedy acquisition: pick the unevaluated candidate with the
-        // lowest surrogate prediction (epsilon-random for exploration).
-        std::vector<int>* chosen = nullptr;
-        if (rng.bernoulli(options.epsilon_random)) {
-            for (auto& candidate : pool) {
-                if (seen.count(config_hash(candidate)) == 0) {
-                    chosen = &candidate;
-                    break;
+        // ---- Warm-up: random sampling (deduplicated, bounded
+        //      retries). ----
+        const std::size_t warmup =
+            std::min(options.warmup, recorder.remaining_budget());
+        if (batch && warmup > 0) {
+            // Batched path: generate the whole block first (same
+            // RNG/dedup draws as the serial loop — each config is marked
+            // seen before the next is drawn), evaluate it in one call,
+            // record in order.
+            std::vector<std::vector<int>> block;
+            block.reserve(warmup);
+            for (std::size_t w = 0; w < warmup; ++w) {
+                std::vector<int> config = random_config(space, rng);
+                for (int attempt = 0;
+                     attempt < 16 && seen.count(config_hash(config)) != 0;
+                     ++attempt) {
+                    config = random_config(space, rng);
                 }
+                seen.insert(config_hash(config));
+                block.push_back(std::move(config));
+            }
+            const std::vector<double> block_values = batch(block);
+            CAFQA_REQUIRE(block_values.size() == block.size(),
+                          "warmup_batch returned wrong value count");
+            for (std::size_t w = 0; w < block.size(); ++w) {
+                record(block[w], block_values[w]);
             }
         } else {
-            double best_pred = 0.0;
-            for (auto& candidate : pool) {
-                if (seen.count(config_hash(candidate)) != 0) {
-                    continue;
+            for (std::size_t w = 0; w < warmup; ++w) {
+                std::vector<int> config = random_config(space, rng);
+                for (int attempt = 0;
+                     attempt < 16 && seen.count(config_hash(config)) != 0;
+                     ++attempt) {
+                    config = random_config(space, rng);
                 }
-                const double pred = forest.predict(to_features(candidate));
-                if (chosen == nullptr || pred < best_pred) {
-                    best_pred = pred;
-                    chosen = &candidate;
-                }
+                evaluate(config);
             }
         }
-        if (chosen == nullptr) {
-            // Whole pool already evaluated — fall back to fresh random.
-            std::vector<int> config = random_config(space, rng);
-            evaluate(config);
-        } else {
-            evaluate(*chosen);
-        }
 
-        if (result.best_value < best_at_last_improvement - 1e-15) {
-            best_at_last_improvement = result.best_value;
-            stall = 0;
-        } else {
-            ++stall;
+        // ---- Model-guided search. ----
+        RandomForest forest;
+        std::size_t stall = 0;
+        double best_at_last_improvement = recorder.best_value();
+
+        for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+            if (options.stall_limit > 0 && stall >= options.stall_limit) {
+                reason = StopReason::Stalled;
+                break;
+            }
+            if (iter % std::max<std::size_t>(1, options.refit_every) == 0) {
+                forest.fit(features, values, options.seed + 17 * (iter + 1),
+                           options.forest);
+            }
+
+            // Candidate pool: uniform random + mutations of elites.
+            std::vector<std::vector<int>> pool;
+            pool.reserve(options.random_candidates +
+                         options.mutation_candidates);
+            for (std::size_t c = 0; c < options.random_candidates; ++c) {
+                pool.push_back(random_config(space, rng));
+            }
+            if (!values.empty() && options.mutation_candidates > 0) {
+                // Rank evaluated configs by value, mutate the best few.
+                std::vector<std::size_t> order(values.size());
+                for (std::size_t i = 0; i < order.size(); ++i) {
+                    order[i] = i;
+                }
+                std::sort(order.begin(), order.end(),
+                          [&](std::size_t a, std::size_t b) {
+                              return values[a] < values[b];
+                          });
+                const std::size_t elites =
+                    std::min(options.elite_size, order.size());
+                for (std::size_t c = 0; c < options.mutation_candidates;
+                     ++c) {
+                    const std::size_t parent =
+                        order[static_cast<std::size_t>(rng.uniform_int(
+                            0, static_cast<std::int64_t>(elites) - 1))];
+                    std::vector<int> child = configs[parent];
+                    const int flips =
+                        static_cast<int>(rng.uniform_int(1, 2));
+                    for (int fidx = 0; fidx < flips; ++fidx) {
+                        const auto pos =
+                            static_cast<std::size_t>(rng.uniform_int(
+                                0,
+                                static_cast<std::int64_t>(child.size()) -
+                                    1));
+                        child[pos] = static_cast<int>(rng.uniform_int(
+                            0, space.cardinalities[pos] - 1));
+                    }
+                    pool.push_back(std::move(child));
+                }
+            }
+
+            // Greedy acquisition: pick the unevaluated candidate with
+            // the lowest surrogate prediction (epsilon-random for
+            // exploration).
+            std::vector<int>* chosen = nullptr;
+            if (rng.bernoulli(options.epsilon_random)) {
+                for (auto& candidate : pool) {
+                    if (seen.count(config_hash(candidate)) == 0) {
+                        chosen = &candidate;
+                        break;
+                    }
+                }
+            } else {
+                double best_pred = 0.0;
+                for (auto& candidate : pool) {
+                    if (seen.count(config_hash(candidate)) != 0) {
+                        continue;
+                    }
+                    const double pred =
+                        forest.predict(to_features(candidate));
+                    if (chosen == nullptr || pred < best_pred) {
+                        best_pred = pred;
+                        chosen = &candidate;
+                    }
+                }
+            }
+            if (chosen == nullptr) {
+                // Whole pool already evaluated — fresh random fallback.
+                evaluate(random_config(space, rng));
+            } else {
+                evaluate(*chosen);
+            }
+
+            if (recorder.best_value() < best_at_last_improvement - 1e-15) {
+                best_at_last_improvement = recorder.best_value();
+                stall = 0;
+            } else {
+                ++stall;
+            }
         }
+    } catch (const OutcomeRecorder::EarlyStop&) {
+        // A stopping criterion fired; the recorder holds the reason.
     }
 
-    CAFQA_ASSERT(!result.history.empty(), "no evaluations performed");
-    return result;
+    return recorder.finish(reason);
+}
+
+BayesOptResult
+bayes_opt_minimize(
+    const std::function<double(const std::vector<int>&)>& objective,
+    const DiscreteSpace& space, const BayesOptOptions& options)
+{
+    return BayesOptimizer(options).minimize(objective, space);
 }
 
 } // namespace cafqa

@@ -8,6 +8,9 @@
  * mutations of the best configurations found so far), after an initial
  * random warm-up phase (Fig. 7: "the first 1000 iterations are a warm-up
  * period").
+ *
+ * `BayesOptimizer` is the `DiscreteOptimizer` implementation (registry
+ * key "bayes"); `bayes_opt_minimize` remains as a thin shim.
  */
 #ifndef CAFQA_OPT_BAYES_OPT_HPP
 #define CAFQA_OPT_BAYES_OPT_HPP
@@ -15,20 +18,10 @@
 #include <functional>
 #include <vector>
 
+#include "opt/optimizer.hpp"
 #include "opt/random_forest.hpp"
 
 namespace cafqa {
-
-/** A discrete configuration space: parameter i takes values
- *  0..cardinalities[i]-1. */
-struct DiscreteSpace
-{
-    std::vector<int> cardinalities;
-
-    std::size_t num_parameters() const { return cardinalities.size(); }
-    /** log10 of the space size (the spaces themselves overflow). */
-    double log10_size() const;
-};
 
 /** Bayesian optimization controls. */
 struct BayesOptOptions
@@ -54,9 +47,12 @@ struct BayesOptOptions
     std::size_t stall_limit = 0;
     /** Configurations evaluated before the random warm-up (prior
      *  injection — e.g. the Hartree-Fock point, which guarantees the
-     *  search result never falls behind the HF baseline). */
+     *  search result never falls behind the HF baseline). Merged with
+     *  `SearchContext::seed_configs` (options first, duplicates
+     *  skipped). */
     std::vector<std::vector<int>> seed_configs;
-    /** Optional progress callback (evaluation index, current best). */
+    /** Optional progress callback (evaluation index, current best);
+     *  invoked in addition to `SearchContext::progress`. */
     std::function<void(std::size_t, double)> progress;
     /**
      * Optional batched evaluator for the warm-up phase: given a block of
@@ -66,27 +62,37 @@ struct BayesOptOptions
      * generation order, so the search trajectory is bit-identical to the
      * serial path — but the block can be fanned out across a thread pool
      * (the objective must then be safe to evaluate concurrently, e.g. on
-     * per-thread backend clones).
+     * per-thread backend clones). `SearchContext::batch` takes
+     * precedence when both are set.
      */
     std::function<std::vector<double>(const std::vector<std::vector<int>>&)>
         warmup_batch;
 };
 
-/** Search outcome. */
-struct BayesOptResult
+/** Deprecated alias kept for one release; use `OptimizeOutcome`.
+ *  (`best_config`, `best_value`, `history`, `best_trace` and
+ *  `evaluations_to_best` carry over unchanged.) */
+using BayesOptResult = OptimizeOutcome;
+
+/** Random-forest Bayesian optimization (registry key "bayes"). */
+class BayesOptimizer final : public DiscreteOptimizer
 {
-    std::vector<int> best_config;
-    double best_value = 0.0;
-    /** Objective value of every evaluation, in order. */
-    std::vector<double> history;
-    /** Running minimum of `history`. */
-    std::vector<double> best_trace;
-    /** Index (1-based evaluation count) at which the best was found —
-     *  the "iterations to converge" metric of Fig. 15. */
-    std::size_t evaluations_to_best = 0;
+  public:
+    explicit BayesOptimizer(BayesOptOptions options = {});
+
+    std::string_view name() const override { return "bayes"; }
+
+    OptimizeOutcome minimize(const DiscreteObjective& objective,
+                             const DiscreteSpace& space,
+                             const StoppingCriteria& criteria = {},
+                             const SearchContext& context = {}) override;
+
+  private:
+    BayesOptOptions options_;
 };
 
-/** Minimize `objective` over the discrete space. */
+/** Minimize `objective` over the discrete space. Deprecated shim over
+ *  `BayesOptimizer`. */
 BayesOptResult bayes_opt_minimize(
     const std::function<double(const std::vector<int>&)>& objective,
     const DiscreteSpace& space, const BayesOptOptions& options = {});

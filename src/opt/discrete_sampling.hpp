@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared sampling primitives for discrete optimizers. The Bayesian
+ * warm-up and the random-search baseline must draw configurations with
+ * the *same* RNG call pattern and deduplication hash so their
+ * trajectories stay comparable (and the batched paths bit-identical to
+ * the serial ones) — keeping the definitions in one place is what
+ * guarantees that.
+ */
+#ifndef CAFQA_OPT_DISCRETE_SAMPLING_HPP
+#define CAFQA_OPT_DISCRETE_SAMPLING_HPP
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "opt/optimizer.hpp"
+
+namespace cafqa {
+
+/** Order-dependent configuration hash used for sample deduplication. */
+inline std::size_t
+config_hash(const std::vector<int>& config)
+{
+    std::size_t h = 0x9e3779b97f4a7c15ull;
+    for (const int v : config) {
+        h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull +
+             (h << 6) + (h >> 2);
+    }
+    return h;
+}
+
+/** Uniform configuration draw: one `uniform_int` call per parameter,
+ *  in parameter order. */
+inline std::vector<int>
+random_config(const DiscreteSpace& space, Rng& rng)
+{
+    std::vector<int> config(space.num_parameters());
+    for (std::size_t i = 0; i < config.size(); ++i) {
+        config[i] =
+            static_cast<int>(rng.uniform_int(0, space.cardinalities[i] - 1));
+    }
+    return config;
+}
+
+} // namespace cafqa
+
+#endif // CAFQA_OPT_DISCRETE_SAMPLING_HPP

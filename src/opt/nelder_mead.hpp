@@ -2,7 +2,7 @@
  * @file
  * Nelder-Mead downhill simplex minimizer for small continuous problems.
  * Used by the STO-nG basis fitter and available as a noise-free baseline
- * optimizer for post-CAFQA VQA tuning.
+ * tuner for post-CAFQA VQA tuning (registry key "nelder-mead").
  */
 #ifndef CAFQA_OPT_NELDER_MEAD_HPP
 #define CAFQA_OPT_NELDER_MEAD_HPP
@@ -10,11 +10,14 @@
 #include <functional>
 #include <vector>
 
+#include "opt/optimizer.hpp"
+
 namespace cafqa {
 
 /** Options for Nelder-Mead. */
 struct NelderMeadOptions
 {
+    /** Own evaluation budget (a `StoppingCriteria` cap overrides). */
     std::size_t max_evaluations = 2000;
     /** Stop when the simplex f-value spread falls below this. */
     double f_tolerance = 1e-12;
@@ -22,15 +25,29 @@ struct NelderMeadOptions
     double initial_step = 0.5;
 };
 
-/** Result of a minimization. */
-struct OptimizeResult
+/** Deprecated alias kept for one release; use `OptimizeOutcome`
+ *  (`x` -> `best_x`, `f` -> `best_value`). */
+using OptimizeResult = OptimizeOutcome;
+
+/** Downhill simplex minimization (registry key "nelder-mead"). */
+class NelderMeadOptimizer final : public ContinuousOptimizer
 {
-    std::vector<double> x;
-    double f = 0.0;
-    std::size_t evaluations = 0;
+  public:
+    explicit NelderMeadOptimizer(NelderMeadOptions options = {});
+
+    std::string_view name() const override { return "nelder-mead"; }
+
+    OptimizeOutcome minimize(const ContinuousObjective& objective,
+                             std::vector<double> x0,
+                             const StoppingCriteria& criteria = {},
+                             const SearchContext& context = {}) override;
+
+  private:
+    NelderMeadOptions options_;
 };
 
-/** Minimize `objective` starting from `x0`. */
+/** Minimize `objective` starting from `x0`. Deprecated shim over
+ *  `NelderMeadOptimizer`. */
 OptimizeResult
 nelder_mead(const std::function<double(const std::vector<double>&)>& objective,
             std::vector<double> x0, const NelderMeadOptions& options = {});

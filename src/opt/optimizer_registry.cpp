@@ -1,0 +1,185 @@
+#include "opt/optimizer_registry.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+namespace {
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, OptimizerFactory> factories;
+};
+
+/** The process-wide registry, with the built-in kinds pre-registered.
+ *  Function-local static so registration order is independent of
+ *  translation-unit initialization order. */
+Registry&
+registry()
+{
+    static Registry instance;
+    static const bool built_ins_registered = [] {
+        auto& factories = instance.factories;
+        factories["bayes"] = [](const OptimizerConfig& config) {
+            BayesOptOptions options = config.bayes;
+            if (config.seed != 0) {
+                options.seed = config.seed;
+            }
+            return std::make_unique<BayesOptimizer>(std::move(options));
+        };
+        factories["anneal"] = [](const OptimizerConfig& config) {
+            AnnealingOptions options = config.anneal;
+            if (config.seed != 0) {
+                options.seed = config.seed;
+            }
+            return std::make_unique<SimulatedAnnealingOptimizer>(options);
+        };
+        factories["random"] = [](const OptimizerConfig& config) {
+            RandomSearchOptions options = config.random;
+            if (config.seed != 0) {
+                options.seed = config.seed;
+            }
+            return std::make_unique<RandomSearchOptimizer>(options);
+        };
+        factories["exhaustive"] = [](const OptimizerConfig&) {
+            return std::make_unique<ExhaustiveOptimizer>();
+        };
+        factories["nelder-mead"] = [](const OptimizerConfig& config) {
+            return std::make_unique<NelderMeadOptimizer>(
+                config.nelder_mead);
+        };
+        factories["spsa"] = [](const OptimizerConfig& config) {
+            SpsaOptions options = config.spsa;
+            if (config.seed != 0) {
+                options.seed = config.seed;
+            }
+            return std::make_unique<SpsaOptimizer>(options);
+        };
+        return true;
+    }();
+    (void)built_ins_registered;
+    return instance;
+}
+
+template <typename Interface>
+std::vector<std::string>
+registered_kinds_of()
+{
+    std::vector<std::string> kinds;
+    for (const std::string& kind : registered_optimizers()) {
+        OptimizerConfig config;
+        config.kind = kind;
+        // Classification needs an instance; a third-party factory that
+        // rejects the default config is skipped rather than breaking
+        // every listing (CLI usage text, ablation bench, ...).
+        try {
+            const std::unique_ptr<Optimizer> optimizer =
+                make_optimizer(config);
+            if (dynamic_cast<const Interface*>(optimizer.get()) !=
+                nullptr) {
+                kinds.push_back(kind);
+            }
+        } catch (const std::exception&) {
+            continue;
+        }
+    }
+    return kinds;
+}
+
+} // namespace
+
+void
+register_optimizer(const std::string& kind, OptimizerFactory factory)
+{
+    CAFQA_REQUIRE(!kind.empty(), "optimizer kind must be non-empty");
+    CAFQA_REQUIRE(factory != nullptr, "optimizer factory must be callable");
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    r.factories[kind] = std::move(factory);
+}
+
+bool
+optimizer_registered(const std::string& kind)
+{
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    return r.factories.count(kind) != 0;
+}
+
+std::vector<std::string>
+registered_optimizers()
+{
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    std::vector<std::string> kinds;
+    kinds.reserve(r.factories.size());
+    for (const auto& [kind, factory] : r.factories) {
+        kinds.push_back(kind);
+    }
+    return kinds;
+}
+
+std::vector<std::string>
+registered_discrete_optimizers()
+{
+    return registered_kinds_of<DiscreteOptimizer>();
+}
+
+std::vector<std::string>
+registered_continuous_optimizers()
+{
+    return registered_kinds_of<ContinuousOptimizer>();
+}
+
+std::unique_ptr<Optimizer>
+make_optimizer(const OptimizerConfig& config)
+{
+    OptimizerFactory factory;
+    {
+        Registry& r = registry();
+        std::lock_guard lock(r.mutex);
+        const auto it = r.factories.find(config.kind);
+        if (it == r.factories.end()) {
+            std::string all;
+            for (const auto& [kind, unused] : r.factories) {
+                all += all.empty() ? kind : ", " + kind;
+            }
+            CAFQA_REQUIRE(false, "unknown optimizer kind \"" + config.kind +
+                                     "\" (registered: " + all + ")");
+        }
+        factory = it->second;
+    }
+    std::unique_ptr<Optimizer> optimizer = factory(config);
+    CAFQA_ASSERT(optimizer != nullptr, "optimizer factory returned null");
+    return optimizer;
+}
+
+std::unique_ptr<DiscreteOptimizer>
+make_discrete_optimizer(const OptimizerConfig& config)
+{
+    std::unique_ptr<Optimizer> optimizer = make_optimizer(config);
+    auto* discrete = dynamic_cast<DiscreteOptimizer*>(optimizer.get());
+    CAFQA_REQUIRE(discrete != nullptr,
+                  "optimizer kind \"" + config.kind +
+                      "\" does not minimize over a discrete space");
+    optimizer.release();
+    return std::unique_ptr<DiscreteOptimizer>(discrete);
+}
+
+std::unique_ptr<ContinuousOptimizer>
+make_continuous_optimizer(const OptimizerConfig& config)
+{
+    std::unique_ptr<Optimizer> optimizer = make_optimizer(config);
+    auto* continuous = dynamic_cast<ContinuousOptimizer*>(optimizer.get());
+    CAFQA_REQUIRE(continuous != nullptr,
+                  "optimizer kind \"" + config.kind +
+                      "\" does not minimize from a continuous start point");
+    optimizer.release();
+    return std::unique_ptr<ContinuousOptimizer>(continuous);
+}
+
+} // namespace cafqa

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * String-keyed optimizer registry and factory, mirroring the backend
+ * registry: construct any search strategy from an `OptimizerConfig`
+ * without naming its concrete type.
+ *
+ * Built-in kinds:
+ *
+ * | key           | class                       | space      | options     |
+ * |---------------|-----------------------------|------------|-------------|
+ * | "bayes"       | BayesOptimizer              | discrete   | bayes       |
+ * | "anneal"      | SimulatedAnnealingOptimizer | discrete   | anneal      |
+ * | "random"      | RandomSearchOptimizer       | discrete   | random      |
+ * | "exhaustive"  | ExhaustiveOptimizer         | discrete   | -           |
+ * | "nelder-mead" | NelderMeadOptimizer         | continuous | nelder_mead |
+ * | "spsa"        | SpsaOptimizer               | continuous | spsa        |
+ *
+ * Additional kinds (CMA-ES, portfolio schedulers, ...) can be registered
+ * at runtime with `register_optimizer`; `CafqaPipeline`, the CLI and the
+ * ablation bench resolve strategies exclusively through this factory, so
+ * a new kind is immediately usable everywhere.
+ */
+#ifndef CAFQA_OPT_OPTIMIZER_REGISTRY_HPP
+#define CAFQA_OPT_OPTIMIZER_REGISTRY_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opt/bayes_opt.hpp"
+#include "opt/nelder_mead.hpp"
+#include "opt/search_baselines.hpp"
+#include "opt/simulated_annealing.hpp"
+#include "opt/spsa.hpp"
+
+namespace cafqa {
+
+/** Everything an optimizer factory may need; unused fields are
+ *  ignored. */
+struct OptimizerConfig
+{
+    /** Registry key selecting the strategy. */
+    std::string kind = "bayes";
+    /** If nonzero, overrides every algorithm's own RNG seed. */
+    std::uint64_t seed = 0;
+    BayesOptOptions bayes;
+    AnnealingOptions anneal;
+    RandomSearchOptions random;
+    NelderMeadOptions nelder_mead;
+    SpsaOptions spsa;
+};
+
+/** Default config for `kind` (convenience for field initializers). */
+inline OptimizerConfig
+optimizer_config(std::string kind)
+{
+    OptimizerConfig config;
+    config.kind = std::move(kind);
+    return config;
+}
+
+/** Factory signature stored in the registry. */
+using OptimizerFactory =
+    std::function<std::unique_ptr<Optimizer>(const OptimizerConfig&)>;
+
+/** Register (or replace) a factory under `kind`. */
+void register_optimizer(const std::string& kind, OptimizerFactory factory);
+
+/** True if `kind` is registered. */
+bool optimizer_registered(const std::string& kind);
+
+/** Sorted list of registered kinds. */
+std::vector<std::string> registered_optimizers();
+
+/** Sorted registered kinds whose optimizers minimize over a
+ *  `DiscreteSpace` (resp. from a continuous `x0`). Constructs a
+ *  throwaway instance of each kind to classify it; kinds whose factory
+ *  rejects a default config are omitted. */
+std::vector<std::string> registered_discrete_optimizers();
+std::vector<std::string> registered_continuous_optimizers();
+
+/** Construct an optimizer; throws std::invalid_argument on unknown
+ *  kind. */
+std::unique_ptr<Optimizer> make_optimizer(const OptimizerConfig& config);
+
+/** make_optimizer + checked downcast to the discrete interface. */
+std::unique_ptr<DiscreteOptimizer>
+make_discrete_optimizer(const OptimizerConfig& config);
+
+/** make_optimizer + checked downcast to the continuous interface. */
+std::unique_ptr<ContinuousOptimizer>
+make_continuous_optimizer(const OptimizerConfig& config);
+
+} // namespace cafqa
+
+#endif // CAFQA_OPT_OPTIMIZER_REGISTRY_HPP

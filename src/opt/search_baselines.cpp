@@ -1,0 +1,141 @@
+#include "opt/search_baselines.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/error.hpp"
+#include "opt/discrete_sampling.hpp"
+
+namespace cafqa {
+
+RandomSearchOptimizer::RandomSearchOptimizer(RandomSearchOptions options)
+    : options_(options)
+{
+}
+
+OptimizeOutcome
+RandomSearchOptimizer::minimize(const DiscreteObjective& objective,
+                                const DiscreteSpace& space,
+                                const StoppingCriteria& criteria,
+                                const SearchContext& context)
+{
+    validate_space(space);
+    validate_seed_configs(context.seed_configs, space);
+    CAFQA_REQUIRE(options_.samples > 0 || criteria.max_evaluations > 0 ||
+                      !context.seed_configs.empty(),
+                  "random search needs samples, an evaluation budget, or "
+                  "seed configurations");
+    Rng rng(options_.seed);
+    OutcomeRecorder recorder(criteria, criteria.max_evaluations,
+                             context.progress);
+
+    // Sample generation runs in bounded chunks: the RNG/dedup sequence
+    // (each config marked seen before the next draw, the warm-up's
+    // idiom) is independent of the chunking and of whether a chunk is
+    // evaluated serially or through `context.batch`, so the trajectory
+    // is identical either way — and a huge evaluation budget never
+    // materializes as one huge allocation.
+    constexpr std::size_t kChunk = 4096;
+
+    std::unordered_set<std::size_t> seen;
+    try {
+        for (const auto& config : context.seed_configs) {
+            if (seen.insert(config_hash(config)).second) {
+                recorder.record(config, objective(config));
+            }
+        }
+
+        std::size_t remaining = criteria.max_evaluations > 0
+            ? recorder.remaining_budget()
+            : options_.samples;
+
+        std::vector<std::vector<int>> block;
+        while (remaining > 0) {
+            block.clear();
+            const std::size_t chunk = std::min(remaining, kChunk);
+            for (std::size_t s = 0; s < chunk; ++s) {
+                std::vector<int> config = random_config(space, rng);
+                for (int attempt = 0;
+                     attempt < 16 && seen.count(config_hash(config)) != 0;
+                     ++attempt) {
+                    config = random_config(space, rng);
+                }
+                seen.insert(config_hash(config));
+                block.push_back(std::move(config));
+            }
+            if (context.batch) {
+                const std::vector<double> values = context.batch(block);
+                CAFQA_REQUIRE(values.size() == block.size(),
+                              "batch evaluator returned wrong value count");
+                for (std::size_t s = 0; s < block.size(); ++s) {
+                    recorder.record(block[s], values[s]);
+                }
+            } else {
+                for (const auto& config : block) {
+                    recorder.record(config, objective(config));
+                }
+            }
+            remaining -= chunk;
+        }
+    } catch (const OutcomeRecorder::EarlyStop&) {
+        // A stopping criterion fired; the recorder holds the reason.
+    }
+
+    return recorder.finish(StopReason::BudgetExhausted);
+}
+
+OptimizeOutcome
+ExhaustiveOptimizer::minimize(const DiscreteObjective& objective,
+                              const DiscreteSpace& space,
+                              const StoppingCriteria& criteria,
+                              const SearchContext& context)
+{
+    validate_space(space);
+    validate_seed_configs(context.seed_configs, space);
+    // Only criteria that terminate unconditionally count as bounds: an
+    // unreached target value or a never-stalling patience window would
+    // still enumerate the whole space.
+    const bool bounded =
+        criteria.max_evaluations > 0 || criteria.max_seconds > 0.0;
+    CAFQA_REQUIRE(bounded || space.log10_size() <= 7.35,
+                  "space too large to enumerate exhaustively; set an "
+                  "evaluation or wall-clock budget to bound the run");
+    OutcomeRecorder recorder(criteria, criteria.max_evaluations,
+                             context.progress);
+
+    try {
+        // Seeds first (gives target-value exits a strong start), then an
+        // ascending odometer scan skipping the already-evaluated seeds
+        // (same dedup hash as the sampling strategies; duplicate seeds
+        // are evaluated once).
+        std::unordered_set<std::size_t> seen;
+        for (const auto& config : context.seed_configs) {
+            if (seen.insert(config_hash(config)).second) {
+                recorder.record(config, objective(config));
+            }
+        }
+
+        std::vector<int> steps(space.num_parameters(), 0);
+        bool done = false;
+        while (!done) {
+            if (seen.count(config_hash(steps)) == 0) {
+                recorder.record(steps, objective(steps));
+            }
+            done = true;
+            for (std::size_t i = 0; i < steps.size(); ++i) {
+                if (++steps[i] < space.cardinalities[i]) {
+                    done = false;
+                    break;
+                }
+                steps[i] = 0;
+            }
+        }
+    } catch (const OutcomeRecorder::EarlyStop&) {
+        // A stopping criterion fired; the recorder holds the reason.
+    }
+
+    return recorder.finish(StopReason::SpaceExhausted);
+}
+
+} // namespace cafqa

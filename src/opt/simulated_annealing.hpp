@@ -4,19 +4,26 @@
  * search strategy used by the ablation bench to justify the paper's
  * choice of Bayesian optimization with a random-forest surrogate
  * (Section 5).
+ *
+ * `SimulatedAnnealingOptimizer` is the `DiscreteOptimizer`
+ * implementation (registry key "anneal"); the free function remains as
+ * a thin shim.
  */
 #ifndef CAFQA_OPT_SIMULATED_ANNEALING_HPP
 #define CAFQA_OPT_SIMULATED_ANNEALING_HPP
 
 #include <functional>
 
-#include "opt/bayes_opt.hpp"
+#include "opt/optimizer.hpp"
 
 namespace cafqa {
 
 /** Annealing schedule controls. */
 struct AnnealingOptions
 {
+    /** Schedule length = total evaluations. A nonzero
+     *  `StoppingCriteria::max_evaluations` replaces this (one proposal
+     *  costs one evaluation, so the budget is the schedule). */
     std::size_t iterations = 500;
     double initial_temperature = 1.0;
     double final_temperature = 1e-3;
@@ -25,12 +32,32 @@ struct AnnealingOptions
     std::size_t mutations_per_step = 1;
 };
 
+/** Geometric-cooling Metropolis annealing (registry key "anneal").
+ *  When `SearchContext::seed_configs` is set, the seeds are evaluated
+ *  first and the best of them becomes the starting state. */
+class SimulatedAnnealingOptimizer final : public DiscreteOptimizer
+{
+  public:
+    explicit SimulatedAnnealingOptimizer(AnnealingOptions options = {});
+
+    std::string_view name() const override { return "anneal"; }
+
+    OptimizeOutcome minimize(const DiscreteObjective& objective,
+                             const DiscreteSpace& space,
+                             const StoppingCriteria& criteria = {},
+                             const SearchContext& context = {}) override;
+
+  private:
+    AnnealingOptions options_;
+};
+
 /**
  * Minimize `objective` over a discrete space with geometric-cooling
- * Metropolis annealing. Returns the same result shape as the Bayesian
- * optimizer so the two are directly comparable.
+ * Metropolis annealing. Deprecated shim over
+ * `SimulatedAnnealingOptimizer`; returns the shared `OptimizeOutcome`
+ * so the strategies stay directly comparable.
  */
-BayesOptResult simulated_annealing_minimize(
+OptimizeOutcome simulated_annealing_minimize(
     const std::function<double(const std::vector<int>&)>& objective,
     const DiscreteSpace& space, const AnnealingOptions& options = {});
 

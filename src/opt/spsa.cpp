@@ -1,61 +1,76 @@
 #include "opt/spsa.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
 namespace cafqa {
 
-SpsaResult
-spsa_minimize(const std::function<double(const std::vector<double>&)>& objective,
-              std::vector<double> x0, const SpsaOptions& options)
+SpsaOptimizer::SpsaOptimizer(SpsaOptions options) : options_(options) {}
+
+OptimizeOutcome
+SpsaOptimizer::minimize(const ContinuousObjective& objective,
+                        std::vector<double> x0,
+                        const StoppingCriteria& criteria,
+                        const SearchContext& context)
 {
     CAFQA_REQUIRE(!x0.empty(), "empty start point");
     const std::size_t n = x0.size();
+    const SpsaOptions& options = options_;
     Rng rng(options.seed);
-
-    SpsaResult result;
-    result.trace.reserve(options.iterations);
+    OutcomeRecorder recorder(criteria, criteria.max_evaluations,
+                             context.progress);
 
     std::vector<double> x = std::move(x0);
     std::vector<double> delta(n);
     std::vector<double> x_plus(n);
     std::vector<double> x_minus(n);
 
-    double best_f = objective(x);
-    std::vector<double> best_x = x;
+    try {
+        recorder.record(x, objective(x));
 
-    for (std::size_t k = 0; k < options.iterations; ++k) {
-        const double a_k =
-            options.a /
-            std::pow(k + 1.0 + options.stability, options.alpha);
-        const double c_k = options.c / std::pow(k + 1.0, options.gamma);
+        for (std::size_t k = 0; k < options.iterations; ++k) {
+            // One iteration needs the two probes plus the post-step
+            // evaluation; stop cleanly when they no longer fit.
+            if (!recorder.has_budget(3)) {
+                break;
+            }
+            const double a_k =
+                options.a /
+                std::pow(k + 1.0 + options.stability, options.alpha);
+            const double c_k = options.c / std::pow(k + 1.0, options.gamma);
 
-        for (std::size_t i = 0; i < n; ++i) {
-            delta[i] = rng.rademacher();
-            x_plus[i] = x[i] + c_k * delta[i];
-            x_minus[i] = x[i] - c_k * delta[i];
+            for (std::size_t i = 0; i < n; ++i) {
+                delta[i] = rng.rademacher();
+                x_plus[i] = x[i] + c_k * delta[i];
+                x_minus[i] = x[i] - c_k * delta[i];
+            }
+            const double f_plus = objective(x_plus);
+            recorder.count_evaluation();
+            const double f_minus = objective(x_minus);
+            recorder.count_evaluation();
+            const double diff = (f_plus - f_minus) / (2.0 * c_k);
+
+            for (std::size_t i = 0; i < n; ++i) {
+                x[i] -= a_k * diff / delta[i];
+            }
+
+            recorder.record(x, objective(x));
         }
-        const double f_plus = objective(x_plus);
-        const double f_minus = objective(x_minus);
-        const double diff = (f_plus - f_minus) / (2.0 * c_k);
-
-        for (std::size_t i = 0; i < n; ++i) {
-            x[i] -= a_k * diff / delta[i];
-        }
-
-        const double f_now = objective(x);
-        result.trace.push_back(SpsaTracePoint{k, f_now});
-        if (f_now < best_f) {
-            best_f = f_now;
-            best_x = x;
-        }
+    } catch (const OutcomeRecorder::EarlyStop&) {
+        // A stopping criterion fired; the recorder holds the reason.
     }
 
-    result.x = best_x;
-    result.f = best_f;
-    return result;
+    return recorder.finish(StopReason::BudgetExhausted);
+}
+
+SpsaResult
+spsa_minimize(const std::function<double(const std::vector<double>&)>& objective,
+              std::vector<double> x0, const SpsaOptions& options)
+{
+    return SpsaOptimizer(options).minimize(objective, std::move(x0));
 }
 
 } // namespace cafqa

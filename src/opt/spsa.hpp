@@ -2,7 +2,8 @@
  * @file
  * Simultaneous Perturbation Stochastic Approximation (SPSA) — the
  * continuous optimizer the paper uses for post-CAFQA variational tuning
- * on (noisy) quantum hardware (Fig. 4, right box; Fig. 14).
+ * on (noisy) quantum hardware (Fig. 4, right box; Fig. 14). Registry
+ * key "spsa".
  *
  * SPSA estimates the gradient with two objective evaluations per
  * iteration regardless of dimension, which makes it the standard choice
@@ -14,6 +15,8 @@
 #include <cstdint>
 #include <functional>
 #include <vector>
+
+#include "opt/optimizer.hpp"
 
 namespace cafqa {
 
@@ -29,24 +32,35 @@ struct SpsaOptions
     std::uint64_t seed = 1234;
 };
 
-/** Per-iteration trace entry. */
-struct SpsaTracePoint
+/** Deprecated alias kept for one release; use `OptimizeOutcome`
+ *  (`x` -> `best_x`, `f` -> `best_value`; the per-iteration trace is
+ *  `history`, whose first entry is the start-point value). */
+using SpsaResult = OptimizeOutcome;
+
+/**
+ * SPSA minimization (registry key "spsa"). Each iteration makes three
+ * objective calls (the +/- gradient probes and one post-step
+ * evaluation); the probes count toward `evaluations` but only the
+ * start point and the post-step values are recorded in `history`.
+ */
+class SpsaOptimizer final : public ContinuousOptimizer
 {
-    std::size_t iteration;
-    /** Objective value at the current iterate (one extra evaluation). */
-    double value;
+  public:
+    explicit SpsaOptimizer(SpsaOptions options = {});
+
+    std::string_view name() const override { return "spsa"; }
+
+    OptimizeOutcome minimize(const ContinuousObjective& objective,
+                             std::vector<double> x0,
+                             const StoppingCriteria& criteria = {},
+                             const SearchContext& context = {}) override;
+
+  private:
+    SpsaOptions options_;
 };
 
-/** Result of an SPSA run. */
-struct SpsaResult
-{
-    std::vector<double> x;
-    double f = 0.0;
-    /** Objective evaluated at the iterate after each step. */
-    std::vector<SpsaTracePoint> trace;
-};
-
-/** Minimize a (possibly stochastic) objective from `x0`. */
+/** Minimize a (possibly stochastic) objective from `x0`. Deprecated
+ *  shim over `SpsaOptimizer`. */
 SpsaResult
 spsa_minimize(const std::function<double(const std::vector<double>&)>& objective,
               std::vector<double> x0, const SpsaOptions& options = {});

@@ -297,9 +297,11 @@ TEST(VqaTuner, IdealTuningReachesExactFromCafqaInit)
 
 TEST(VqaTuner, ConvergenceMetric)
 {
+    // trace[0] is the start point: converging there costs 0 steps.
     const std::vector<double> trace = {3.0, 2.0, 1.5, 1.01, 1.0, 1.0};
-    EXPECT_EQ(iterations_to_converge(trace, 0.05), 4u);
-    EXPECT_EQ(iterations_to_converge(trace, 0.6), 3u);
+    EXPECT_EQ(iterations_to_converge(trace, 0.05), 3u);
+    EXPECT_EQ(iterations_to_converge(trace, 0.6), 2u);
+    EXPECT_EQ(iterations_to_converge(trace, 10.0), 0u);
     EXPECT_EQ(iterations_to_converge({}, 0.1), 0u);
 }
 

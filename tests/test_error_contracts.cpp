@@ -17,6 +17,7 @@
 #include "mapping/z2_reduction.hpp"
 #include "opt/bayes_opt.hpp"
 #include "opt/nelder_mead.hpp"
+#include "opt/optimizer_registry.hpp"
 #include "opt/spsa.hpp"
 #include "problems/maxcut.hpp"
 #include "problems/molecule_factory.hpp"
@@ -161,6 +162,23 @@ TEST(ErrorContracts, OptimizerGuards)
         bayes_opt_minimize([](const std::vector<int>&) { return 0.0; },
                            zero_card, {}),
         std::invalid_argument);
+}
+
+TEST(ErrorContracts, OptimizerRegistryGuards)
+{
+    EXPECT_THROW(make_optimizer(optimizer_config("no-such-kind")),
+                 std::invalid_argument);
+    // Space/kind mismatches are rejected at construction time.
+    EXPECT_THROW(make_discrete_optimizer(optimizer_config("nelder-mead")),
+                 std::invalid_argument);
+    EXPECT_THROW(make_continuous_optimizer(optimizer_config("anneal")),
+                 std::invalid_argument);
+    EXPECT_THROW(register_optimizer("", nullptr), std::invalid_argument);
+
+    // Pipeline-level mismatch: a continuous tuner key handed to the
+    // discrete search stage fails fast inside the stage.
+    OptimizerConfig bad = optimizer_config("spsa");
+    EXPECT_THROW(make_discrete_optimizer(bad), std::invalid_argument);
 }
 
 TEST(ErrorContracts, EvaluatorGuards)

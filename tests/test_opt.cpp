@@ -1,12 +1,20 @@
-// Tests for the optimization substrate: Nelder-Mead, SPSA, regression
-// trees/forests, and the discrete Bayesian optimizer.
+// Tests for the optimization substrate: the Optimizer interfaces and
+// registry, a contract suite run over every registered optimizer,
+// Nelder-Mead, SPSA, regression trees/forests, the discrete Bayesian
+// optimizer, and the unguided baselines.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <memory>
+#include <thread>
 
 #include "opt/bayes_opt.hpp"
 #include "opt/nelder_mead.hpp"
+#include "opt/optimizer_registry.hpp"
+#include "opt/search_baselines.hpp"
 #include "opt/simulated_annealing.hpp"
 #include "opt/spsa.hpp"
 
@@ -19,9 +27,10 @@ TEST(NelderMead, Quadratic)
         return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] + 2.0) * (x[1] + 2.0);
     };
     const OptimizeResult r = nelder_mead(f, {0.0, 0.0});
-    EXPECT_NEAR(r.x[0], 1.0, 1e-5);
-    EXPECT_NEAR(r.x[1], -2.0, 1e-5);
-    EXPECT_LT(r.f, 1e-9);
+    EXPECT_NEAR(r.best_x[0], 1.0, 1e-5);
+    EXPECT_NEAR(r.best_x[1], -2.0, 1e-5);
+    EXPECT_LT(r.best_value, 1e-9);
+    EXPECT_EQ(r.stop_reason, StopReason::Converged);
 }
 
 TEST(NelderMead, Rosenbrock)
@@ -34,8 +43,8 @@ TEST(NelderMead, Rosenbrock)
     const OptimizeResult r = nelder_mead(
         f, {-1.2, 1.0}, {.max_evaluations = 5000, .f_tolerance = 1e-14,
                          .initial_step = 0.5});
-    EXPECT_NEAR(r.x[0], 1.0, 1e-3);
-    EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+    EXPECT_NEAR(r.best_x[0], 1.0, 1e-3);
+    EXPECT_NEAR(r.best_x[1], 1.0, 1e-3);
 }
 
 TEST(Spsa, NoiselessQuadratic)
@@ -55,8 +64,11 @@ TEST(Spsa, NoiselessQuadratic)
                                         .gamma = 0.101,
                                         .stability = 10.0,
                                         .seed = 5});
-    EXPECT_LT(r.f, 1e-2);
-    EXPECT_EQ(r.trace.size(), 800u);
+    EXPECT_LT(r.best_value, 1e-2);
+    // Start-point value plus one recorded value per iteration; the +/-
+    // probes are counted but not recorded.
+    EXPECT_EQ(r.history.size(), 801u);
+    EXPECT_EQ(r.evaluations, 1u + 3u * 800u);
 }
 
 TEST(Spsa, NoisyObjectiveStillDescends)
@@ -70,7 +82,7 @@ TEST(Spsa, NoisyObjectiveStillDescends)
         return s + noise.normal(0.0, 0.01);
     };
     const SpsaResult r = spsa_minimize(f, {2.0, 2.0}, {.iterations = 500});
-    EXPECT_LT(r.f, 0.5);
+    EXPECT_LT(r.best_value, 0.5);
 }
 
 TEST(DecisionTree, FitsPiecewiseConstantExactly)
@@ -219,6 +231,7 @@ TEST(BayesOpt, StallLimitStopsEarly)
         {.warmup = 2, .iterations = 500, .seed = 1, .stall_limit = 5});
     EXPECT_LT(r.history.size(), 60u);
     EXPECT_EQ(r.best_value, 0.0);
+    EXPECT_EQ(r.stop_reason, StopReason::Stalled);
 }
 
 TEST(BayesOpt, SeedConfigsAreEvaluatedFirst)
@@ -258,7 +271,7 @@ TEST(SimulatedAnnealing, FindsDiscreteOptimum)
     };
     DiscreteSpace space;
     space.cardinalities.assign(6, 4);
-    const BayesOptResult r = simulated_annealing_minimize(
+    const OptimizeOutcome r = simulated_annealing_minimize(
         f, space,
         {.iterations = 2000, .initial_temperature = 2.0,
          .final_temperature = 1e-3, .seed = 4, .mutations_per_step = 1});
@@ -275,6 +288,386 @@ TEST(BayesOpt, SpaceSizeAccounting)
     DiscreteSpace space;
     space.cardinalities.assign(48, 4);
     EXPECT_NEAR(space.log10_size(), 48 * std::log10(4.0), 1e-12);
+}
+
+TEST(ExhaustiveSearch, EnumeratesWholeSpaceAscending)
+{
+    auto f = [](const std::vector<int>& config) {
+        return static_cast<double>(config[0] + 10 * config[1]);
+    };
+    DiscreteSpace space;
+    space.cardinalities = {3, 2};
+    ExhaustiveOptimizer optimizer;
+    const OptimizeOutcome r = optimizer.minimize(f, space);
+    EXPECT_EQ(r.evaluations, 6u);
+    EXPECT_EQ(r.stop_reason, StopReason::SpaceExhausted);
+    EXPECT_EQ(r.best_value, 0.0);
+    EXPECT_EQ(r.best_config, (std::vector<int>{0, 0}));
+    // Ascending odometer order: first coordinate fastest.
+    EXPECT_EQ(r.history,
+              (std::vector<double>{0, 1, 2, 10, 11, 12}));
+}
+
+TEST(ExhaustiveSearch, RefusesUnboundedHugeSpace)
+{
+    DiscreteSpace space;
+    space.cardinalities.assign(48, 4);
+    ExhaustiveOptimizer optimizer;
+    auto f = [](const std::vector<int>&) { return 0.0; };
+    EXPECT_THROW(optimizer.minimize(f, space), std::invalid_argument);
+    // A budget makes the same space legal.
+    StoppingCriteria criteria;
+    criteria.max_evaluations = 10;
+    const OptimizeOutcome r = optimizer.minimize(f, space, criteria);
+    EXPECT_EQ(r.evaluations, 10u);
+}
+
+TEST(RandomSearch, BatchPathMatchesSerial)
+{
+    auto f = [](const std::vector<int>& config) {
+        return static_cast<double>(config[0] * 3 + config[1]);
+    };
+    DiscreteSpace space;
+    space.cardinalities = {4, 4, 4};
+    RandomSearchOptions options{.samples = 30, .seed = 17};
+
+    RandomSearchOptimizer serial(options);
+    const OptimizeOutcome a = serial.minimize(f, space);
+
+    SearchContext context;
+    context.batch = [&](const std::vector<std::vector<int>>& block) {
+        std::vector<double> values;
+        values.reserve(block.size());
+        for (const auto& config : block) {
+            values.push_back(f(config));
+        }
+        return values;
+    };
+    RandomSearchOptimizer batched(options);
+    const OptimizeOutcome b = batched.minimize(f, space, {}, context);
+
+    EXPECT_EQ(a.history, b.history);
+    EXPECT_EQ(a.best_config, b.best_config);
+}
+
+// ---------------------------------------------------------------------
+// Contract suite: every registered optimizer, resolved through the
+// registry, must recover a planted optimum, honor the stopping
+// criteria, keep a consistent monotone trace, evaluate seeds first,
+// and be deterministic under a fixed seed.
+// ---------------------------------------------------------------------
+
+/** Planted optimum at {1, 3, 0} on {0..3}^3 (64 configurations). */
+const std::vector<int> kPlanted = {1, 3, 0};
+
+double
+planted_objective(const std::vector<int>& config)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < config.size(); ++i) {
+        s += std::abs(config[i] - kPlanted[i]);
+    }
+    return s;
+}
+
+DiscreteSpace
+planted_space()
+{
+    DiscreteSpace space;
+    space.cardinalities.assign(3, 4);
+    return space;
+}
+
+/** Budgets sized for the tiny contract problems. */
+OptimizerConfig
+contract_config(const std::string& kind)
+{
+    OptimizerConfig config = optimizer_config(kind);
+    config.bayes.warmup = 40;
+    config.bayes.iterations = 100;
+    config.anneal.iterations = 300;
+    config.anneal.initial_temperature = 2.0;
+    config.random.samples = 300;
+    config.nelder_mead.max_evaluations = 600;
+    config.spsa = {.iterations = 500,
+                   .a = 0.5,
+                   .c = 0.1,
+                   .alpha = 0.602,
+                   .gamma = 0.101,
+                   .stability = 10.0,
+                   .seed = 5};
+    return config;
+}
+
+void
+expect_trace_consistent(const OptimizeOutcome& r)
+{
+    ASSERT_FALSE(r.history.empty());
+    ASSERT_EQ(r.best_trace.size(), r.history.size());
+    for (std::size_t i = 0; i < r.history.size(); ++i) {
+        EXPECT_LE(r.best_trace[i],
+                  (i ? r.best_trace[i - 1] : r.history[0]) + 1e-15);
+        EXPECT_LE(r.best_trace[i], r.history[i] + 1e-15);
+    }
+    EXPECT_DOUBLE_EQ(r.best_trace.back(), r.best_value);
+    EXPECT_GE(r.evaluations, r.history.size());
+    ASSERT_GE(r.evaluations_to_best, 1u);
+    ASSERT_LE(r.evaluations_to_best, r.history.size());
+    EXPECT_DOUBLE_EQ(r.history[r.evaluations_to_best - 1], r.best_value);
+}
+
+class DiscreteOptimizerContract
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(DiscreteOptimizerContract, RecoversPlantedOptimumWithConsistentTrace)
+{
+    const auto optimizer =
+        make_discrete_optimizer(contract_config(GetParam()));
+    const OptimizeOutcome r =
+        optimizer->minimize(planted_objective, planted_space());
+    EXPECT_EQ(r.best_value, 0.0);
+    EXPECT_EQ(r.best_config, kPlanted);
+    expect_trace_consistent(r);
+}
+
+TEST_P(DiscreteOptimizerContract, RespectsEvaluationBudget)
+{
+    const auto optimizer =
+        make_discrete_optimizer(contract_config(GetParam()));
+    StoppingCriteria criteria;
+    criteria.max_evaluations = 17;
+    const OptimizeOutcome r =
+        optimizer->minimize(planted_objective, planted_space(), criteria);
+    EXPECT_EQ(r.evaluations, 17u);
+    EXPECT_EQ(r.history.size(), 17u);
+    EXPECT_EQ(r.stop_reason, StopReason::BudgetExhausted);
+}
+
+TEST_P(DiscreteOptimizerContract, TargetValueStopsEarly)
+{
+    const auto optimizer =
+        make_discrete_optimizer(contract_config(GetParam()));
+    StoppingCriteria criteria;
+    criteria.max_evaluations = 300;
+    criteria.target_value = 2.0;
+    const OptimizeOutcome r =
+        optimizer->minimize(planted_objective, planted_space(), criteria);
+    EXPECT_EQ(r.stop_reason, StopReason::TargetReached);
+    EXPECT_LE(r.best_value, 2.0);
+    EXPECT_LT(r.evaluations, 300u);
+}
+
+TEST_P(DiscreteOptimizerContract, SeedConfigsAreEvaluatedFirst)
+{
+    const auto optimizer =
+        make_discrete_optimizer(contract_config(GetParam()));
+    SearchContext context;
+    context.seed_configs = {kPlanted};
+    const OptimizeOutcome r = optimizer->minimize(
+        planted_objective, planted_space(), {}, context);
+    EXPECT_DOUBLE_EQ(r.history.front(), 0.0);
+    EXPECT_EQ(r.evaluations_to_best, 1u);
+    EXPECT_EQ(r.best_config, kPlanted);
+}
+
+TEST_P(DiscreteOptimizerContract, DeterministicUnderFixedSeed)
+{
+    const OptimizerConfig config = contract_config(GetParam());
+    const OptimizeOutcome a =
+        make_discrete_optimizer(config)->minimize(planted_objective,
+                                                  planted_space());
+    const OptimizeOutcome b =
+        make_discrete_optimizer(config)->minimize(planted_objective,
+                                                  planted_space());
+    EXPECT_EQ(a.history, b.history);
+    EXPECT_EQ(a.best_config, b.best_config);
+    EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, DiscreteOptimizerContract,
+    ::testing::ValuesIn(registered_discrete_optimizers()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+        std::string name = info.param;
+        for (char& c : name) {
+            if (c == '-') {
+                c = '_';
+            }
+        }
+        return name;
+    });
+
+double
+bowl_objective(const std::vector<double>& x)
+{
+    double s = 0.0;
+    for (const double v : x) {
+        s += (v - 0.5) * (v - 0.5);
+    }
+    return s;
+}
+
+class ContinuousOptimizerContract
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ContinuousOptimizerContract, ConvergesOnQuadraticBowl)
+{
+    const auto optimizer =
+        make_continuous_optimizer(contract_config(GetParam()));
+    const OptimizeOutcome r =
+        optimizer->minimize(bowl_objective, {3.0, -2.0, 1.0});
+    EXPECT_LT(r.best_value, 1e-2);
+    ASSERT_EQ(r.best_x.size(), 3u);
+    for (const double v : r.best_x) {
+        EXPECT_NEAR(v, 0.5, 0.1);
+    }
+    expect_trace_consistent(r);
+}
+
+TEST_P(ContinuousOptimizerContract, RespectsEvaluationBudget)
+{
+    const auto optimizer =
+        make_continuous_optimizer(contract_config(GetParam()));
+    StoppingCriteria criteria;
+    criteria.max_evaluations = 25;
+    const OptimizeOutcome r =
+        optimizer->minimize(bowl_objective, {3.0, -2.0, 1.0}, criteria);
+    EXPECT_LE(r.evaluations, 25u);
+    EXPECT_GE(r.evaluations, 10u);
+}
+
+TEST_P(ContinuousOptimizerContract, TargetValueStopsEarly)
+{
+    const auto optimizer =
+        make_continuous_optimizer(contract_config(GetParam()));
+    StoppingCriteria criteria;
+    criteria.target_value = 0.5;
+    const OptimizeOutcome r =
+        optimizer->minimize(bowl_objective, {3.0, -2.0, 1.0}, criteria);
+    EXPECT_EQ(r.stop_reason, StopReason::TargetReached);
+    EXPECT_LE(r.best_value, 0.5);
+}
+
+TEST_P(ContinuousOptimizerContract, DeterministicUnderFixedSeed)
+{
+    const OptimizerConfig config = contract_config(GetParam());
+    const OptimizeOutcome a = make_continuous_optimizer(config)->minimize(
+        bowl_objective, {3.0, -2.0, 1.0});
+    const OptimizeOutcome b = make_continuous_optimizer(config)->minimize(
+        bowl_objective, {3.0, -2.0, 1.0});
+    EXPECT_EQ(a.history, b.history);
+    EXPECT_EQ(a.best_x, b.best_x);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, ContinuousOptimizerContract,
+    ::testing::ValuesIn(registered_continuous_optimizers()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+        std::string name = info.param;
+        for (char& c : name) {
+            if (c == '-') {
+                c = '_';
+            }
+        }
+        return name;
+    });
+
+TEST(StoppingCriteria, PatienceStopsStalledSearch)
+{
+    // Constant objective: no improvement is ever possible, so the run
+    // must end after the patience window.
+    auto f = [](const std::vector<int>&) { return 1.0; };
+    DiscreteSpace space;
+    space.cardinalities.assign(4, 4);
+    StoppingCriteria criteria;
+    criteria.max_evaluations = 300;
+    criteria.patience = 7;
+    RandomSearchOptimizer optimizer({.samples = 300, .seed = 9});
+    const OptimizeOutcome r = optimizer.minimize(f, space, criteria);
+    EXPECT_EQ(r.stop_reason, StopReason::Stalled);
+    EXPECT_EQ(r.history.size(), 8u);
+}
+
+TEST(StoppingCriteria, WallClockBudgetStopsSlowSearch)
+{
+    // Each evaluation sleeps ~2ms; a 20ms budget must end the run long
+    // before the 10k-sample budget.
+    auto f = [](const std::vector<int>&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        return 1.0;
+    };
+    DiscreteSpace space;
+    space.cardinalities.assign(8, 4);
+    StoppingCriteria criteria;
+    criteria.max_seconds = 0.02;
+    RandomSearchOptimizer optimizer({.samples = 10000, .seed = 9});
+    const OptimizeOutcome r = optimizer.minimize(f, space, criteria);
+    EXPECT_EQ(r.stop_reason, StopReason::TimeExpired);
+    EXPECT_LT(r.evaluations, 10000u);
+}
+
+TEST(OptimizerRegistry, StopReasonNames)
+{
+    EXPECT_EQ(to_string(StopReason::BudgetExhausted), "budget");
+    EXPECT_EQ(to_string(StopReason::TargetReached), "target");
+    EXPECT_EQ(to_string(StopReason::SpaceExhausted), "space-exhausted");
+}
+
+TEST(OptimizerRegistry, BuiltInsConstructibleByKey)
+{
+    for (const char* kind : {"bayes", "anneal", "random", "exhaustive",
+                             "nelder-mead", "spsa"}) {
+        EXPECT_TRUE(optimizer_registered(kind)) << kind;
+        const auto optimizer = make_optimizer(optimizer_config(kind));
+        EXPECT_EQ(optimizer->name(), kind);
+    }
+    // Containment, not equality: other tests may register extra kinds
+    // in the process-global registry (robust under --gtest_shuffle).
+    const auto discrete = registered_discrete_optimizers();
+    for (const char* kind : {"anneal", "bayes", "exhaustive", "random"}) {
+        EXPECT_NE(std::find(discrete.begin(), discrete.end(), kind),
+                  discrete.end())
+            << kind;
+    }
+    const auto continuous = registered_continuous_optimizers();
+    for (const char* kind : {"nelder-mead", "spsa"}) {
+        EXPECT_NE(std::find(continuous.begin(), continuous.end(), kind),
+                  continuous.end())
+            << kind;
+    }
+}
+
+TEST(OptimizerRegistry, RejectsUnknownAndWrongSpaceKinds)
+{
+    EXPECT_THROW(make_optimizer(optimizer_config("no-such-optimizer")),
+                 std::invalid_argument);
+    EXPECT_THROW(make_discrete_optimizer(optimizer_config("spsa")),
+                 std::invalid_argument);
+    EXPECT_THROW(make_continuous_optimizer(optimizer_config("bayes")),
+                 std::invalid_argument);
+}
+
+TEST(OptimizerRegistry, RuntimeExtension)
+{
+    // A caller-registered strategy is immediately constructible. (The
+    // registry is process-global; the enumeration assertions elsewhere
+    // check containment of the built-ins, not exact lists, so order
+    // does not matter.)
+    register_optimizer("random-wide", [](const OptimizerConfig& config) {
+        RandomSearchOptions options = config.random;
+        options.samples *= 2;
+        return std::make_unique<RandomSearchOptimizer>(options);
+    });
+    EXPECT_TRUE(optimizer_registered("random-wide"));
+    const auto optimizer =
+        make_discrete_optimizer(optimizer_config("random-wide"));
+    const OptimizeOutcome r =
+        optimizer->minimize(planted_objective, planted_space());
+    EXPECT_EQ(r.best_value, 0.0);
 }
 
 } // namespace

@@ -227,8 +227,121 @@ TEST(CafqaPipeline, SampledTuneBackendRunsThroughRegistry)
     CafqaPipeline pipeline(std::move(config));
 
     const VqaTuneResult& tuned = pipeline.run_vqa_tune();
-    EXPECT_EQ(tuned.trace.size(), 10u);
+    // Start-point value plus one entry per SPSA step.
+    EXPECT_EQ(tuned.trace.size(), 11u);
     EXPECT_TRUE(std::isfinite(tuned.final_value));
+}
+
+TEST(CafqaPipeline, AnySearchTunerRegistryPairRunsEndToEnd)
+{
+    const auto system = problems::make_molecular_system("H2", 1.8);
+    const VqaObjective objective = problems::make_objective(system);
+
+    for (const std::string search : {"anneal", "random", "exhaustive"}) {
+        for (const std::string tuner : {"nelder-mead", "spsa"}) {
+            PipelineConfig config;
+            config.ansatz = system.ansatz;
+            config.objective = objective;
+            config.search = small_budget(37);
+            config.tuner.iterations = 25;
+            config.search_optimizer = optimizer_config(search);
+            config.tuner_optimizer = optimizer_config(tuner);
+            CafqaPipeline pipeline(std::move(config));
+
+            const CafqaResult& found = pipeline.run_clifford_search();
+            EXPECT_TRUE(std::isfinite(found.best_objective))
+                << search << "+" << tuner;
+            // Every strategy honors the shared stage budget.
+            EXPECT_LE(found.history.size(), 120u) << search;
+
+            const VqaTuneResult& tuned = pipeline.run_vqa_tune();
+            EXPECT_TRUE(std::isfinite(tuned.final_value))
+                << search << "+" << tuner;
+            EXPECT_LE(tuned.final_value, found.best_objective + 1e-9)
+                << search << "+" << tuner;
+        }
+    }
+}
+
+TEST(CafqaPipeline, SearchStrategiesAgreeOnSmallProblem)
+{
+    // H2's Clifford space is small enough that exhaustive enumeration
+    // certifies the optimum; the guided strategies must match it at a
+    // generous budget (the paper's Section 5 validation).
+    const auto system = problems::make_molecular_system("H2", 2.2);
+    const VqaObjective objective = problems::make_objective(system);
+
+    auto best_with = [&](const std::string& kind, std::size_t budget) {
+        PipelineConfig config;
+        config.ansatz = system.ansatz;
+        config.objective = objective;
+        config.search.warmup = budget / 2;
+        config.search.iterations = budget - budget / 2;
+        config.search.seed = 11;
+        config.search_optimizer = optimizer_config(kind);
+        CafqaPipeline pipeline(std::move(config));
+        return pipeline.run_clifford_search().best_objective;
+    };
+
+    const double exhaustive = best_with("exhaustive", 1u << 16);
+    EXPECT_NEAR(best_with("bayes", 400), exhaustive, 1e-9);
+}
+
+TEST(CafqaPipeline, TargetValueStopsSearchEarly)
+{
+    const auto system = problems::make_molecular_system("H2", 2.2);
+    const VqaObjective objective = problems::make_objective(system);
+
+    // Reference run: full budget, no early exit.
+    PipelineConfig full;
+    full.ansatz = system.ansatz;
+    full.objective = objective;
+    full.search = small_budget(19);
+    CafqaPipeline full_pipeline(std::move(full));
+    const CafqaResult& reference = full_pipeline.run_clifford_search();
+    ASSERT_LT(reference.evaluations_to_best, reference.history.size());
+
+    // Same seed with the best value as the target: the stage must stop
+    // at the evaluation that reaches it instead of burning the rest of
+    // the budget.
+    PipelineConfig early;
+    early.ansatz = system.ansatz;
+    early.objective = objective;
+    early.search = small_budget(19);
+    early.stopping.target_value = reference.best_objective;
+    CafqaPipeline early_pipeline(std::move(early));
+    const CafqaResult& stopped = early_pipeline.run_clifford_search();
+
+    EXPECT_EQ(stopped.stop_reason, StopReason::TargetReached);
+    EXPECT_EQ(stopped.history.size(), reference.evaluations_to_best);
+    EXPECT_LT(stopped.history.size(), reference.history.size());
+    EXPECT_DOUBLE_EQ(stopped.best_objective, reference.best_objective);
+}
+
+TEST(CafqaPipeline, TargetValueStopsTunerEarly)
+{
+    const auto system = problems::make_molecular_system("H2", 1.2);
+
+    PipelineConfig config;
+    config.ansatz = system.ansatz;
+    config.objective = problems::make_objective(system);
+    config.search = small_budget(3);
+    config.tuner.iterations = 200;
+    CafqaPipeline reference_pipeline(std::move(config));
+    const VqaTuneResult& reference = reference_pipeline.run_vqa_tune();
+
+    PipelineConfig early;
+    early.ansatz = system.ansatz;
+    early.objective = problems::make_objective(system);
+    early.search = small_budget(3);
+    early.tuner.iterations = 200;
+    early.stopping.target_value = reference.final_value;
+    CafqaPipeline early_pipeline(std::move(early));
+    const VqaTuneResult& stopped = early_pipeline.run_vqa_tune();
+
+    EXPECT_EQ(stopped.stop_reason, StopReason::TargetReached);
+    EXPECT_LE(stopped.trace.size(), reference.trace.size());
+    EXPECT_LE(stopped.final_value, reference.final_value + 1e-12);
 }
 
 TEST(ExhaustiveSearch, ParallelScanMatchesSerialReference)
