@@ -12,7 +12,8 @@
  *   cafqa_cli --molecule LiH --bond 2.4 [--warmup 200] [--iterations 300]
  *             [--seed 7] [--max-t 0] [--tune 0] [--tune-backend KIND]
  *             [--search KIND] [--tuner KIND] [--budget N]
- *             [--target-energy E] [--threads 0] [--no-hf-seed] [--trace]
+ *             [--target-energy E] [--threads N] [--cache]
+ *             [--cache-capacity N] [--no-hf-seed] [--trace]
  *             [--csv-header]
  *
  * --tune-backend accepts any registered kind or "auto" (the default:
@@ -22,7 +23,16 @@
  * --budget caps total objective evaluations per stage and
  * --target-energy stops a stage as soon as its best objective value
  * reaches the given energy (e.g. exact + chemical accuracy).
+ * --cache wraps every stage backend in the memoizing evaluation cache
+ * (re-visited points skip state preparation); --cache-capacity bounds
+ * its resident entries and implies --cache.
+ *
+ * Every numeric option is validated: non-numeric text, trailing
+ * garbage, and out-of-range values (e.g. --threads 0) exit with status
+ * 1 and the usage text, as do unknown flags.
  */
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -43,7 +53,8 @@ usage()
         << "          [--warmup N] [--iterations N] [--seed N]\n"
         << "          [--max-t K] [--tune N] [--tune-backend KIND]\n"
         << "          [--search KIND] [--tuner KIND] [--budget N]\n"
-        << "          [--target-energy E] [--threads N] [--no-hf-seed]\n"
+        << "          [--target-energy E] [--threads N] [--cache]\n"
+        << "          [--cache-capacity N] [--no-hf-seed]\n"
         << "          [--trace] [--csv-header]\n"
         << "  --tune N          run N tuner iterations after the search\n"
         << "  --tune-backend    backend registry kind for tuning\n"
@@ -62,15 +73,64 @@ usage()
         std::cerr << ' ' << kind;
     }
     std::cerr << ")\n  --budget N        cap objective evaluations per"
-                 " stage\n"
+                 " stage (N >= 1)\n"
               << "  --target-energy E stop a stage once its best"
                  " objective reaches E\n"
-              << "  --trace           print stage progress to stderr\n"
+              << "  --threads N       worker threads for batched"
+                 " evaluation (N >= 1;\n"
+                 "                    default: the shared hardware-sized"
+                 " pool)\n"
+              << "  --cache           memoize backend evaluations across"
+                 " the stages\n"
+              << "  --cache-capacity N  max resident cache entries"
+                 " (implies --cache)\n"
+              << "  --trace           print stage progress (and cache"
+                 " stats) to stderr\n"
               << "molecules:";
     for (const auto& name : cafqa::problems::supported_molecules()) {
         std::cerr << ' ' << name;
     }
     std::cerr << '\n';
+}
+
+[[noreturn]] void
+fail_usage(const std::string& message)
+{
+    std::cerr << "cafqa_cli: " << message << '\n';
+    usage();
+    std::exit(1);
+}
+
+/** Strict integer parse: the whole token must be a number >= min_value
+ *  (rejects "abc", "12x", "-3", "" and out-of-range values). */
+std::uint64_t
+parse_count(const std::string& flag, const char* text,
+            std::uint64_t min_value)
+{
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || value < 0 ||
+        static_cast<std::uint64_t>(value) < min_value) {
+        fail_usage(flag + " expects an integer >= " +
+                   std::to_string(min_value) + ", got '" + text + "'");
+    }
+    return static_cast<std::uint64_t>(value);
+}
+
+/** Strict floating-point parse: the whole token must be a finite
+ *  number ("nan"/"inf" would silently disable comparisons downstream). */
+double
+parse_real(const std::string& flag, const char* text)
+{
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(value)) {
+        fail_usage(flag + " expects a finite number, got '" + text + "'");
+    }
+    return value;
 }
 
 } // namespace
@@ -90,6 +150,7 @@ main(int argc, char** argv)
     std::string tuner_kind = "spsa";
     StoppingCriteria stopping;
     std::size_t threads = 0;
+    CacheOptions cache;
     bool hf_seed = true;
     bool trace = false;
     bool csv_header = false;
@@ -98,27 +159,27 @@ main(int argc, char** argv)
         const std::string arg = argv[i];
         auto next = [&]() -> const char* {
             if (i + 1 >= argc) {
-                usage();
-                std::exit(1);
+                fail_usage(arg + " requires a value");
             }
             return argv[++i];
         };
         if (arg == "--molecule") {
             molecule = next();
         } else if (arg == "--bond") {
-            bond = std::atof(next());
+            bond = parse_real(arg, next());
         } else if (arg == "--warmup") {
-            search.warmup = static_cast<std::size_t>(std::atoi(next()));
+            search.warmup =
+                static_cast<std::size_t>(parse_count(arg, next(), 1));
         } else if (arg == "--iterations") {
             search.iterations =
-                static_cast<std::size_t>(std::atoi(next()));
+                static_cast<std::size_t>(parse_count(arg, next(), 1));
         } else if (arg == "--seed") {
-            search.seed = static_cast<std::uint64_t>(std::atoll(next()));
+            search.seed = parse_count(arg, next(), 0);
         } else if (arg == "--max-t") {
-            max_t = static_cast<std::size_t>(std::atoi(next()));
+            max_t = static_cast<std::size_t>(parse_count(arg, next(), 0));
         } else if (arg == "--tune") {
             tune_iterations =
-                static_cast<std::size_t>(std::atoi(next()));
+                static_cast<std::size_t>(parse_count(arg, next(), 0));
         } else if (arg == "--tune-backend") {
             tune_backend = next();
             if (tune_backend == "auto") {
@@ -130,11 +191,18 @@ main(int argc, char** argv)
             tuner_kind = next();
         } else if (arg == "--budget") {
             stopping.max_evaluations =
-                static_cast<std::size_t>(std::atoll(next()));
+                static_cast<std::size_t>(parse_count(arg, next(), 1));
         } else if (arg == "--target-energy") {
-            stopping.target_value = std::atof(next());
+            stopping.target_value = parse_real(arg, next());
         } else if (arg == "--threads") {
-            threads = static_cast<std::size_t>(std::atoi(next()));
+            threads =
+                static_cast<std::size_t>(parse_count(arg, next(), 1));
+        } else if (arg == "--cache") {
+            cache.enabled = true;
+        } else if (arg == "--cache-capacity") {
+            cache.enabled = true;
+            cache.capacity =
+                static_cast<std::size_t>(parse_count(arg, next(), 1));
         } else if (arg == "--no-hf-seed") {
             hf_seed = false;
         } else if (arg == "--trace") {
@@ -142,13 +210,14 @@ main(int argc, char** argv)
         } else if (arg == "--csv-header") {
             csv_header = true;
         } else {
-            usage();
-            return 1;
+            fail_usage("unknown option '" + arg + "'");
         }
     }
-    if (molecule.empty() || bond <= 0.0) {
-        usage();
-        return 1;
+    if (molecule.empty()) {
+        fail_usage("--molecule is required");
+    }
+    if (bond <= 0.0) {
+        fail_usage("--bond must be a positive length in angstrom");
     }
 
     if (csv_header) {
@@ -172,6 +241,7 @@ main(int argc, char** argv)
         config.search_optimizer = optimizer_config(search_kind);
         config.tuner_optimizer = optimizer_config(tuner_kind);
         config.stopping = stopping;
+        config.cache = cache;
         if (hf_seed) {
             config.search.seed_steps.push_back(
                 efficient_su2_bitstring_steps(system.num_qubits,
@@ -188,6 +258,18 @@ main(int argc, char** argv)
                   case PipelineEvent::Kind::StageEnd:
                     std::cerr << "[" << event.stage << "] end, best "
                               << event.best_value << '\n';
+                    if (event.cache != nullptr) {
+                        std::cerr
+                            << "[" << event.stage << "] cache: "
+                            << event.cache->hits << " hits, "
+                            << event.cache->misses << " misses ("
+                            << 100.0 * event.cache->hit_rate()
+                            << "% hit rate), "
+                            << event.cache->preparations
+                            << " state preparations, "
+                            << event.cache->evictions << " evictions, "
+                            << event.cache->bytes << " bytes\n";
+                    }
                     break;
                   case PipelineEvent::Kind::Progress:
                     if (event.evaluation % 50 == 0) {

@@ -49,6 +49,18 @@ registry()
     return instance;
 }
 
+/** The composition prefix: "cached:<kind>" wraps <kind> in the
+ *  memoizing decorator. An explicitly registered "cached:..." key
+ *  takes precedence over the prefix expansion. */
+constexpr std::string_view kCachedPrefix = "cached:";
+
+bool
+has_cached_prefix(const std::string& kind)
+{
+    return kind.size() > kCachedPrefix.size() &&
+           kind.compare(0, kCachedPrefix.size(), kCachedPrefix) == 0;
+}
+
 } // namespace
 
 void
@@ -64,9 +76,15 @@ register_backend(const std::string& kind, BackendFactory factory)
 bool
 backend_registered(const std::string& kind)
 {
-    Registry& r = registry();
-    std::lock_guard lock(r.mutex);
-    return r.factories.count(kind) != 0;
+    {
+        Registry& r = registry();
+        std::lock_guard lock(r.mutex);
+        if (r.factories.count(kind) != 0) {
+            return true;
+        }
+    }
+    return has_cached_prefix(kind) &&
+           backend_registered(kind.substr(kCachedPrefix.size()));
 }
 
 std::vector<std::string>
@@ -90,18 +108,38 @@ make_backend(const BackendConfig& config)
         Registry& r = registry();
         std::lock_guard lock(r.mutex);
         const auto it = r.factories.find(config.kind);
-        if (it == r.factories.end()) {
-            std::string all;
+        if (it != r.factories.end()) {
+            factory = it->second;
+        }
+    }
+    if (!factory) {
+        if (has_cached_prefix(config.kind)) {
+            // "cached:<kind>": construct <kind> (recursively, outside
+            // the registry lock, so every registered key composes) and
+            // wrap it.
+            BackendConfig inner = config;
+            inner.kind = config.kind.substr(kCachedPrefix.size());
+            inner.cache.enabled = true;
+            return make_backend(inner);
+        }
+        std::string all;
+        {
+            Registry& r = registry();
+            std::lock_guard lock(r.mutex);
             for (const auto& [kind, unused] : r.factories) {
                 all += all.empty() ? kind : ", " + kind;
             }
-            CAFQA_REQUIRE(false, "unknown backend kind \"" + config.kind +
-                                     "\" (registered: " + all + ")");
         }
-        factory = it->second;
+        CAFQA_REQUIRE(false, "unknown backend kind \"" + config.kind +
+                                 "\" (registered: " + all +
+                                 "; any of them composes as "
+                                 "\"cached:<kind>\")");
     }
     std::unique_ptr<Backend> backend = factory(config);
     CAFQA_ASSERT(backend != nullptr, "backend factory returned null");
+    if (config.cache.enabled) {
+        backend = wrap_with_cache(std::move(backend), config.cache);
+    }
     return backend;
 }
 

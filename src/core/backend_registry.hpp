@@ -13,8 +13,14 @@
  * | "density"     | NoisyEvaluator     | continuous | noise           |
  * | "sampled"     | SampledEvaluator   | continuous | shots, seed     |
  *
- * Additional kinds (remote executors, cached/sharded wrappers, ...) can
- * be registered at runtime with `register_backend`; `CafqaPipeline` and
+ * Composition: prefixing any key with `"cached:"` (e.g.
+ * `"cached:clifford"`) — or setting `BackendConfig::cache.enabled` —
+ * wraps the constructed backend in the memoizing decorator of
+ * `core/caching_backend.hpp`, which short-circuits re-evaluations of
+ * already-materialized points.
+ *
+ * Additional kinds (remote executors, sharded wrappers, ...) can be
+ * registered at runtime with `register_backend`; `CafqaPipeline` and
  * the CLI resolve backends exclusively through this factory, so a new
  * kind is immediately usable everywhere.
  */
@@ -28,6 +34,7 @@
 
 #include "circuit/circuit.hpp"
 #include "core/backend.hpp"
+#include "core/caching_backend.hpp"
 #include "density/noise_model.hpp"
 
 namespace cafqa {
@@ -45,6 +52,9 @@ struct BackendConfig
     std::size_t shots = 4096;
     /** Sampling RNG seed ("sampled" only). */
     std::uint64_t seed = 1234;
+    /** Memoizing-cache block: `cache.enabled` (or the `"cached:"` kind
+     *  prefix) wraps the backend in the caching decorator. */
+    CacheOptions cache;
 };
 
 /** Factory signature stored in the registry. */

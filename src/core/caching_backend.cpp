@@ -1,0 +1,412 @@
+#include "core/caching_backend.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace cafqa {
+
+namespace {
+
+inline std::int64_t
+bits_of(double value)
+{
+    // Canonicalize -0.0 so it shares the entry of +0.0.
+    if (value == 0.0) {
+        value = 0.0;
+    }
+    return std::bit_cast<std::int64_t>(value);
+}
+
+/** Key prefix of a discrete point: the steps verbatim. */
+EvaluationCache::Key
+discrete_prefix(const std::vector<int>& steps)
+{
+    EvaluationCache::Key key;
+    key.reserve(steps.size() + 1);
+    for (const int s : steps) {
+        key.push_back(s);
+    }
+    return key;
+}
+
+/** Key prefix of a continuous point: params quantized to `resolution`
+ *  (`quantize_coordinate` is shared with the unique-budget accounting
+ *  so the two identities agree). */
+EvaluationCache::Key
+continuous_prefix(const std::vector<double>& params, double resolution)
+{
+    EvaluationCache::Key key;
+    key.reserve(params.size() + 1);
+    for (const double p : params) {
+        key.push_back(quantize_coordinate(p, resolution));
+    }
+    return key;
+}
+
+} // namespace
+
+std::size_t
+observable_hash(const PauliSum& op)
+{
+    std::size_t h = hash_mix(0x243f6a8885a308d3ull, op.num_qubits());
+    for (const PauliTerm& term : op.terms()) {
+        h = hash_mix(h, static_cast<std::uint64_t>(
+                            bits_of(term.coefficient.real())));
+        h = hash_mix(h, static_cast<std::uint64_t>(
+                            bits_of(term.coefficient.imag())));
+        h = hash_mix(h, term.string.letters_hash());
+        h = hash_mix(h, term.string.phase_exponent());
+    }
+    return h;
+}
+
+// ---------------------------------------------------------------------------
+// EvaluationCache
+
+EvaluationCache::EvaluationCache(const CacheOptions& options)
+    : capacity_(options.capacity)
+{
+    CAFQA_REQUIRE(options.capacity >= 1,
+                  "cache capacity must be at least 1 entry");
+    CAFQA_REQUIRE(options.shards >= 1, "cache needs at least one shard");
+    // No more shards than capacity, so every shard can hold an entry.
+    const std::size_t shards = std::min(options.shards, options.capacity);
+    per_shard_capacity_ = (capacity_ + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+        shards_.push_back(std::make_unique<Shard>());
+    }
+}
+
+std::size_t
+EvaluationCache::hash_key(const Key& key)
+{
+    std::size_t h = kHashSeed;
+    for (const std::int64_t word : key) {
+        h = hash_mix(h, static_cast<std::uint64_t>(word));
+    }
+    return h;
+}
+
+std::optional<double>
+EvaluationCache::lookup(const Key& key)
+{
+    const std::size_t hash = hash_key(key);
+    Shard& shard = *shards_[hash % shards_.size()];
+    std::lock_guard lock(shard.mutex);
+    const auto [begin, end] = shard.index.equal_range(hash);
+    for (auto it = begin; it != end; ++it) {
+        if (it->second->key == key) {
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            ++shard.hits;
+            return it->second->value;
+        }
+    }
+    ++shard.misses;
+    return std::nullopt;
+}
+
+void
+EvaluationCache::insert(const Key& key, double value)
+{
+    const std::size_t hash = hash_key(key);
+    Shard& shard = *shards_[hash % shards_.size()];
+    const std::size_t entry_bytes =
+        key.size() * sizeof(Key::value_type) + sizeof(double);
+    std::lock_guard lock(shard.mutex);
+    const auto [begin, end] = shard.index.equal_range(hash);
+    for (auto it = begin; it != end; ++it) {
+        if (it->second->key == key) {
+            // Concurrent clones may race to insert the same point;
+            // refresh recency and keep the materialized value.
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            return;
+        }
+    }
+    shard.lru.push_front(Entry{key, value});
+    shard.index.emplace(hash, shard.lru.begin());
+    shard.bytes += entry_bytes;
+    while (shard.lru.size() > per_shard_capacity_) {
+        const Entry& victim = shard.lru.back();
+        const std::size_t victim_hash = hash_key(victim.key);
+        const auto [vbegin, vend] = shard.index.equal_range(victim_hash);
+        for (auto it = vbegin; it != vend; ++it) {
+            if (it->second == std::prev(shard.lru.end())) {
+                shard.index.erase(it);
+                break;
+            }
+        }
+        shard.bytes -= victim.key.size() * sizeof(Key::value_type) +
+                       sizeof(double);
+        shard.lru.pop_back();
+        ++shard.evictions;
+    }
+}
+
+CacheStats
+EvaluationCache::stats() const
+{
+    CacheStats total;
+    for (const auto& shard : shards_) {
+        std::lock_guard lock(shard->mutex);
+        total.hits += shard->hits;
+        total.misses += shard->misses;
+        total.evictions += shard->evictions;
+        total.entries += shard->lru.size();
+        total.bytes += shard->bytes;
+    }
+    total.preparations = preparations_.load();
+    return total;
+}
+
+// ---------------------------------------------------------------------------
+// CachingDiscreteBackend
+
+CachingDiscreteBackend::CachingDiscreteBackend(
+    std::unique_ptr<DiscreteBackend> inner, const CacheOptions& options)
+    : CachingDiscreteBackend(std::move(inner),
+                             std::make_shared<EvaluationCache>(options))
+{
+}
+
+CachingDiscreteBackend::CachingDiscreteBackend(
+    std::unique_ptr<DiscreteBackend> inner,
+    std::shared_ptr<EvaluationCache> cache)
+    : inner_(std::move(inner)), cache_(std::move(cache))
+{
+    CAFQA_REQUIRE(inner_ != nullptr, "cannot cache a null backend");
+    kind_ = "cached:" + std::string(inner_->kind());
+}
+
+void
+CachingDiscreteBackend::prepare(const std::vector<int>& steps)
+{
+    point_ = steps;
+    key_prefix_ = discrete_prefix(steps);
+    has_point_ = true;
+    inner_prepared_ = false;
+}
+
+void
+CachingDiscreteBackend::ensure_prepared() const
+{
+    if (!inner_prepared_) {
+        inner_->prepare(point_);
+        cache_->count_preparation();
+        inner_prepared_ = true;
+    }
+}
+
+double
+CachingDiscreteBackend::expectation(const PauliSum& op) const
+{
+    if (!has_point_) {
+        // Propagate the inner backend's "not prepared" contract.
+        return inner_->expectation(op);
+    }
+    EvaluationCache::Key key = key_prefix_;
+    key.push_back(static_cast<std::int64_t>(observable_hash(op)));
+    if (const std::optional<double> hit = cache_->lookup(key)) {
+        return *hit;
+    }
+    ensure_prepared();
+    const double value = inner_->expectation(op);
+    cache_->insert(key, value);
+    return value;
+}
+
+std::vector<double>
+CachingDiscreteBackend::expectations(std::span<const PauliSum> ops) const
+{
+    if (!has_point_) {
+        return inner_->expectations(ops);
+    }
+    // One scratch key probes every observable; only misses copy it (the
+    // full-hit path — the hot one — allocates nothing per op).
+    std::vector<double> values(ops.size());
+    std::vector<std::size_t> missing;
+    std::vector<EvaluationCache::Key> miss_keys;
+    EvaluationCache::Key key = key_prefix_;
+    key.push_back(0);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        key.back() = static_cast<std::int64_t>(observable_hash(ops[i]));
+        if (const std::optional<double> hit = cache_->lookup(key)) {
+            values[i] = *hit;
+        } else {
+            missing.push_back(i);
+            miss_keys.push_back(key);
+        }
+    }
+    if (!missing.empty()) {
+        // One preparation amortized across every missing observable,
+        // exactly like the wrapped backend's own batched surface.
+        ensure_prepared();
+        for (std::size_t m = 0; m < missing.size(); ++m) {
+            values[missing[m]] = inner_->expectation(ops[missing[m]]);
+            cache_->insert(miss_keys[m], values[missing[m]]);
+        }
+    }
+    return values;
+}
+
+std::unique_ptr<Backend>
+CachingDiscreteBackend::clone() const
+{
+    auto copy = std::unique_ptr<CachingDiscreteBackend>(
+        new CachingDiscreteBackend(inner_->clone_discrete(), cache_));
+    copy->point_ = point_;
+    copy->key_prefix_ = key_prefix_;
+    copy->has_point_ = has_point_;
+    // The fresh inner clone starts unprepared regardless of *this.
+    copy->inner_prepared_ = false;
+    return copy;
+}
+
+// ---------------------------------------------------------------------------
+// CachingContinuousBackend
+
+CachingContinuousBackend::CachingContinuousBackend(
+    std::unique_ptr<ContinuousBackend> inner, const CacheOptions& options)
+    : CachingContinuousBackend(std::move(inner),
+                               std::make_shared<EvaluationCache>(options),
+                               options.resolution)
+{
+}
+
+CachingContinuousBackend::CachingContinuousBackend(
+    std::unique_ptr<ContinuousBackend> inner,
+    std::shared_ptr<EvaluationCache> cache, double resolution)
+    : inner_(std::move(inner)),
+      cache_(std::move(cache)),
+      resolution_(resolution)
+{
+    CAFQA_REQUIRE(inner_ != nullptr, "cannot cache a null backend");
+    CAFQA_REQUIRE(resolution_ > 0.0,
+                  "cache quantization resolution must be positive");
+    kind_ = "cached:" + std::string(inner_->kind());
+}
+
+void
+CachingContinuousBackend::prepare(const std::vector<double>& params)
+{
+    point_ = params;
+    key_prefix_ = continuous_prefix(params, resolution_);
+    has_point_ = true;
+    inner_prepared_ = false;
+}
+
+void
+CachingContinuousBackend::ensure_prepared() const
+{
+    if (!inner_prepared_) {
+        inner_->prepare(point_);
+        cache_->count_preparation();
+        inner_prepared_ = true;
+    }
+}
+
+double
+CachingContinuousBackend::expectation(const PauliSum& op) const
+{
+    if (!has_point_) {
+        return inner_->expectation(op);
+    }
+    EvaluationCache::Key key = key_prefix_;
+    key.push_back(static_cast<std::int64_t>(observable_hash(op)));
+    if (const std::optional<double> hit = cache_->lookup(key)) {
+        return *hit;
+    }
+    ensure_prepared();
+    const double value = inner_->expectation(op);
+    cache_->insert(key, value);
+    return value;
+}
+
+std::vector<double>
+CachingContinuousBackend::expectations(std::span<const PauliSum> ops) const
+{
+    if (!has_point_) {
+        return inner_->expectations(ops);
+    }
+    // Scratch-key probing as in the discrete wrapper: the full-hit path
+    // allocates nothing per op.
+    std::vector<double> values(ops.size());
+    std::vector<std::size_t> missing;
+    std::vector<EvaluationCache::Key> miss_keys;
+    EvaluationCache::Key key = key_prefix_;
+    key.push_back(0);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        key.back() = static_cast<std::int64_t>(observable_hash(ops[i]));
+        if (const std::optional<double> hit = cache_->lookup(key)) {
+            values[i] = *hit;
+        } else {
+            missing.push_back(i);
+            miss_keys.push_back(key);
+        }
+    }
+    if (!missing.empty()) {
+        ensure_prepared();
+        for (std::size_t m = 0; m < missing.size(); ++m) {
+            values[missing[m]] = inner_->expectation(ops[missing[m]]);
+            cache_->insert(miss_keys[m], values[missing[m]]);
+        }
+    }
+    return values;
+}
+
+std::unique_ptr<Backend>
+CachingContinuousBackend::clone() const
+{
+    auto copy = std::unique_ptr<CachingContinuousBackend>(
+        new CachingContinuousBackend(inner_->clone_continuous(), cache_,
+                                     resolution_));
+    copy->point_ = point_;
+    copy->key_prefix_ = key_prefix_;
+    copy->has_point_ = has_point_;
+    copy->inner_prepared_ = false;
+    return copy;
+}
+
+// ---------------------------------------------------------------------------
+// Composition helpers
+
+std::unique_ptr<Backend>
+wrap_with_cache(std::unique_ptr<Backend> backend, const CacheOptions& options)
+{
+    CAFQA_REQUIRE(backend != nullptr, "cannot cache a null backend");
+    if (auto* discrete = dynamic_cast<DiscreteBackend*>(backend.get())) {
+        backend.release();
+        return std::make_unique<CachingDiscreteBackend>(
+            std::unique_ptr<DiscreteBackend>(discrete), options);
+    }
+    if (auto* continuous = dynamic_cast<ContinuousBackend*>(backend.get())) {
+        backend.release();
+        return std::make_unique<CachingContinuousBackend>(
+            std::unique_ptr<ContinuousBackend>(continuous), options);
+    }
+    CAFQA_REQUIRE(false, "backend kind \"" + std::string(backend->kind()) +
+                             "\" is neither discrete nor continuous; "
+                             "cannot wrap it in a cache");
+    return nullptr; // unreachable
+}
+
+std::optional<CacheStats>
+cache_stats_of(const Backend& backend)
+{
+    if (const auto* discrete =
+            dynamic_cast<const CachingDiscreteBackend*>(&backend)) {
+        return discrete->cache_stats();
+    }
+    if (const auto* continuous =
+            dynamic_cast<const CachingContinuousBackend*>(&backend)) {
+        return continuous->cache_stats();
+    }
+    return std::nullopt;
+}
+
+} // namespace cafqa

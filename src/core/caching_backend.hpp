@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Memoizing evaluation cache for the backend hierarchy — the "cached
+ * wrapper" extension point reserved by `core/backend_registry.hpp`.
+ *
+ * CAFQA's search stages re-probe the same points constantly (Bayesian
+ * warm-up draws, annealing re-visits, the tuner's repeated energy
+ * calls), and each probe pays a full state preparation plus one
+ * expectation per observable. `CachingDiscreteBackend` /
+ * `CachingContinuousBackend` wrap any concrete backend and memoize
+ * `(prepared point, observable) -> expectation value` so a re-visited
+ * point skips both the preparation and the measurement.
+ *
+ * Keys are canonical: discrete points key on the exact quarter-turn
+ * step vector (the same identity `config_hash` uses for sample
+ * deduplication), continuous points on the parameter vector quantized
+ * to `CacheOptions::resolution`; the observable is identified by a
+ * structural hash over its terms. Storage is a sharded LRU — each
+ * shard has its own mutex, so per-worker backend clones produced by
+ * `clone()` SHARE the cache and hit each other's entries without
+ * serializing on one lock. `CacheStats` (hits / misses / evictions /
+ * bytes / state preparations) is aggregated across shards and surfaced
+ * through the pipeline observer (`PipelineEvent::cache` on StageEnd).
+ *
+ * Construction is compositional: `make_backend` wraps automatically for
+ * kind `"cached:<kind>"` or whenever `BackendConfig::cache.enabled` is
+ * set. Caching a *stochastic* backend ("sampled") freezes the shot
+ * noise of the first evaluation of each point — by design, the cache
+ * returns materialized results verbatim.
+ */
+#ifndef CAFQA_CORE_CACHING_BACKEND_HPP
+#define CAFQA_CORE_CACHING_BACKEND_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/backend.hpp"
+
+namespace cafqa {
+
+/** Cache controls; embedded in `BackendConfig` and `PipelineConfig`. */
+struct CacheOptions
+{
+    /** Master switch (the `"cached:"` kind prefix sets it implicitly). */
+    bool enabled = false;
+    /** Target resident entries. The bound is enforced per shard with
+     *  the capacity split rounded up, so the true global limit is
+     *  ceil(capacity / shards) * shards — up to `shards - 1` entries
+     *  above this value. */
+    std::size_t capacity = std::size_t{1} << 16;
+    /** Lock shards; more shards = less contention under fan-out. */
+    std::size_t shards = 8;
+    /** Quantization step for continuous parameter keys: params within
+     *  one step of each other share an entry. The default is far below
+     *  any optimizer's step size, so caching stays exact in practice. */
+    double resolution = 1e-12;
+    /** When set, `CafqaPipeline` flips
+     *  `StoppingCriteria::unique_evaluations` for its stages so budgets
+     *  count unique points (re-visits are cache hits, not progress).
+     *  Off by default: the default cache is a pure memoizer and the
+     *  search trajectory stays bit-identical to the uncached run. */
+    bool unique_budget = false;
+};
+
+/** Aggregate counters of one cache (shared by every clone). */
+struct CacheStats
+{
+    /** Lookups answered from the cache. */
+    std::size_t hits = 0;
+    /** Lookups that fell through to the wrapped backend. */
+    std::size_t misses = 0;
+    /** Entries dropped by the LRU capacity bound. */
+    std::size_t evictions = 0;
+    /** Currently resident entries. */
+    std::size_t entries = 0;
+    /** Approximate resident key+value payload size. */
+    std::size_t bytes = 0;
+    /** State preparations the wrapped backend actually performed —
+     *  the "backend evaluations" a bench compares against an uncached
+     *  run (preparation is skipped entirely on a full hit). */
+    std::size_t preparations = 0;
+
+    double
+    hit_rate() const
+    {
+        const std::size_t lookups = hits + misses;
+        return lookups == 0
+            ? 0.0
+            : static_cast<double>(hits) / static_cast<double>(lookups);
+    }
+};
+
+/**
+ * Thread-safe sharded LRU mapping `(point key, observable hash)` to an
+ * expectation value. One instance is shared (via `shared_ptr`) by a
+ * wrapper and all of its clones, which is what makes the pipeline's
+ * per-worker fan-out hit a common cache.
+ */
+class EvaluationCache
+{
+  public:
+    /** Quantized point coordinates with the observable hash appended.
+     *  Lookup compares the whole vector, so two distinct *points* can
+     *  never alias; the observable component is a 64-bit structural
+     *  hash (`observable_hash`), so distinct observables alias only on
+     *  a full 64-bit collision — negligible against the entry counts a
+     *  search produces. */
+    using Key = std::vector<std::int64_t>;
+
+    /** Throws std::invalid_argument on a zero capacity or shard count. */
+    explicit EvaluationCache(const CacheOptions& options);
+
+    /** Value for `key`, refreshing its LRU position; nullopt on miss.
+     *  Counts one hit or miss. */
+    std::optional<double> lookup(const Key& key);
+
+    /** Insert (or refresh) `key`; evicts the shard's least-recently-used
+     *  entry when the shard is at capacity. */
+    void insert(const Key& key, double value);
+
+    /** Count one state preparation performed by a wrapped backend. */
+    void count_preparation() { preparations_.fetch_add(1); }
+
+    /** Snapshot of the aggregate counters. */
+    CacheStats stats() const;
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Stable mix over the key words (the shard selector). */
+    static std::size_t hash_key(const Key& key);
+
+  private:
+    struct Entry
+    {
+        Key key;
+        double value = 0.0;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** Front = most recently used. */
+        std::list<Entry> lru;
+        /** Hash -> LRU slot; a multimap so (unlikely) hash collisions
+         *  between distinct keys stay individually addressable. */
+        std::unordered_multimap<std::size_t, std::list<Entry>::iterator>
+            index;
+        std::size_t hits = 0;
+        std::size_t misses = 0;
+        std::size_t evictions = 0;
+        std::size_t bytes = 0;
+    };
+
+    std::size_t capacity_ = 0;
+    std::size_t per_shard_capacity_ = 0;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<std::size_t> preparations_{0};
+};
+
+/** Structural hash of an observable: qubit count, term letters and
+ *  coefficient bit patterns. Two `PauliSum`s with identical terms share
+ *  cache entries regardless of object identity. */
+std::size_t observable_hash(const PauliSum& op);
+
+/** Memoizing decorator over a discrete (quarter-turn) backend. */
+class CachingDiscreteBackend final : public DiscreteBackend
+{
+  public:
+    /** Wrap `inner` with a fresh cache. */
+    CachingDiscreteBackend(std::unique_ptr<DiscreteBackend> inner,
+                           const CacheOptions& options);
+
+    std::string_view kind() const override { return kind_; }
+    std::size_t num_qubits() const override { return inner_->num_qubits(); }
+    std::size_t num_params() const override { return inner_->num_params(); }
+
+    /** Records the point; the wrapped backend is prepared lazily, only
+     *  when a lookup misses. */
+    void prepare(const std::vector<int>& steps) override;
+
+    double expectation(const PauliSum& op) const override;
+    std::vector<double>
+    expectations(std::span<const PauliSum> ops) const override;
+
+    /** Clone sharing this wrapper's cache (per-worker fan-out hits a
+     *  common cache). */
+    std::unique_ptr<Backend> clone() const override;
+
+    /** The wrapped backend. */
+    const DiscreteBackend& inner() const { return *inner_; }
+    /** Aggregate counters of the shared cache. */
+    CacheStats cache_stats() const { return cache_->stats(); }
+    /** The shared cache itself (for composing wrappers by hand). */
+    const std::shared_ptr<EvaluationCache>& cache() const { return cache_; }
+
+  private:
+    CachingDiscreteBackend(std::unique_ptr<DiscreteBackend> inner,
+                           std::shared_ptr<EvaluationCache> cache);
+
+    /** Prepare the wrapped backend for the pending point (miss path). */
+    void ensure_prepared() const;
+
+    std::unique_ptr<DiscreteBackend> inner_;
+    std::shared_ptr<EvaluationCache> cache_;
+    std::string kind_;
+    std::vector<int> point_;
+    EvaluationCache::Key key_prefix_;
+    bool has_point_ = false;
+    mutable bool inner_prepared_ = false;
+};
+
+/** Memoizing decorator over a continuous (radian) backend. */
+class CachingContinuousBackend final : public ContinuousBackend
+{
+  public:
+    CachingContinuousBackend(std::unique_ptr<ContinuousBackend> inner,
+                             const CacheOptions& options);
+
+    std::string_view kind() const override { return kind_; }
+    std::size_t num_qubits() const override { return inner_->num_qubits(); }
+    std::size_t num_params() const override { return inner_->num_params(); }
+
+    void prepare(const std::vector<double>& params) override;
+
+    double expectation(const PauliSum& op) const override;
+    std::vector<double>
+    expectations(std::span<const PauliSum> ops) const override;
+
+    std::unique_ptr<Backend> clone() const override;
+
+    const ContinuousBackend& inner() const { return *inner_; }
+    CacheStats cache_stats() const { return cache_->stats(); }
+    const std::shared_ptr<EvaluationCache>& cache() const { return cache_; }
+
+  private:
+    CachingContinuousBackend(std::unique_ptr<ContinuousBackend> inner,
+                             std::shared_ptr<EvaluationCache> cache,
+                             double resolution);
+
+    void ensure_prepared() const;
+
+    std::unique_ptr<ContinuousBackend> inner_;
+    std::shared_ptr<EvaluationCache> cache_;
+    std::string kind_;
+    double resolution_ = 1e-12;
+    std::vector<double> point_;
+    EvaluationCache::Key key_prefix_;
+    bool has_point_ = false;
+    mutable bool inner_prepared_ = false;
+};
+
+/** Wrap any backend in the matching caching decorator (used by
+ *  `make_backend` for `"cached:<kind>"` / `BackendConfig::cache`). */
+std::unique_ptr<Backend> wrap_with_cache(std::unique_ptr<Backend> backend,
+                                         const CacheOptions& options);
+
+/** The wrapper's cache stats, or nullopt when `backend` is not a
+ *  caching decorator. */
+std::optional<CacheStats> cache_stats_of(const Backend& backend);
+
+} // namespace cafqa
+
+#endif // CAFQA_CORE_CACHING_BACKEND_HPP

@@ -27,11 +27,23 @@ CafqaPipeline::set_observer(PipelineObserver observer)
 
 void
 CafqaPipeline::emit(PipelineEvent::Kind kind, std::string_view stage,
-                    std::size_t evaluation, double best_value) const
+                    std::size_t evaluation, double best_value,
+                    const CacheStats* cache) const
 {
     if (observer_) {
-        observer_(PipelineEvent{kind, stage, evaluation, best_value});
+        observer_(
+            PipelineEvent{kind, stage, evaluation, best_value, cache});
     }
+}
+
+BackendConfig
+CafqaPipeline::stage_backend_config(std::string kind, Circuit ansatz) const
+{
+    BackendConfig backend_config;
+    backend_config.kind = std::move(kind);
+    backend_config.ansatz = std::move(ansatz);
+    backend_config.cache = config_.cache;
+    return backend_config;
 }
 
 ThreadPool&
@@ -95,6 +107,12 @@ CafqaPipeline::discrete_search(DiscreteBackend& backend,
         criteria.max_evaluations = options.seed_steps.size() +
                                    options.warmup + options.iterations;
     }
+    if (config_.cache.enabled && config_.cache.unique_budget) {
+        // Re-visits are cache hits, not backend work: charge the budget
+        // for unique points only.
+        criteria.unique_evaluations = true;
+        criteria.unique_resolution = config_.cache.resolution;
+    }
 
     auto objective_fn = [&](const std::vector<int>& steps) {
         backend.prepare(steps);
@@ -122,10 +140,8 @@ CafqaPipeline::run_clifford_search()
     }
     emit(PipelineEvent::Kind::StageBegin, "clifford_search", 0, 0.0);
 
-    BackendConfig backend_config;
-    backend_config.kind = config_.search_backend;
-    backend_config.ansatz = config_.ansatz;
-    const auto backend = make_discrete_backend(backend_config);
+    const auto backend = make_discrete_backend(
+        stage_backend_config(config_.search_backend, config_.ansatz));
 
     const OptimizeOutcome search =
         discrete_search(*backend, clifford_search_space(config_.ansatz),
@@ -144,8 +160,10 @@ CafqaPipeline::run_clifford_search()
     result.best_energy = config_.objective.energy(*backend);
     clifford_ = std::move(result);
 
+    const std::optional<CacheStats> stats = cache_stats_of(*backend);
     emit(PipelineEvent::Kind::StageEnd, "clifford_search",
-         clifford_->history.size(), clifford_->best_objective);
+         clifford_->history.size(), clifford_->best_objective,
+         stats ? &*stats : nullptr);
     return *clifford_;
 }
 
@@ -205,6 +223,7 @@ CafqaPipeline::run_t_boost(std::size_t max_t_gates)
     DiscreteSpace space;
     space.cardinalities.assign(config_.ansatz.num_params(), 4);
 
+    CacheStats boost_stats;
     for (std::size_t round = 0; round < max_t_gates; ++round) {
         bool improved = false;
         Circuit best_circuit = result.circuit;
@@ -216,14 +235,25 @@ CafqaPipeline::run_t_boost(std::size_t max_t_gates)
              ++slot) {
             const Circuit candidate =
                 with_t_after_slot(result.circuit, slot);
-            BackendConfig backend_config;
-            backend_config.kind = "clifford_t";
-            backend_config.ansatz = candidate;
-            const auto backend = make_discrete_backend(backend_config);
+            const auto backend = make_discrete_backend(
+                stage_backend_config("clifford_t", candidate));
             const OptimizeOutcome search = discrete_search(
                 *backend, space,
                 t_round_options(config_.search, result.best_steps),
                 "t_boost");
+            if (const std::optional<CacheStats> stats =
+                    cache_stats_of(*backend)) {
+                // Each candidate circuit has its own cache (distinct
+                // circuits share no states); the counters sum into a
+                // stage total, while the point-in-time gauges
+                // (entries/bytes) of these short-lived caches are left
+                // 0 — the caches never coexist, so a sum would
+                // overstate residency.
+                boost_stats.hits += stats->hits;
+                boost_stats.misses += stats->misses;
+                boost_stats.evictions += stats->evictions;
+                boost_stats.preparations += stats->preparations;
+            }
             if (search.best_value < round_best - 1e-10) {
                 round_best = search.best_value;
                 best_circuit = candidate;
@@ -250,7 +280,8 @@ CafqaPipeline::run_t_boost(std::size_t max_t_gates)
 
     boost_ = std::move(result);
     emit(PipelineEvent::Kind::StageEnd, "t_boost",
-         boost_->t_positions.size(), boost_->best_objective);
+         boost_->t_positions.size(), boost_->best_objective,
+         config_.cache.enabled ? &boost_stats : nullptr);
     return *boost_;
 }
 
@@ -280,12 +311,12 @@ CafqaPipeline::run_vqa_tune(const std::vector<double>& initial)
     emit(PipelineEvent::Kind::StageBegin, "vqa_tune", 0, 0.0);
 
     const VqaTunerOptions& options = config_.tuner;
-    BackendConfig backend_config;
-    backend_config.kind = options.backend.empty()
-        ? (options.noise.enabled() ? std::string("density")
-                                   : std::string("statevector"))
-        : options.backend;
-    backend_config.ansatz = circuit;
+    BackendConfig backend_config = stage_backend_config(
+        options.backend.empty()
+            ? (options.noise.enabled() ? std::string("density")
+                                       : std::string("statevector"))
+            : options.backend,
+        circuit);
     backend_config.noise = options.noise;
     backend_config.shots = options.shots;
     backend_config.seed = options.seed;
@@ -322,6 +353,10 @@ CafqaPipeline::run_vqa_tune(const std::vector<double>& initial)
         optimizer_config.kind != "spsa") {
         criteria.max_evaluations = options.iterations;
     }
+    if (config_.cache.enabled && config_.cache.unique_budget) {
+        criteria.unique_evaluations = true;
+        criteria.unique_resolution = config_.cache.resolution;
+    }
 
     const auto optimizer = make_continuous_optimizer(optimizer_config);
     OptimizeOutcome run =
@@ -334,8 +369,9 @@ CafqaPipeline::run_vqa_tune(const std::vector<double>& initial)
     result.stop_reason = run.stop_reason;
     tuned_ = std::move(result);
 
+    const std::optional<CacheStats> stats = cache_stats_of(*backend);
     emit(PipelineEvent::Kind::StageEnd, "vqa_tune", evaluations,
-         tuned_->final_value);
+         tuned_->final_value, stats ? &*stats : nullptr);
     return *tuned_;
 }
 

@@ -34,6 +34,7 @@
 #include "circuit/circuit.hpp"
 #include "common/thread_pool.hpp"
 #include "core/backend_registry.hpp"
+#include "core/caching_backend.hpp"
 #include "core/cafqa_driver.hpp"
 #include "core/objective.hpp"
 #include "core/vqa_tuner.hpp"
@@ -61,6 +62,10 @@ struct PipelineEvent
     std::size_t evaluation = 0;
     /** Best objective value seen so far in the stage. */
     double best_value = 0.0;
+    /** Memoizing-cache counters of the stage's backend — non-null only
+     *  on StageEnd when `PipelineConfig::cache` was enabled. Valid for
+     *  the duration of the observer call. */
+    const CacheStats* cache = nullptr;
 };
 
 /** Observer callback; invoked synchronously from the running stage. */
@@ -101,6 +106,16 @@ struct PipelineConfig
      *  budget, patience. A zero `max_evaluations` defers to the stage
      *  budgets above. */
     StoppingCriteria stopping;
+    /** Memoizing evaluation cache (`core/caching_backend.hpp`). When
+     *  `cache.enabled`, every stage backend — discrete search, T-boost
+     *  rounds, continuous tuner — is wrapped so re-visited points skip
+     *  state preparation; per-stage `CacheStats` arrive on the
+     *  observer's StageEnd events. With the default
+     *  `cache.unique_budget == false` the cache is a pure memoizer and
+     *  results are bit-identical to the uncached run; setting
+     *  `unique_budget` additionally makes `stopping.max_evaluations`
+     *  count unique points only. */
+    CacheOptions cache;
 };
 
 /**
@@ -177,7 +192,12 @@ class CafqaPipeline
 
   private:
     void emit(PipelineEvent::Kind kind, std::string_view stage,
-              std::size_t evaluation, double best_value) const;
+              std::size_t evaluation, double best_value,
+              const CacheStats* cache = nullptr) const;
+
+    /** Stage backend config with the pipeline's cache block applied. */
+    BackendConfig stage_backend_config(std::string kind,
+                                       Circuit ansatz) const;
 
     ThreadPool& pool();
 

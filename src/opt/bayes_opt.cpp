@@ -85,7 +85,14 @@ BayesOptimizer::minimize(const DiscreteObjective& objective,
         }
 
         // ---- Warm-up: random sampling (deduplicated, bounded
-        //      retries). ----
+        //      retries). A draw that is STILL a duplicate after the
+        //      retries is dropped rather than dispatched: re-evaluating
+        //      it would double-count the point against the evaluation
+        //      budget (and, in the batched path, ship redundant work to
+        //      the pool). The drop happens after the same RNG draws as
+        //      before, so trajectories on spaces where the retries
+        //      always succeed — every realistic CAFQA space — are
+        //      unchanged. ----
         const std::size_t warmup =
             std::min(options.warmup, recorder.remaining_budget());
         if (batch && warmup > 0) {
@@ -101,6 +108,9 @@ BayesOptimizer::minimize(const DiscreteObjective& objective,
                      attempt < 16 && seen.count(config_hash(config)) != 0;
                      ++attempt) {
                     config = random_config(space, rng);
+                }
+                if (seen.count(config_hash(config)) != 0) {
+                    continue; // exhausted retries: already evaluated
                 }
                 seen.insert(config_hash(config));
                 block.push_back(std::move(config));
@@ -118,6 +128,9 @@ BayesOptimizer::minimize(const DiscreteObjective& objective,
                      attempt < 16 && seen.count(config_hash(config)) != 0;
                      ++attempt) {
                     config = random_config(space, rng);
+                }
+                if (seen.count(config_hash(config)) != 0) {
+                    continue; // exhausted retries: already evaluated
                 }
                 evaluate(config);
             }

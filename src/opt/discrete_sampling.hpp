@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "opt/optimizer.hpp"
 
@@ -21,10 +22,9 @@ namespace cafqa {
 inline std::size_t
 config_hash(const std::vector<int>& config)
 {
-    std::size_t h = 0x9e3779b97f4a7c15ull;
+    std::size_t h = kHashSeed;
     for (const int v : config) {
-        h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull +
-             (h << 6) + (h >> 2);
+        h = hash_mix(h, static_cast<std::uint64_t>(v));
     }
     return h;
 }

@@ -39,6 +39,7 @@ RandomSearchOptimizer::minimize(const DiscreteObjective& objective,
     constexpr std::size_t kChunk = 4096;
 
     std::unordered_set<std::size_t> seen;
+    std::size_t dry_chunks = 0;
     try {
         for (const auto& config : context.seed_configs) {
             if (seen.insert(config_hash(config)).second) {
@@ -46,12 +47,24 @@ RandomSearchOptimizer::minimize(const DiscreteObjective& objective,
             }
         }
 
-        std::size_t remaining = criteria.max_evaluations > 0
-            ? recorder.remaining_budget()
-            : options_.samples;
-
+        // The budget is re-queried per chunk so unique-evaluation
+        // accounting composes: under `criteria.unique_evaluations`,
+        // recorded repeats do not consume budget, so the loop keeps
+        // drawing until enough *distinct* points have been evaluated.
+        // In that mode a draw that is still a duplicate after the
+        // bounded retries is dropped rather than re-evaluated (it could
+        // never make progress), and two consecutive all-duplicate
+        // chunks end the run — the space is saturated.
+        std::size_t drawn = 0;
         std::vector<std::vector<int>> block;
-        while (remaining > 0) {
+        while (dry_chunks < 2) {
+            const std::size_t remaining = criteria.max_evaluations > 0
+                ? recorder.remaining_budget()
+                : (options_.samples > drawn ? options_.samples - drawn
+                                            : 0);
+            if (remaining == 0) {
+                break;
+            }
             block.clear();
             const std::size_t chunk = std::min(remaining, kChunk);
             for (std::size_t s = 0; s < chunk; ++s) {
@@ -61,9 +74,19 @@ RandomSearchOptimizer::minimize(const DiscreteObjective& objective,
                      ++attempt) {
                     config = random_config(space, rng);
                 }
+                ++drawn;
+                if (criteria.unique_evaluations &&
+                    seen.count(config_hash(config)) != 0) {
+                    continue; // exhausted retries: already evaluated
+                }
                 seen.insert(config_hash(config));
                 block.push_back(std::move(config));
             }
+            if (block.empty()) {
+                ++dry_chunks;
+                continue;
+            }
+            dry_chunks = 0;
             if (context.batch) {
                 const std::vector<double> values = context.batch(block);
                 CAFQA_REQUIRE(values.size() == block.size(),
@@ -76,13 +99,13 @@ RandomSearchOptimizer::minimize(const DiscreteObjective& objective,
                     recorder.record(config, objective(config));
                 }
             }
-            remaining -= chunk;
         }
     } catch (const OutcomeRecorder::EarlyStop&) {
         // A stopping criterion fired; the recorder holds the reason.
     }
 
-    return recorder.finish(StopReason::BudgetExhausted);
+    return recorder.finish(dry_chunks >= 2 ? StopReason::SpaceExhausted
+                                           : StopReason::BudgetExhausted);
 }
 
 OptimizeOutcome

@@ -8,7 +8,9 @@
 #include "chem/boys.hpp"
 #include "chem/mo_integrals.hpp"
 #include "chem/molecule.hpp"
+#include "core/backend_registry.hpp"
 #include "core/cafqa_driver.hpp"
+#include "core/caching_backend.hpp"
 #include "core/evaluator.hpp"
 #include "core/hartree_fock_baseline.hpp"
 #include "core/sampled_evaluator.hpp"
@@ -179,6 +181,88 @@ TEST(ErrorContracts, OptimizerRegistryGuards)
     // discrete search stage fails fast inside the stage.
     OptimizerConfig bad = optimizer_config("spsa");
     EXPECT_THROW(make_discrete_optimizer(bad), std::invalid_argument);
+}
+
+TEST(ErrorContracts, UnknownRegistryKeysListTheRegisteredOnes)
+{
+    // A typo'd kind must tell the caller which keys exist, not just
+    // that theirs does not: assert the message names the registries'
+    // built-ins.
+    try {
+        BackendConfig config;
+        config.kind = "no-such-backend";
+        make_backend(config);
+        FAIL() << "make_backend accepted an unknown kind";
+    } catch (const std::invalid_argument& error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("no-such-backend"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("registered:"), std::string::npos)
+            << message;
+        for (const char* kind : {"clifford", "clifford_t", "statevector",
+                                 "density", "sampled"}) {
+            EXPECT_NE(message.find(kind), std::string::npos)
+                << "missing \"" << kind << "\" in: " << message;
+        }
+        // ...and advertises the cache composition prefix.
+        EXPECT_NE(message.find("cached:<kind>"), std::string::npos)
+            << message;
+    }
+
+    // The "cached:" prefix resolves the inner kind through the same
+    // factory, so a bad inner kind gets the same self-describing error.
+    try {
+        BackendConfig config;
+        config.kind = "cached:no-such-backend";
+        make_backend(config);
+        FAIL() << "make_backend accepted an unknown cached kind";
+    } catch (const std::invalid_argument& error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("no-such-backend"), std::string::npos);
+        EXPECT_NE(message.find("registered:"), std::string::npos);
+    }
+
+    try {
+        make_optimizer(optimizer_config("no-such-optimizer"));
+        FAIL() << "make_optimizer accepted an unknown kind";
+    } catch (const std::invalid_argument& error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("no-such-optimizer"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("registered:"), std::string::npos)
+            << message;
+        for (const char* kind : {"bayes", "anneal", "random", "exhaustive",
+                                 "nelder-mead", "spsa"}) {
+            EXPECT_NE(message.find(kind), std::string::npos)
+                << "missing \"" << kind << "\" in: " << message;
+        }
+    }
+}
+
+TEST(ErrorContracts, CacheGuards)
+{
+    Circuit ansatz(2);
+    ansatz.ry_param(0);
+
+    BackendConfig config;
+    config.kind = "clifford";
+    config.ansatz = ansatz;
+    config.cache.enabled = true;
+    config.cache.capacity = 0;
+    EXPECT_THROW(make_backend(config), std::invalid_argument);
+
+    config.cache.capacity = 16;
+    config.cache.shards = 0;
+    EXPECT_THROW(make_backend(config), std::invalid_argument);
+
+    CacheOptions options;
+    EXPECT_THROW(CachingDiscreteBackend(nullptr, options),
+                 std::invalid_argument);
+
+    options.resolution = 0.0;
+    EXPECT_THROW(CachingContinuousBackend(
+                     std::make_unique<IdealEvaluator>(ansatz), options),
+                 std::invalid_argument);
 }
 
 TEST(ErrorContracts, EvaluatorGuards)

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <thread>
 
@@ -258,6 +259,58 @@ TEST(BayesOpt, SeedConfigValidation)
     options.seed_configs = {{0, 9}};
     EXPECT_THROW(bayes_opt_minimize(f, space, options),
                  std::invalid_argument);
+}
+
+TEST(BayesOpt, WarmupNeverDispatchesDuplicateConfigurations)
+{
+    // On a space small enough that the bounded dedup retries can run
+    // out, the warm-up used to dispatch the stale duplicate anyway —
+    // evaluating it twice and double-counting it against the budget.
+    // Now the exhausted draw is dropped: every configuration is
+    // evaluated at most once, in both the serial and batched paths.
+    DiscreteSpace space;
+    space.cardinalities = {2, 2}; // 4 configurations, warmup 32
+    BayesOptOptions options;
+    options.warmup = 32;
+    options.iterations = 0;
+    options.seed = 21;
+
+    auto run = [&](bool batched) {
+        std::map<std::vector<int>, int> counts;
+        auto objective = [&](const std::vector<int>& config) {
+            ++counts[config];
+            return static_cast<double>(config[0] * 2 + config[1]);
+        };
+        SearchContext context;
+        if (batched) {
+            context.batch =
+                [&](const std::vector<std::vector<int>>& block) {
+                    std::vector<double> values;
+                    values.reserve(block.size());
+                    for (const auto& config : block) {
+                        values.push_back(objective(config));
+                    }
+                    return values;
+                };
+        }
+        BayesOptimizer optimizer(options);
+        const OptimizeOutcome outcome =
+            optimizer.minimize(objective, space, {}, context);
+        for (const auto& [config, count] : counts) {
+            EXPECT_EQ(count, 1) << "config evaluated " << count
+                                << " times in "
+                                << (batched ? "batched" : "serial")
+                                << " warm-up";
+        }
+        EXPECT_LE(outcome.evaluations, 4u);
+        return outcome;
+    };
+
+    const OptimizeOutcome serial = run(false);
+    const OptimizeOutcome batched = run(true);
+    // The batched path must still mirror the serial trajectory exactly.
+    EXPECT_EQ(serial.history, batched.history);
+    EXPECT_EQ(serial.best_config, batched.best_config);
 }
 
 TEST(SimulatedAnnealing, FindsDiscreteOptimum)
