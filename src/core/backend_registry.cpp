@@ -29,6 +29,10 @@ registry()
         factories["clifford"] = [](const BackendConfig& config) {
             return std::make_unique<CliffordEvaluator>(config.ansatz);
         };
+        // Alias: the paper calls the search-stage evaluator "the
+        // stabilizer simulator"; kind() still reports the concrete
+        // "clifford" type (same convention as custom registrations).
+        factories["stabilizer"] = factories["clifford"];
         factories["clifford_t"] = [](const BackendConfig& config) {
             return std::make_unique<CliffordTEvaluator>(config.ansatz);
         };

@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "core/caching_backend.hpp"
 #include "core/clifford_ansatz.hpp"
 
 namespace cafqa {
@@ -23,11 +24,54 @@ CliffordEvaluator::prepare(const std::vector<int>& steps)
     simulator_->apply_circuit_steps(ansatz_, steps);
 }
 
+const StabilizerExpectationEngine&
+CliffordEvaluator::engine_for(const PauliSum& op) const
+{
+    const std::size_t key = observable_hash(op);
+    auto it = engines_.find(key);
+    if (it == engines_.end()) {
+        it = engines_
+                 .emplace(key,
+                          std::make_shared<
+                              const StabilizerExpectationEngine>(op))
+                 .first;
+    }
+    return *it->second;
+}
+
 double
 CliffordEvaluator::expectation(const PauliSum& op) const
 {
     CAFQA_REQUIRE(simulator_.has_value(), "prepare() has not been called");
-    return simulator_->expectation(op);
+    return engine_for(op).expectation(simulator_->tableau());
+}
+
+std::vector<double>
+CliffordEvaluator::expectations(std::span<const PauliSum> ops) const
+{
+    CAFQA_REQUIRE(simulator_.has_value(), "prepare() has not been called");
+    std::vector<double> values;
+    values.reserve(ops.size());
+    for (const PauliSum& op : ops) {
+        values.push_back(engine_for(op).expectation(simulator_->tableau()));
+    }
+    return values;
+}
+
+std::vector<double>
+CliffordEvaluator::expectation_batch(
+    const std::vector<std::vector<int>>& candidates, const PauliSum& op)
+{
+    // Compile once, then sweep: each candidate pays only tableau
+    // construction plus one batched evaluation pass.
+    const StabilizerExpectationEngine& engine = engine_for(op);
+    std::vector<double> values;
+    values.reserve(candidates.size());
+    for (const auto& steps : candidates) {
+        prepare(steps);
+        values.push_back(engine.expectation(simulator_->tableau()));
+    }
+    return values;
 }
 
 int

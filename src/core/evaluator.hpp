@@ -23,6 +23,7 @@
 #ifndef CAFQA_CORE_EVALUATOR_HPP
 #define CAFQA_CORE_EVALUATOR_HPP
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -31,12 +32,22 @@
 #include "core/backend.hpp"
 #include "density/noise_model.hpp"
 #include "pauli/pauli_sum.hpp"
+#include "stabilizer/expectation_engine.hpp"
 #include "stabilizer/stabilizer_simulator.hpp"
 #include "statevector/statevector.hpp"
 
 namespace cafqa {
 
-/** Exact stabilizer backend over integer quarter-turn parameters. */
+/**
+ * Exact stabilizer backend over integer quarter-turn parameters.
+ *
+ * Pauli-sum observables are precompiled once per distinct sum into a
+ * `StabilizerExpectationEngine` (packed term masks + QWC grouping) and
+ * memoized by structural hash, so the search's hot loop — re-prepare,
+ * re-measure the same Hamiltonian — pays compilation once and then
+ * evaluates every term in a single batched pass per point. `clone()`
+ * shares the compiled engines across thread-pool workers.
+ */
 class CliffordEvaluator final : public DiscreteBackend
 {
   public:
@@ -50,6 +61,11 @@ class CliffordEvaluator final : public DiscreteBackend
     void prepare(const std::vector<int>& steps) override;
 
     double expectation(const PauliSum& op) const override;
+    std::vector<double>
+    expectations(std::span<const PauliSum> ops) const override;
+    std::vector<double>
+    expectation_batch(const std::vector<std::vector<int>>& candidates,
+                      const PauliSum& op) override;
     /** Single Pauli term: exactly -1, 0 or +1. */
     int expectation(const PauliString& pauli) const;
 
@@ -58,8 +74,19 @@ class CliffordEvaluator final : public DiscreteBackend
     const Circuit& ansatz() const { return ansatz_; }
 
   private:
+    /** Compile-once lookup (keyed by `observable_hash`, the same
+     *  structural identity the evaluation cache uses). */
+    const StabilizerExpectationEngine& engine_for(const PauliSum& op) const;
+
     Circuit ansatz_;
     std::optional<StabilizerSimulator> simulator_;
+    /** Engines compiled before a clone() are shared with the clone
+     *  (immutable via shared_ptr); each instance then grows its own map,
+     *  so per-worker clones stay lock-free. Concurrent calls must go
+     *  through distinct clones, as the thread-pool fan-out does. */
+    mutable std::map<std::size_t,
+                     std::shared_ptr<const StabilizerExpectationEngine>>
+        engines_;
 };
 
 /** Noise-free statevector backend. */

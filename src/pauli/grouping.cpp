@@ -8,10 +8,18 @@ bool
 qubitwise_commute(const PauliString& a, const PauliString& b)
 {
     CAFQA_REQUIRE(a.num_qubits() == b.num_qubits(), "qubit count mismatch");
-    for (std::size_t q = 0; q < a.num_qubits(); ++q) {
-        const PauliLetter la = a.letter(q);
-        const PauliLetter lb = b.letter(q);
-        if (la != PauliLetter::I && lb != PauliLetter::I && la != lb) {
+    // Word-parallel: a conflict is a qubit where both letters are
+    // non-identity (support bits set on both sides) and the (x, z) bit
+    // pairs differ.
+    const auto& xa = a.x_words();
+    const auto& za = a.z_words();
+    const auto& xb = b.x_words();
+    const auto& zb = b.z_words();
+    for (std::size_t w = 0; w < xa.size(); ++w) {
+        const std::uint64_t support_a = xa[w] | za[w];
+        const std::uint64_t support_b = xb[w] | zb[w];
+        const std::uint64_t differ = (xa[w] ^ xb[w]) | (za[w] ^ zb[w]);
+        if (support_a & support_b & differ) {
             return false;
         }
     }

@@ -146,11 +146,21 @@ PauliSum::max_imag_coefficient() const
 void
 PauliSum::chop_to_hermitian(double tolerance)
 {
-    CAFQA_REQUIRE(max_imag_coefficient() <= tolerance,
-                  "operator has significant imaginary coefficients");
+    require_hermitian(*this, tolerance);
     for (auto& term : terms_) {
         term.coefficient = {term.coefficient.real(), 0.0};
     }
+}
+
+void
+require_hermitian(const PauliSum& op, double tolerance)
+{
+    const double imag = op.max_imag_coefficient();
+    CAFQA_REQUIRE(imag <= tolerance,
+                  "PauliSum is not Hermitian (|imag coefficient| = " +
+                      std::to_string(imag) +
+                      "); a real-valued expectation is defined for "
+                      "Hermitian sums only");
 }
 
 std::complex<double>

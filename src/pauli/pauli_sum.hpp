@@ -89,6 +89,14 @@ PauliSum operator+(PauliSum a, const PauliSum& b);
 PauliSum operator-(PauliSum a, const PauliSum& b);
 PauliSum operator*(std::complex<double> scale, PauliSum a);
 
+/**
+ * Throw std::invalid_argument unless every coefficient's |imag part|
+ * is within `tolerance` — the shared precondition of every evaluator
+ * that returns a real expectation value (a silent `.real()` would hide
+ * mapping bugs that produce non-Hermitian sums).
+ */
+void require_hermitian(const PauliSum& op, double tolerance);
+
 } // namespace cafqa
 
 #endif // CAFQA_PAULI_PAULI_SUM_HPP

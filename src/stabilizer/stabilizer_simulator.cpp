@@ -1,9 +1,7 @@
 #include "stabilizer/stabilizer_simulator.hpp"
 
-#include <cmath>
-#include <numbers>
-
 #include "common/error.hpp"
+#include "stabilizer/circuit_replay.hpp"
 
 namespace cafqa {
 
@@ -14,91 +12,28 @@ StabilizerSimulator::StabilizerSimulator(std::size_t num_qubits)
 int
 StabilizerSimulator::angle_to_steps(double angle, double tolerance)
 {
-    constexpr double half_pi = std::numbers::pi / 2.0;
-    const double steps = angle / half_pi;
-    const double rounded = std::round(steps);
-    CAFQA_REQUIRE(std::abs(steps - rounded) <= tolerance,
-                  "rotation angle is not a multiple of pi/2");
-    const int k = static_cast<int>(
-        std::llround(rounded) % 4);
-    return (k + 4) % 4;
-}
-
-void
-StabilizerSimulator::apply_resolved(const GateOp& op, double angle)
-{
-    switch (op.kind) {
-      case GateKind::H: tableau_.h(op.q0); break;
-      case GateKind::X: tableau_.x(op.q0); break;
-      case GateKind::Y: tableau_.y(op.q0); break;
-      case GateKind::Z: tableau_.z(op.q0); break;
-      case GateKind::S: tableau_.s(op.q0); break;
-      case GateKind::Sdg: tableau_.sdg(op.q0); break;
-      case GateKind::CX: tableau_.cx(op.q0, op.q1); break;
-      case GateKind::CZ: tableau_.cz(op.q0, op.q1); break;
-      case GateKind::Swap: tableau_.swap(op.q0, op.q1); break;
-      case GateKind::Rx:
-        tableau_.rx_steps(op.q0, angle_to_steps(angle));
-        break;
-      case GateKind::Ry:
-        tableau_.ry_steps(op.q0, angle_to_steps(angle));
-        break;
-      case GateKind::Rz:
-        tableau_.rz_steps(op.q0, angle_to_steps(angle));
-        break;
-      case GateKind::Rzz:
-        tableau_.rzz_steps(op.q0, op.q1, angle_to_steps(angle));
-        break;
-      case GateKind::T:
-      case GateKind::Tdg:
-        CAFQA_REQUIRE(false,
-                      "T gates are not Clifford; use the Clifford+kT "
-                      "branch simulator (core/clifford_t)");
-    }
+    return angle_to_quarter_steps(angle, tolerance);
 }
 
 void
 StabilizerSimulator::apply(const GateOp& op, const std::vector<double>& params)
 {
-    apply_resolved(op, is_rotation(op.kind) ? op.resolved_angle(params) : 0.0);
+    replay_gate(tableau_, op,
+                is_rotation(op.kind) ? op.resolved_angle(params) : 0.0);
 }
 
 void
 StabilizerSimulator::apply_circuit(const Circuit& circuit,
                                    const std::vector<double>& params)
 {
-    CAFQA_REQUIRE(circuit.num_qubits() == num_qubits(),
-                  "circuit qubit count mismatch");
-    for (const auto& op : circuit.ops()) {
-        apply(op, params);
-    }
+    replay_circuit(tableau_, circuit, params);
 }
 
 void
 StabilizerSimulator::apply_circuit_steps(const Circuit& circuit,
                                          const std::vector<int>& steps)
 {
-    CAFQA_REQUIRE(circuit.num_qubits() == num_qubits(),
-                  "circuit qubit count mismatch");
-    CAFQA_REQUIRE(steps.size() == circuit.num_params(),
-                  "step vector size must equal circuit parameter count");
-    for (const auto& op : circuit.ops()) {
-        if (is_rotation(op.kind) && op.param >= 0) {
-            const int k = steps[static_cast<std::size_t>(op.param)];
-            switch (op.kind) {
-              case GateKind::Rx: tableau_.rx_steps(op.q0, k); break;
-              case GateKind::Ry: tableau_.ry_steps(op.q0, k); break;
-              case GateKind::Rz: tableau_.rz_steps(op.q0, k); break;
-              case GateKind::Rzz:
-                tableau_.rzz_steps(op.q0, op.q1, k);
-                break;
-              default: break;
-            }
-        } else {
-            apply_resolved(op,
-                           is_rotation(op.kind) ? op.angle : 0.0);
-        }
-    }
+    replay_circuit_steps(tableau_, circuit, steps);
 }
 
 int
@@ -108,10 +43,12 @@ StabilizerSimulator::expectation(const PauliString& pauli) const
 }
 
 double
-StabilizerSimulator::expectation(const PauliSum& op) const
+StabilizerSimulator::expectation(const PauliSum& op,
+                                 double hermitian_tolerance) const
 {
     CAFQA_REQUIRE(op.num_qubits() == num_qubits(),
                   "operator qubit count mismatch");
+    require_hermitian(op, hermitian_tolerance);
     double total = 0.0;
     for (const auto& term : op.terms()) {
         const int e = tableau_.expectation(term.string);

@@ -1,9 +1,13 @@
 /**
  * @file
- * Circuit-level front end for the stabilizer tableau: applies Clifford
+ * Circuit-level front end for the stabilizer state: applies Clifford
  * circuits (with rotation parameters given either as angles that are
  * multiples of pi/2, or directly as integer quarter-turn counts) and
  * evaluates Pauli-sum expectation values exactly.
+ *
+ * The state lives in the column-packed `SymplecticTableau`
+ * (word-parallel gate conjugations); the legacy row-based `Tableau`
+ * remains available as the reference oracle for differential tests.
  */
 #ifndef CAFQA_STABILIZER_STABILIZER_SIMULATOR_HPP
 #define CAFQA_STABILIZER_STABILIZER_SIMULATOR_HPP
@@ -12,7 +16,7 @@
 
 #include "circuit/circuit.hpp"
 #include "pauli/pauli_sum.hpp"
-#include "stabilizer/tableau.hpp"
+#include "stabilizer/symplectic_tableau.hpp"
 
 namespace cafqa {
 
@@ -44,19 +48,24 @@ class StabilizerSimulator
     /** Exact single-term expectation: +1, -1 or 0. */
     int expectation(const PauliString& pauli) const;
 
-    /** Exact expectation of a Hermitian Pauli sum (real part). */
-    double expectation(const PauliSum& op) const;
+    /**
+     * Exact expectation of a Hermitian Pauli sum. Throws when any
+     * coefficient carries an imaginary part above `hermitian_tolerance`
+     * — silently taking `.real()` would hide mapping bugs that produce
+     * non-Hermitian sums.
+     */
+    double expectation(const PauliSum& op,
+                       double hermitian_tolerance = 1e-8) const;
 
-    const Tableau& tableau() const { return tableau_; }
+    const SymplecticTableau& tableau() const { return tableau_; }
 
     /** Convert an angle to quarter-turns; throws if not a multiple of
-     *  pi/2 within `tolerance`. */
+     *  pi/2 within `tolerance` relative to the magnitude (see
+     *  `angle_to_quarter_steps` in stabilizer/circuit_replay.hpp). */
     static int angle_to_steps(double angle, double tolerance = 1e-9);
 
   private:
-    void apply_resolved(const GateOp& op, double angle);
-
-    Tableau tableau_;
+    SymplecticTableau tableau_;
 };
 
 } // namespace cafqa

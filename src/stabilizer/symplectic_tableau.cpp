@@ -1,0 +1,400 @@
+#include "stabilizer/symplectic_tableau.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+namespace {
+
+/** Inclusive prefix parity: bit r of the result is the parity of bits
+ *  0..r of v. */
+inline std::uint64_t
+prefix_xor(std::uint64_t v)
+{
+    v ^= v << 1;
+    v ^= v << 2;
+    v ^= v << 4;
+    v ^= v << 8;
+    v ^= v << 16;
+    v ^= v << 32;
+    return v;
+}
+
+} // namespace
+
+SymplecticTableau::SymplecticTableau(std::size_t num_qubits)
+    : num_qubits_(num_qubits), words_((num_qubits + 63) / 64)
+{
+    CAFQA_REQUIRE(num_qubits >= 1, "tableau needs at least one qubit");
+    x_destab_.assign(num_qubits_ * words_, 0);
+    z_destab_.assign(num_qubits_ * words_, 0);
+    x_stab_.assign(num_qubits_ * words_, 0);
+    z_stab_.assign(num_qubits_ * words_, 0);
+    p0_destab_.assign(words_, 0);
+    p1_destab_.assign(words_, 0);
+    p0_stab_.assign(words_, 0);
+    p1_stab_.assign(words_, 0);
+    // |0...0>: destabilizer_i = X_i, stabilizer_i = Z_i — plane row i
+    // touches qubit i only, so column q holds exactly bit q.
+    for (std::size_t q = 0; q < num_qubits_; ++q) {
+        const std::uint64_t bit = std::uint64_t{1} << (q % 64);
+        x_destab_[q * words_ + q / 64] = bit;
+        z_stab_[q * words_ + q / 64] = bit;
+    }
+}
+
+void
+SymplecticTableau::h(std::size_t q)
+{
+    CAFQA_REQUIRE(q < num_qubits_, "qubit index out of range");
+    // H: X^x Z^z -> (-1)^{xz} X^z Z^x, i.e. phase += 2*x*z, swap x/z.
+    std::uint64_t* xd = x_destab_.data() + q * words_;
+    std::uint64_t* zd = z_destab_.data() + q * words_;
+    std::uint64_t* xs = x_stab_.data() + q * words_;
+    std::uint64_t* zs = z_stab_.data() + q * words_;
+    for (std::size_t w = 0; w < words_; ++w) {
+        p1_destab_[w] ^= xd[w] & zd[w];
+        std::swap(xd[w], zd[w]);
+        p1_stab_[w] ^= xs[w] & zs[w];
+        std::swap(xs[w], zs[w]);
+    }
+}
+
+void
+SymplecticTableau::x(std::size_t q)
+{
+    CAFQA_REQUIRE(q < num_qubits_, "qubit index out of range");
+    // X: phase += 2z
+    const std::uint64_t* zd = z_destab_.data() + q * words_;
+    const std::uint64_t* zs = z_stab_.data() + q * words_;
+    for (std::size_t w = 0; w < words_; ++w) {
+        p1_destab_[w] ^= zd[w];
+        p1_stab_[w] ^= zs[w];
+    }
+}
+
+void
+SymplecticTableau::y(std::size_t q)
+{
+    CAFQA_REQUIRE(q < num_qubits_, "qubit index out of range");
+    // Y: phase += 2*(x XOR z)
+    for (std::size_t w = 0; w < words_; ++w) {
+        p1_destab_[w] ^=
+            x_destab_[q * words_ + w] ^ z_destab_[q * words_ + w];
+        p1_stab_[w] ^= x_stab_[q * words_ + w] ^ z_stab_[q * words_ + w];
+    }
+}
+
+void
+SymplecticTableau::z(std::size_t q)
+{
+    CAFQA_REQUIRE(q < num_qubits_, "qubit index out of range");
+    // Z: phase += 2x
+    const std::uint64_t* xd = x_destab_.data() + q * words_;
+    const std::uint64_t* xs = x_stab_.data() + q * words_;
+    for (std::size_t w = 0; w < words_; ++w) {
+        p1_destab_[w] ^= xd[w];
+        p1_stab_[w] ^= xs[w];
+    }
+}
+
+void
+SymplecticTableau::s(std::size_t q)
+{
+    CAFQA_REQUIRE(q < num_qubits_, "qubit index out of range");
+    // S: X^x Z^z -> i^x X^x Z^{z^x}: on rows with x, phase += 1, z ^= 1.
+    const std::uint64_t* xd = x_destab_.data() + q * words_;
+    std::uint64_t* zd = z_destab_.data() + q * words_;
+    const std::uint64_t* xs = x_stab_.data() + q * words_;
+    std::uint64_t* zs = z_stab_.data() + q * words_;
+    for (std::size_t w = 0; w < words_; ++w) {
+        p1_destab_[w] ^= p0_destab_[w] & xd[w];
+        p0_destab_[w] ^= xd[w];
+        zd[w] ^= xd[w];
+        p1_stab_[w] ^= p0_stab_[w] & xs[w];
+        p0_stab_[w] ^= xs[w];
+        zs[w] ^= xs[w];
+    }
+}
+
+void
+SymplecticTableau::sdg(std::size_t q)
+{
+    CAFQA_REQUIRE(q < num_qubits_, "qubit index out of range");
+    // Sdg: phase += 3 on rows with x (add 1 with carry, then add 2).
+    const std::uint64_t* xd = x_destab_.data() + q * words_;
+    std::uint64_t* zd = z_destab_.data() + q * words_;
+    const std::uint64_t* xs = x_stab_.data() + q * words_;
+    std::uint64_t* zs = z_stab_.data() + q * words_;
+    for (std::size_t w = 0; w < words_; ++w) {
+        p1_destab_[w] ^= (p0_destab_[w] & xd[w]) ^ xd[w];
+        p0_destab_[w] ^= xd[w];
+        zd[w] ^= xd[w];
+        p1_stab_[w] ^= (p0_stab_[w] & xs[w]) ^ xs[w];
+        p0_stab_[w] ^= xs[w];
+        zs[w] ^= xs[w];
+    }
+}
+
+void
+SymplecticTableau::cx(std::size_t control, std::size_t target)
+{
+    CAFQA_REQUIRE(control < num_qubits_ && target < num_qubits_,
+                  "qubit index out of range");
+    CAFQA_REQUIRE(control != target, "control equals target");
+    // X_c -> X_c X_t, Z_t -> Z_c Z_t; no phase update in this convention.
+    const std::uint64_t* xdc = x_destab_.data() + control * words_;
+    std::uint64_t* xdt = x_destab_.data() + target * words_;
+    std::uint64_t* zdc = z_destab_.data() + control * words_;
+    const std::uint64_t* zdt = z_destab_.data() + target * words_;
+    const std::uint64_t* xsc = x_stab_.data() + control * words_;
+    std::uint64_t* xst = x_stab_.data() + target * words_;
+    std::uint64_t* zsc = z_stab_.data() + control * words_;
+    const std::uint64_t* zst = z_stab_.data() + target * words_;
+    for (std::size_t w = 0; w < words_; ++w) {
+        xdt[w] ^= xdc[w];
+        zdc[w] ^= zdt[w];
+        xst[w] ^= xsc[w];
+        zsc[w] ^= zst[w];
+    }
+}
+
+void
+SymplecticTableau::cz(std::size_t a, std::size_t b)
+{
+    // CZ = (I ox H) CX (I ox H), same composition as the reference
+    // tableau so phases stay bit-identical.
+    h(b);
+    cx(a, b);
+    h(b);
+}
+
+void
+SymplecticTableau::swap(std::size_t a, std::size_t b)
+{
+    CAFQA_REQUIRE(a < num_qubits_ && b < num_qubits_,
+                  "qubit index out of range");
+    CAFQA_REQUIRE(a != b, "swap operands are equal");
+    // Three CX conjugations amount to a phase-free column exchange.
+    std::swap_ranges(x_destab_.begin() + static_cast<std::ptrdiff_t>(a * words_),
+                     x_destab_.begin() + static_cast<std::ptrdiff_t>((a + 1) * words_),
+                     x_destab_.begin() + static_cast<std::ptrdiff_t>(b * words_));
+    std::swap_ranges(z_destab_.begin() + static_cast<std::ptrdiff_t>(a * words_),
+                     z_destab_.begin() + static_cast<std::ptrdiff_t>((a + 1) * words_),
+                     z_destab_.begin() + static_cast<std::ptrdiff_t>(b * words_));
+    std::swap_ranges(x_stab_.begin() + static_cast<std::ptrdiff_t>(a * words_),
+                     x_stab_.begin() + static_cast<std::ptrdiff_t>((a + 1) * words_),
+                     x_stab_.begin() + static_cast<std::ptrdiff_t>(b * words_));
+    std::swap_ranges(z_stab_.begin() + static_cast<std::ptrdiff_t>(a * words_),
+                     z_stab_.begin() + static_cast<std::ptrdiff_t>((a + 1) * words_),
+                     z_stab_.begin() + static_cast<std::ptrdiff_t>(b * words_));
+}
+
+void
+SymplecticTableau::rx_steps(std::size_t q, int k)
+{
+    switch (((k % 4) + 4) % 4) {
+      case 0: break;
+      case 1: sdg(q); h(q); sdg(q); break; // RX(pi/2) = Sdg H Sdg
+      case 2: x(q); break;
+      case 3: s(q); h(q); s(q); break;     // RX(3pi/2) = S H S
+    }
+}
+
+void
+SymplecticTableau::ry_steps(std::size_t q, int k)
+{
+    switch (((k % 4) + 4) % 4) {
+      case 0: break;
+      case 1: z(q); h(q); break;           // RY(pi/2) = H * Z
+      case 2: y(q); break;
+      case 3: h(q); z(q); break;           // RY(3pi/2) = Z * H
+    }
+}
+
+void
+SymplecticTableau::rz_steps(std::size_t q, int k)
+{
+    switch (((k % 4) + 4) % 4) {
+      case 0: break;
+      case 1: s(q); break;
+      case 2: z(q); break;
+      case 3: sdg(q); break;
+    }
+}
+
+void
+SymplecticTableau::rzz_steps(std::size_t a, std::size_t b, int k)
+{
+    if (((k % 4) + 4) % 4 == 0) {
+        return;
+    }
+    cx(a, b);
+    rz_steps(b, k);
+    cx(a, b);
+}
+
+int
+stabilizer_product_phase(const SymplecticTableau& t,
+                         const std::uint64_t* sel)
+{
+    const std::size_t words = t.words();
+    // Sum of the selected generators' own phases, mod 4.
+    std::size_t cnt = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+        cnt += static_cast<std::size_t>(
+            std::popcount(t.phase0_stab()[w] & sel[w]));
+        cnt += 2 * static_cast<std::size_t>(
+                       std::popcount(t.phase1_stab()[w] & sel[w]));
+    }
+    // Cross terms of the sequential product R_1 * R_2 * ...: multiplying
+    // X^{x1}Z^{z1} by X^{x2}Z^{z2} adds 2*|z1 & x2|, so row r contributes
+    // (per qubit) the parity of the z bits of earlier selected rows times
+    // its own x bit. The exclusive prefix parity over the selected z
+    // column gives exactly that per-row mask, word-parallel.
+    int cross = 0;
+    for (std::size_t q = 0; q < t.num_qubits(); ++q) {
+        const std::uint64_t* xs = t.x_stab(q);
+        const std::uint64_t* zs = t.z_stab(q);
+        std::uint64_t carry = 0;
+        int parity = 0;
+        for (std::size_t w = 0; w < words; ++w) {
+            const std::uint64_t zq = zs[w] & sel[w];
+            const std::uint64_t xq = xs[w] & sel[w];
+            if ((zq | xq) == 0) {
+                continue;
+            }
+            const std::uint64_t exclusive =
+                prefix_xor(zq << 1) ^ (std::uint64_t{0} - carry);
+            parity ^= std::popcount(exclusive & xq) & 1;
+            carry ^= static_cast<std::uint64_t>(std::popcount(zq)) & 1;
+        }
+        cross ^= parity;
+    }
+    return static_cast<int>((cnt + 2 * static_cast<std::size_t>(cross)) & 3);
+}
+
+int
+SymplecticTableau::expectation(const PauliString& pauli) const
+{
+    CAFQA_REQUIRE(pauli.num_qubits() == num_qubits_,
+                  "operator qubit count mismatch");
+    CAFQA_REQUIRE(pauli.is_hermitian(),
+                  "expectation requires a Hermitian Pauli string");
+
+    // Row r anticommutes with P iff the accumulated symplectic product
+    // bit is set: XOR, per support qubit, the opposing-plane column.
+    std::vector<std::uint64_t> anti(words_, 0);
+    std::vector<std::uint64_t> sel(words_, 0);
+    const auto& xw = pauli.x_words();
+    const auto& zw = pauli.z_words();
+    for (std::size_t q = 0; q < num_qubits_; ++q) {
+        const bool px = (xw[q / 64] >> (q % 64)) & 1;
+        const bool pz = (zw[q / 64] >> (q % 64)) & 1;
+        if (!px && !pz) {
+            continue;
+        }
+        if (px) {
+            const std::uint64_t* zs = z_stab(q);
+            const std::uint64_t* zd = z_destab(q);
+            for (std::size_t w = 0; w < words_; ++w) {
+                anti[w] ^= zs[w];
+                sel[w] ^= zd[w];
+            }
+        }
+        if (pz) {
+            const std::uint64_t* xs = x_stab(q);
+            const std::uint64_t* xd = x_destab(q);
+            for (std::size_t w = 0; w < words_; ++w) {
+                anti[w] ^= xs[w];
+                sel[w] ^= xd[w];
+            }
+        }
+    }
+    // If P anticommutes with any stabilizer generator, <P> = 0.
+    for (std::size_t w = 0; w < words_; ++w) {
+        if (anti[w] != 0) {
+            return 0;
+        }
+    }
+    // Otherwise P = +/- the product of the generators whose paired
+    // destabilizer anticommutes with P; compare phase exponents.
+    const int product_phase = stabilizer_product_phase(*this, sel.data());
+    const int diff = (static_cast<int>(pauli.phase_exponent()) + 4 -
+                      product_phase) & 3;
+    CAFQA_ASSERT((diff & 1) == 0,
+                 "commuting Pauli is not in the stabilizer group");
+    return diff == 0 ? 1 : -1;
+}
+
+PauliString
+SymplecticTableau::reconstruct_row(const std::vector<std::uint64_t>& x,
+                                   const std::vector<std::uint64_t>& z,
+                                   const std::vector<std::uint64_t>& p0,
+                                   const std::vector<std::uint64_t>& p1,
+                                   std::size_t row) const
+{
+    PauliString out(num_qubits_);
+    const std::size_t w = row / 64;
+    const std::uint64_t bit = std::uint64_t{1} << (row % 64);
+    for (std::size_t q = 0; q < num_qubits_; ++q) {
+        if (x[q * words_ + w] & bit) {
+            out.set_x_bit(q, true);
+        }
+        if (z[q * words_ + w] & bit) {
+            out.set_z_bit(q, true);
+        }
+    }
+    const std::uint8_t phase = static_cast<std::uint8_t>(
+        ((p0[w] & bit) ? 1 : 0) + ((p1[w] & bit) ? 2 : 0));
+    out.set_phase_exponent(phase);
+    return out;
+}
+
+PauliString
+SymplecticTableau::stabilizer(std::size_t i) const
+{
+    CAFQA_REQUIRE(i < num_qubits_, "stabilizer index out of range");
+    return reconstruct_row(x_stab_, z_stab_, p0_stab_, p1_stab_, i);
+}
+
+PauliString
+SymplecticTableau::destabilizer(std::size_t i) const
+{
+    CAFQA_REQUIRE(i < num_qubits_, "destabilizer index out of range");
+    return reconstruct_row(x_destab_, z_destab_, p0_destab_, p1_destab_, i);
+}
+
+bool
+SymplecticTableau::check_invariants() const
+{
+    std::vector<PauliString> destab;
+    std::vector<PauliString> stab;
+    for (std::size_t i = 0; i < num_qubits_; ++i) {
+        destab.push_back(destabilizer(i));
+        stab.push_back(stabilizer(i));
+        if (!destab.back().is_hermitian() || !stab.back().is_hermitian()) {
+            return false;
+        }
+    }
+    for (std::size_t i = 0; i < num_qubits_; ++i) {
+        for (std::size_t j = 0; j < num_qubits_; ++j) {
+            const bool commute = destab[i].commutes_with(stab[j]);
+            if ((i == j) == commute) {
+                return false; // d_i must anticommute exactly with s_i
+            }
+            if (!stab[i].commutes_with(stab[j])) {
+                return false; // stabilizers commute pairwise
+            }
+            if (!destab[i].commutes_with(destab[j])) {
+                return false; // destabilizers commute pairwise
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace cafqa

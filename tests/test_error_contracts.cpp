@@ -23,6 +23,9 @@
 #include "opt/spsa.hpp"
 #include "problems/maxcut.hpp"
 #include "problems/molecule_factory.hpp"
+#include "stabilizer/expectation_engine.hpp"
+#include "stabilizer/stabilizer_simulator.hpp"
+#include "stabilizer/symplectic_tableau.hpp"
 #include "stabilizer/tableau.hpp"
 #include "statevector/lanczos.hpp"
 #include "statevector/statevector.hpp"
@@ -56,6 +59,38 @@ TEST(ErrorContracts, TableauGuards)
     EXPECT_THROW(t.expectation(PauliString::from_label("+iZZ")),
                  std::invalid_argument);
     EXPECT_THROW(Tableau(0), std::invalid_argument);
+
+    // The packed production tableau enforces the same contract.
+    SymplecticTableau packed(2);
+    EXPECT_THROW(packed.h(2), std::invalid_argument);
+    EXPECT_THROW(packed.cx(0, 0), std::invalid_argument);
+    EXPECT_THROW(packed.expectation(PauliString::from_label("+iZZ")),
+                 std::invalid_argument);
+    EXPECT_THROW(SymplecticTableau(0), std::invalid_argument);
+}
+
+TEST(ErrorContracts, StabilizerSumMustBeHermitian)
+{
+    // A mapping bug that produces complex coefficients must surface as
+    // an error, not silently evaluate `.real()`.
+    PauliSum complex_sum(2);
+    complex_sum.add_term(std::complex<double>{0.5, 0.25},
+                         PauliString::from_label("ZZ"));
+
+    StabilizerSimulator sim(2);
+    EXPECT_THROW((void)sim.expectation(complex_sum),
+                 std::invalid_argument);
+    EXPECT_THROW(StabilizerExpectationEngine{complex_sum},
+                 std::invalid_argument);
+
+    // An explicitly widened tolerance is the documented escape hatch.
+    EXPECT_NO_THROW((void)sim.expectation(complex_sum, 0.5));
+
+    // Roundoff-sized imaginary parts stay below the default tolerance.
+    PauliSum nearly_real(2);
+    nearly_real.add_term(std::complex<double>{1.0, 1e-12},
+                         PauliString::from_label("ZZ"));
+    EXPECT_NO_THROW((void)sim.expectation(nearly_real));
 }
 
 TEST(ErrorContracts, StatevectorGuards)

@@ -12,6 +12,7 @@
 #include "circuit/efficient_su2.hpp"
 #include "common/rng.hpp"
 #include "stabilizer/stabilizer_simulator.hpp"
+#include "stabilizer/tableau.hpp"
 #include "statevector/statevector.hpp"
 
 namespace cafqa {
@@ -91,6 +92,36 @@ TEST(StabilizerSimulator, AngleToSteps)
     EXPECT_EQ(StabilizerSimulator::angle_to_steps(-half_pi), 3);
     EXPECT_THROW(StabilizerSimulator::angle_to_steps(1.0),
                  std::invalid_argument);
+}
+
+TEST(StabilizerSimulator, AngleToStepsIsRelativeAware)
+{
+    // Accumulated multiples of pi/2: the double representation of
+    // m * (pi/2) carries an absolute error that grows with m and blows
+    // past any fixed tolerance, yet the angle is an exact quarter-turn
+    // by construction. A relative-aware check must accept every one.
+    for (std::int64_t m = 1000000; m < 1000100; ++m) {
+        const double angle = static_cast<double>(m) * half_pi;
+        EXPECT_EQ(StabilizerSimulator::angle_to_steps(angle),
+                  static_cast<int>(m % 4))
+            << "m=" << m;
+    }
+    // ...including negative accumulations.
+    EXPECT_EQ(StabilizerSimulator::angle_to_steps(-1000001.0 * half_pi), 3);
+
+    // The other direction: genuinely non-Clifford offsets must still
+    // throw, whether the base angle is small...
+    EXPECT_THROW(StabilizerSimulator::angle_to_steps(0.01),
+                 std::invalid_argument);
+    EXPECT_THROW(StabilizerSimulator::angle_to_steps(half_pi + 1e-4),
+                 std::invalid_argument);
+    // ...or a large accumulated multiple with a real offset on top
+    // (the relative slack at 1e6 quarter-turns is ~1e-3 turns, far
+    // below the 0.05-turn offset here).
+    EXPECT_THROW(
+        StabilizerSimulator::angle_to_steps(1000000.0 * half_pi +
+                                            0.05 * half_pi),
+        std::invalid_argument);
 }
 
 TEST(StabilizerSimulator, RejectsTGates)
