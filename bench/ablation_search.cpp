@@ -13,6 +13,7 @@
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
+#include "common/text.hpp"
 #include "core/evaluator.hpp"
 #include "opt/optimizer_registry.hpp"
 
@@ -41,15 +42,15 @@ void
 compare_on(const std::string& molecule, double bond, std::uint64_t seed,
            std::size_t budget)
 {
-    const auto system = problems::make_molecular_system(molecule, bond);
-    const VqaObjective objective = problems::make_objective(system);
-    CliffordEvaluator evaluator(system.ansatz);
+    const auto problem = problems::make_problem(
+        "molecule:" + molecule + "?bond=" + format_real(bond));
+    CliffordEvaluator evaluator(problem.ansatz);
     auto objective_fn = [&](const std::vector<int>& steps) {
         evaluator.prepare(steps);
-        return objective.evaluate(evaluator);
+        return problem.objective.evaluate(evaluator);
     };
-    const DiscreteSpace space = clifford_search_space(system.ansatz);
-    const double exact = exact_energy(system.hamiltonian);
+    const DiscreteSpace space = clifford_search_space(problem.ansatz);
+    const double exact = exact_energy(problem.hamiltonian());
 
     Table table(molecule + " @ " + Table::num(bond, 2) + " A, " +
                 std::to_string(budget) + "-evaluation budget, space 10^" +

@@ -18,6 +18,7 @@
 #include "core/clifford_ansatz.hpp"
 #include "core/pipeline.hpp"
 #include "problems/molecule_factory.hpp"
+#include "problems/problem.hpp"
 #include "statevector/lanczos.hpp"
 
 namespace cafqa::bench {
@@ -112,10 +113,35 @@ molecular_budget(const problems::MolecularSystem& system,
 }
 
 /**
- * Pipeline configuration for a molecular system: constrained objective,
- * scale-aware budget, HF prior injection. The returned config is ready
- * for `CafqaPipeline` (set `tuner`/`threads` as needed before
+ * Pipeline configuration for a registry problem: objective, ansatz and
+ * prior-injection seeds from the problem, scale-aware budget. Ready for
+ * `CafqaPipeline` (set `tuner`/`threads` as needed before
  * constructing).
+ */
+inline PipelineConfig
+problem_pipeline_config(const problems::Problem& problem,
+                        std::uint64_t seed)
+{
+    PipelineConfig config;
+    config.ansatz = problem.ansatz;
+    config.objective = problem.objective;
+    config.search = cafqa_budget(problem.num_qubits, seed);
+    config.search.seed_steps = problem.seed_steps;
+    return config;
+}
+
+/** Run just the Clifford-search stage for a registry problem. */
+inline CafqaResult
+run_problem_cafqa(const problems::Problem& problem, std::uint64_t seed)
+{
+    CafqaPipeline pipeline(problem_pipeline_config(problem, seed));
+    return pipeline.run_clifford_search();
+}
+
+/**
+ * Same for an already-built molecular system (benches that need custom
+ * sector options go through `make_molecular_system` directly; the
+ * wiring matches `problem_pipeline_config` over the molecule family).
  */
 inline PipelineConfig
 molecular_pipeline_config(const problems::MolecularSystem& system,

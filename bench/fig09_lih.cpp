@@ -5,6 +5,7 @@
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
+#include "common/text.hpp"
 
 namespace {
 
@@ -28,23 +29,24 @@ print_fig09()
     correlation.set_header({"Bond(A)", "CAFQA"});
 
     for (const double bond : bonds) {
-        const auto system = problems::make_molecular_system("LiH", bond);
-        const CafqaResult cafqa = run_molecular_cafqa(
-            system, 2000 + static_cast<std::uint64_t>(bond * 100));
-        const double exact = exact_energy(system.hamiltonian);
+        const auto problem = problems::make_problem(
+            "molecule:LiH?bond=" + format_real(bond));
+        const CafqaResult cafqa = run_problem_cafqa(
+            problem, 2000 + static_cast<std::uint64_t>(bond * 100));
+        const double exact = exact_energy(problem.hamiltonian());
+        const double hf = problem.reference_energy.value();
 
-        energy.add_row({Table::num(bond, 2), Table::num(system.hf_energy, 5),
+        energy.add_row({Table::num(bond, 2), Table::num(hf, 5),
                         Table::num(cafqa.best_energy, 5),
                         Table::num(exact, 5)});
         accuracy.add_row(
-            {Table::num(bond, 2),
-             Table::sci(std::abs(system.hf_energy - exact), 2),
+            {Table::num(bond, 2), Table::sci(std::abs(hf - exact), 2),
              Table::sci(std::max(std::abs(cafqa.best_energy - exact), 1e-10),
                         2)});
         correlation.add_row(
             {Table::num(bond, 2),
              Table::num(correlation_recovered_percent(
-                            system.hf_energy, cafqa.best_energy, exact),
+                            hf, cafqa.best_energy, exact),
                         1)});
     }
 

@@ -5,9 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
-#include "circuit/efficient_su2.hpp"
 #include "common/table.hpp"
-#include "problems/maxcut.hpp"
+#include "common/text.hpp"
+#include "problems/problem.hpp"
 
 namespace {
 
@@ -22,33 +22,31 @@ struct ProblemRun
     double best_energy = 0.0;
 };
 
+/** One pure-BO run over a registry problem. This figure measures the
+ *  *search* convergence, so the problem's prior seeds (the HF point
+ *  for molecules) are deliberately not injected — the paper's
+ *  iteration counts are unguided BO runs. */
 ProblemRun
-run_molecule(const std::string& name, std::uint64_t seed)
+run_problem(const std::string& key, std::uint64_t seed)
 {
-    const auto info = problems::molecule_info(name);
-    const auto system = problems::make_molecular_system(
-        name, info.equilibrium_bond_length * 2.0); // stretched, nontrivial
-    const VqaObjective objective = problems::make_objective(system);
-    // This figure measures the *search* convergence, so the HF prior is
-    // deliberately not injected (the paper's iteration counts are pure
-    // BO runs).
-    const CafqaResult result = run_cafqa(
-        system.ansatz, objective, cafqa_budget(system.num_qubits, seed));
-    return ProblemRun{name, result.num_parameters,
+    const auto problem = problems::make_problem(key);
+    const CafqaResult result =
+        run_cafqa(problem.ansatz, problem.objective,
+                  cafqa_budget(problem.num_qubits, seed));
+    return ProblemRun{problem.name, result.num_parameters,
                       result.evaluations_to_best, result.best_energy};
 }
 
 ProblemRun
-run_maxcut(const problems::MaxCutProblem& problem, std::uint64_t seed)
+run_molecule(const std::string& name, std::uint64_t seed)
 {
-    VqaObjective objective;
-    objective.hamiltonian = problem.hamiltonian;
-    const Circuit ansatz = make_efficient_su2(problem.num_vertices);
-    const CafqaResult result =
-        run_cafqa(ansatz, objective,
-                  cafqa_budget(problem.num_vertices, seed));
-    return ProblemRun{problem.name, result.num_parameters,
-                      result.evaluations_to_best, result.best_energy};
+    const auto info = problems::molecule_info(name);
+    // Stretched to twice the equilibrium bond, where the search is
+    // nontrivial (format_real round-trips the exact double).
+    return run_problem(
+        "molecule:" + name + "?bond=" +
+            format_real(info.equilibrium_bond_length * 2.0),
+        seed);
 }
 
 void
@@ -66,20 +64,17 @@ print_fig15()
         runs.push_back(run_molecule(name, seed));
         seed += 100;
     }
-    runs.push_back(run_maxcut(
-        problems::make_random_maxcut(8, 0.45, 77, "MaxCut1"), seed));
-    runs.push_back(run_maxcut(problems::make_ring_maxcut(10), seed + 1));
+    runs.push_back(run_problem("maxcut:er-8?p=0.45&seed=77", seed));
+    runs.push_back(run_problem("maxcut:ring-10", seed + 1));
 
     // QAOA-structured ansatz over the same instance: only 2p shared
     // parameters, so the Clifford space is tiny (Section 2.1 notes
     // CAFQA applies to QAOA-style problems as well).
     {
-        const auto ring = problems::make_ring_maxcut(10);
-        VqaObjective objective;
-        objective.hamiltonian = ring.hamiltonian;
-        const Circuit qaoa = problems::make_qaoa_ansatz(ring, 2);
+        const auto qaoa = problems::make_problem(
+            "maxcut:ring-10?ansatz=qaoa&layers=2");
         const CafqaResult result = run_cafqa(
-            qaoa, objective,
+            qaoa.ansatz, qaoa.objective,
             {.warmup = 32, .iterations = 64, .seed = seed + 2});
         runs.push_back(ProblemRun{"ring10-QAOA(p=2)",
                                   result.num_parameters,

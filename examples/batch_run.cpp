@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Batch front end: execute many declarative RunSpecs concurrently and
+ * emit one aggregated JSON report — the serve-many-requests workflow in
+ * miniature.
+ *
+ * Usage:
+ *   batch_run [--concurrency N] [--run-threads N] [--trace]
+ *             [--jsonl FILE | SPEC ...]
+ *
+ * Each positional argument is one spec in the text form, e.g.
+ *   batch_run "problem=molecule:H2?bond=2.2 warmup=60 iterations=60" \
+ *             "problem=maxcut:ring-8 search=anneal" \
+ *             "problem=tfim:chain-6?h=0.8" \
+ *             "problem=xxz:chain-4?delta=0.5"
+ * `--jsonl FILE` instead reads one JSON spec object per line ("-" for
+ * stdin; '#' lines are comments).
+ *
+ * Exit status is 0 only when every run succeeded; failed runs are
+ * reported inside the JSON (`"ok": false`) rather than aborting the
+ * batch.
+ */
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/text.hpp"
+#include "core/batch_runner.hpp"
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string& message)
+{
+    std::cerr << "batch_run: " << message << '\n'
+              << "usage: batch_run [--concurrency N] [--run-threads N]"
+                 " [--trace] [--jsonl FILE | SPEC ...]\n";
+    std::exit(1);
+}
+
+/** Strict whole-token integer parse with a lower bound. */
+std::size_t
+parse_count(const std::string& flag, const std::string& text,
+            std::int64_t min_value)
+{
+    const auto value = cafqa::parse_integer_token(text);
+    if (!value || *value < min_value) {
+        fail(flag + " expects an integer >= " +
+             std::to_string(min_value) + ", got '" + text + "'");
+    }
+    return static_cast<std::size_t>(*value);
+}
+
+std::string
+read_all(std::istream& stream)
+{
+    std::ostringstream out;
+    out << stream.rdbuf();
+    return out.str();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace cafqa;
+
+    BatchOptions options;
+    std::vector<RunSpec> specs;
+    bool trace = false;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> const char* {
+                if (i + 1 >= argc) {
+                    fail(arg + " requires a value");
+                }
+                return argv[++i];
+            };
+            if (arg == "--concurrency") {
+                // 0 = use the shared hardware-sized pool.
+                options.concurrency = parse_count(arg, next(), 0);
+            } else if (arg == "--run-threads") {
+                options.run_threads = parse_count(arg, next(), 1);
+            } else if (arg == "--trace") {
+                trace = true;
+            } else if (arg == "--jsonl") {
+                const std::string path = next();
+                std::string text;
+                if (path == "-") {
+                    text = read_all(std::cin);
+                } else {
+                    std::ifstream file(path);
+                    if (!file) {
+                        fail("cannot open " + path);
+                    }
+                    text = read_all(file);
+                }
+                for (auto& spec : parse_run_specs_jsonl(text)) {
+                    specs.push_back(std::move(spec));
+                }
+            } else if (!arg.empty() && arg[0] == '-') {
+                fail("unknown option '" + arg + "'");
+            } else {
+                specs.push_back(RunSpec::parse(arg));
+            }
+        }
+        if (specs.empty()) {
+            fail("no run specs given");
+        }
+        for (const auto& spec : specs) {
+            spec.validate();
+        }
+
+        BatchRunner runner(options);
+        if (trace) {
+            runner.set_observer([](std::size_t index, const RunSpec& spec,
+                                   const PipelineEvent& event) {
+                if (event.event == PipelineEvent::Kind::StageEnd) {
+                    std::cerr << "[run " << index << " "
+                              << (spec.label.empty() ? spec.problem
+                                                     : spec.label)
+                              << "] " << event.stage << " done, best "
+                              << event.best_value << '\n';
+                }
+            });
+        }
+
+        const std::vector<RunRecord> records = runner.run(specs);
+        std::cout << batch_results_json(records) << '\n';
+
+        for (const auto& record : records) {
+            if (!record.ok) {
+                std::cerr << "batch_run: run failed ("
+                          << record.spec.problem << "): " << record.error
+                          << '\n';
+                return 1;
+            }
+        }
+    } catch (const std::exception& error) {
+        std::cerr << "batch_run: " << error.what() << '\n';
+        return 1;
+    }
+    return 0;
+}

@@ -1,47 +1,44 @@
 /**
  * @file
- * Command-line front end for the full CAFQA pipeline — run any supported
- * molecule at any bond length with configurable budgets and emit a
- * machine-readable CSV line, suitable for scripting dissociation sweeps.
+ * Command-line front end for the full CAFQA pipeline, built on the
+ * declarative RunSpec API: run *any* registered problem family —
+ * molecules, MaxCut, TFIM, XXZ, runtime-registered ones — with
+ * configurable budgets, and emit a machine-readable result line.
  *
- * Drives the `CafqaPipeline` facade end to end: discrete Clifford
- * search, optional Clifford+kT boost, optional continuous VQA tuning on
- * any registered backend ("statevector", "density", "sampled", ...).
+ * Three equivalent ways to select the run:
  *
- * Usage:
- *   cafqa_cli --molecule LiH --bond 2.4 [--warmup 200] [--iterations 300]
- *             [--seed 7] [--max-t 0] [--tune 0] [--tune-backend KIND]
- *             [--search KIND] [--tuner KIND] [--budget N]
- *             [--target-energy E] [--threads N] [--cache]
- *             [--cache-capacity N] [--no-hf-seed] [--trace]
- *             [--csv-header]
+ *   cafqa_cli --spec "problem=molecule:LiH?bond=2.4 warmup=200 tune=200"
+ *   cafqa_cli --problem maxcut:ring-8 --search anneal
+ *   cafqa_cli --molecule LiH --bond 2.4 --warmup 200 --tune 200
  *
- * --tune-backend accepts any registered kind or "auto" (the default:
- * statevector, or density when a noise model is configured).
- * --search/--tuner accept any optimizer-registry kind ("bayes",
- * "anneal", "random", "exhaustive" / "spsa", "nelder-mead", ...);
- * --budget caps total objective evaluations per stage and
- * --target-energy stops a stage as soon as its best objective value
- * reaches the given energy (e.g. exact + chemical accuracy).
- * --cache wraps every stage backend in the memoizing evaluation cache
- * (re-visited points skip state preparation); --cache-capacity bounds
- * its resident entries and implies --cache.
+ * `--spec` takes a whole run as one `field=value ...` string
+ * (`core/run_spec.hpp`); every historical flag still works and
+ * overrides the corresponding spec field, so old invocations behave
+ * exactly as before (molecule runs keep the historical CSV line;
+ * other families default to JSON, also selectable with --json).
  *
- * Every numeric option is validated: non-numeric text, trailing
- * garbage, and out-of-range values (e.g. --threads 0) exit with status
- * 1 and the usage text, as do unknown flags.
+ * --tune-backend accepts any registered backend kind or "auto";
+ * --search/--tuner accept any optimizer-registry kind; --budget caps
+ * objective evaluations per stage; --target-energy stops a stage once
+ * its best objective reaches the given value; --cache memoizes
+ * evaluations across stages. Every numeric option is validated:
+ * non-numeric text, trailing garbage, and out-of-range values exit
+ * with status 1 and the usage text, as do unknown flags and malformed
+ * specs.
  */
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
-#include "core/clifford_ansatz.hpp"
-#include "core/pipeline.hpp"
-#include "problems/molecule_factory.hpp"
-#include "statevector/lanczos.hpp"
+#include "common/text.hpp"
+#include "core/batch_runner.hpp"
+#include "core/run_spec.hpp"
 
 namespace {
 
@@ -49,13 +46,17 @@ void
 usage()
 {
     std::cerr
-        << "cafqa_cli --molecule <name> --bond <angstrom>\n"
+        << "cafqa_cli [--spec \"field=value ...\"] [--problem KEY]\n"
+        << "          [--molecule <name> --bond <angstrom>]\n"
         << "          [--warmup N] [--iterations N] [--seed N]\n"
         << "          [--max-t K] [--tune N] [--tune-backend KIND]\n"
         << "          [--search KIND] [--tuner KIND] [--budget N]\n"
         << "          [--target-energy E] [--threads N] [--cache]\n"
-        << "          [--cache-capacity N] [--no-hf-seed]\n"
+        << "          [--cache-capacity N] [--no-hf-seed] [--json]\n"
         << "          [--trace] [--csv-header]\n"
+        << "  --spec SPEC       whole run as one field=value string\n"
+        << "  --problem KEY     problem registry key"
+           " (family:instance?param=value)\n"
         << "  --tune N          run N tuner iterations after the search\n"
         << "  --tune-backend    backend registry kind for tuning\n"
         << "                    (default: statevector; others:";
@@ -84,13 +85,16 @@ usage()
                  " the stages\n"
               << "  --cache-capacity N  max resident cache entries"
                  " (implies --cache)\n"
+              << "  --json            print the run record as JSON"
+                 " (default for\n"
+                 "                    non-molecule problems)\n"
               << "  --trace           print stage progress (and cache"
                  " stats) to stderr\n"
-              << "molecules:";
-    for (const auto& name : cafqa::problems::supported_molecules()) {
-        std::cerr << ' ' << name;
+              << "problem families:\n";
+    for (const auto& info : cafqa::problems::problem_family_catalog()) {
+        std::cerr << "  " << info.family << "  " << info.description
+                  << " (e.g. " << info.sample_key << ")\n";
     }
-    std::cerr << '\n';
 }
 
 [[noreturn]] void
@@ -101,36 +105,42 @@ fail_usage(const std::string& message)
     std::exit(1);
 }
 
-/** Strict integer parse: the whole token must be a number >= min_value
- *  (rejects "abc", "12x", "-3", "" and out-of-range values). */
-std::uint64_t
-parse_count(const std::string& flag, const char* text,
-            std::uint64_t min_value)
-{
-    errno = 0;
-    char* end = nullptr;
-    const long long value = std::strtoll(text, &end, 10);
-    if (end == text || *end != '\0' || errno == ERANGE || value < 0 ||
-        static_cast<std::uint64_t>(value) < min_value) {
-        fail_usage(flag + " expects an integer >= " +
-                   std::to_string(min_value) + ", got '" + text + "'");
-    }
-    return static_cast<std::uint64_t>(value);
-}
-
 /** Strict floating-point parse: the whole token must be a finite
  *  number ("nan"/"inf" would silently disable comparisons downstream). */
 double
 parse_real(const std::string& flag, const char* text)
 {
-    errno = 0;
-    char* end = nullptr;
-    const double value = std::strtod(text, &end);
-    if (end == text || *end != '\0' || errno == ERANGE ||
-        !std::isfinite(value)) {
-        fail_usage(flag + " expects a finite number, got '" + text + "'");
+    const auto value = cafqa::parse_real_token(text);
+    if (!value) {
+        fail_usage(flag + " expects a finite number, got '" +
+                   std::string(text) + "'");
     }
-    return value;
+    return *value;
+}
+
+/** The historical CSV line for molecule runs (format-stable). */
+void
+print_molecule_csv(const cafqa::problems::Problem& problem,
+                   const cafqa::RunRecord& record)
+{
+    const double bond = problem.metric("bond_angstrom").value_or(0.0);
+    const bool scf =
+        problem.metric("scf_converged").value_or(0.0) != 0.0;
+    const double hf = record.reference_energy.value_or(0.0);
+    const double exact = record.exact_energy.value_or(0.0);
+    double recovered = 0.0;
+    if (record.exact_energy.has_value()) {
+        const double denom = hf - exact;
+        recovered = (denom > 1e-12)
+            ? 100.0 * (hf - record.cafqa_energy) / denom
+            : 100.0;
+    }
+    std::cout << problem.name << ',' << bond << ',' << problem.num_qubits
+              << ',' << (scf ? 1 : 0) << ',' << hf << ','
+              << record.cafqa_energy << ','
+              << record.tuned_value.value_or(0.0) << ',' << exact << ','
+              << record.t_gates << ',' << record.evaluations_to_best
+              << ',' << recovered << '\n';
 }
 
 } // namespace
@@ -140,18 +150,13 @@ main(int argc, char** argv)
 {
     using namespace cafqa;
 
+    std::string spec_text;
+    std::string problem_key;
     std::string molecule;
-    double bond = 0.0;
-    CafqaOptions search{.warmup = 200, .iterations = 300, .seed = 7};
-    std::size_t max_t = 0;
-    std::size_t tune_iterations = 0;
-    std::string tune_backend;
-    std::string search_kind = "bayes";
-    std::string tuner_kind = "spsa";
-    StoppingCriteria stopping;
-    std::size_t threads = 0;
-    CacheOptions cache;
-    bool hf_seed = true;
+    std::optional<double> bond;
+    /** Spec-field overrides in argv order (later flags win). */
+    std::vector<std::pair<std::string, std::string>> overrides;
+    bool json = false;
     bool trace = false;
     bool csv_header = false;
 
@@ -163,48 +168,49 @@ main(int argc, char** argv)
             }
             return argv[++i];
         };
-        if (arg == "--molecule") {
+        /** `--warmup 60` becomes the spec assignment `warmup=60`,
+         *  validated by RunSpec::set below. */
+        auto override_field = [&](const std::string& field) {
+            overrides.emplace_back(field, next());
+        };
+        if (arg == "--spec") {
+            spec_text = next();
+        } else if (arg == "--problem") {
+            problem_key = next();
+        } else if (arg == "--molecule") {
             molecule = next();
         } else if (arg == "--bond") {
             bond = parse_real(arg, next());
         } else if (arg == "--warmup") {
-            search.warmup =
-                static_cast<std::size_t>(parse_count(arg, next(), 1));
+            override_field("warmup");
         } else if (arg == "--iterations") {
-            search.iterations =
-                static_cast<std::size_t>(parse_count(arg, next(), 1));
+            override_field("iterations");
         } else if (arg == "--seed") {
-            search.seed = parse_count(arg, next(), 0);
+            override_field("seed");
         } else if (arg == "--max-t") {
-            max_t = static_cast<std::size_t>(parse_count(arg, next(), 0));
+            override_field("max-t");
         } else if (arg == "--tune") {
-            tune_iterations =
-                static_cast<std::size_t>(parse_count(arg, next(), 0));
+            override_field("tune");
         } else if (arg == "--tune-backend") {
-            tune_backend = next();
-            if (tune_backend == "auto") {
-                tune_backend.clear();
-            }
+            override_field("tune-backend");
         } else if (arg == "--search") {
-            search_kind = next();
+            override_field("search");
         } else if (arg == "--tuner") {
-            tuner_kind = next();
+            override_field("tuner");
         } else if (arg == "--budget") {
-            stopping.max_evaluations =
-                static_cast<std::size_t>(parse_count(arg, next(), 1));
+            override_field("budget");
         } else if (arg == "--target-energy") {
-            stopping.target_value = parse_real(arg, next());
+            override_field("target-energy");
         } else if (arg == "--threads") {
-            threads =
-                static_cast<std::size_t>(parse_count(arg, next(), 1));
+            override_field("threads");
         } else if (arg == "--cache") {
-            cache.enabled = true;
+            overrides.emplace_back("cache", "1");
         } else if (arg == "--cache-capacity") {
-            cache.enabled = true;
-            cache.capacity =
-                static_cast<std::size_t>(parse_count(arg, next(), 1));
+            override_field("cache-capacity");
         } else if (arg == "--no-hf-seed") {
-            hf_seed = false;
+            overrides.emplace_back("hf-seed", "0");
+        } else if (arg == "--json") {
+            json = true;
         } else if (arg == "--trace") {
             trace = true;
         } else if (arg == "--csv-header") {
@@ -213,11 +219,41 @@ main(int argc, char** argv)
             fail_usage("unknown option '" + arg + "'");
         }
     }
-    if (molecule.empty()) {
-        fail_usage("--molecule is required");
+
+    // Base spec from --spec, then every flag overrides its field —
+    // including flags explicitly set to their default values.
+    RunSpec spec;
+    try {
+        if (!spec_text.empty()) {
+            spec = RunSpec::parse(spec_text);
+        }
+        for (const auto& [field, value] : overrides) {
+            spec.set(field, value);
+        }
+    } catch (const std::exception& error) {
+        fail_usage(error.what());
     }
-    if (bond <= 0.0) {
-        fail_usage("--bond must be a positive length in angstrom");
+
+    // Problem selection: --molecule/--bond compose a key; --problem
+    // wins over the spec's problem field.
+    if (!molecule.empty()) {
+        if (!problem_key.empty()) {
+            fail_usage("use either --problem or --molecule, not both");
+        }
+        if (!bond.has_value() || *bond <= 0.0) {
+            fail_usage("--bond must be a positive length in angstrom");
+        }
+        problem_key = "molecule:" + molecule +
+                      "?bond=" + format_real(*bond);
+    } else if (bond.has_value()) {
+        fail_usage("--bond requires --molecule");
+    }
+    if (!problem_key.empty()) {
+        spec.problem = problem_key;
+    }
+    if (spec.problem.empty()) {
+        fail_usage("no problem selected (use --spec, --problem, or "
+                   "--molecule with --bond)");
     }
 
     if (csv_header) {
@@ -227,30 +263,12 @@ main(int argc, char** argv)
     }
 
     try {
-        const auto system =
-            problems::make_molecular_system(molecule, bond);
+        const problems::Problem problem =
+            problems::make_problem(spec.problem);
 
-        PipelineConfig config;
-        config.ansatz = system.ansatz;
-        config.objective = problems::make_objective(system);
-        config.search = search;
-        config.threads = threads;
-        config.tuner.iterations = tune_iterations;
-        config.tuner.seed = search.seed + 1;
-        config.tuner.backend = tune_backend;
-        config.search_optimizer = optimizer_config(search_kind);
-        config.tuner_optimizer = optimizer_config(tuner_kind);
-        config.stopping = stopping;
-        config.cache = cache;
-        if (hf_seed) {
-            config.search.seed_steps.push_back(
-                efficient_su2_bitstring_steps(system.num_qubits,
-                                              system.hf_bits));
-        }
-
-        CafqaPipeline pipeline(std::move(config));
+        PipelineObserver observer;
         if (trace) {
-            pipeline.set_observer([](const PipelineEvent& event) {
+            observer = [](const PipelineEvent& event) {
                 switch (event.event) {
                   case PipelineEvent::Kind::StageBegin:
                     std::cerr << "[" << event.stage << "] begin\n";
@@ -279,51 +297,25 @@ main(int argc, char** argv)
                     }
                     break;
                 }
-            });
+            };
         }
 
-        pipeline.run_clifford_search();
+        const RunRecord record =
+            execute_run_spec(spec, problem, std::move(observer));
         if (trace) {
             std::cerr << "[clifford_search] stop reason: "
-                      << to_string(
-                             pipeline.clifford_result().stop_reason)
-                      << '\n';
-        }
-        if (max_t > 0) {
-            pipeline.run_t_boost(max_t);
-        }
-        double tuned_value = 0.0;
-        if (tune_iterations > 0) {
-            tuned_value = pipeline.run_vqa_tune().final_value;
-            if (trace) {
+                      << record.stop_reason << '\n';
+            if (!record.tune_stop_reason.empty()) {
                 std::cerr << "[vqa_tune] stop reason: "
-                          << to_string(
-                                 pipeline.tune_result().stop_reason)
-                          << '\n';
+                          << record.tune_stop_reason << '\n';
             }
         }
 
-        const double cafqa_energy = pipeline.best_energy();
-        const std::size_t evals =
-            pipeline.clifford_result().evaluations_to_best;
-        const std::size_t t_gates =
-            max_t > 0 ? pipeline.t_boost_result().t_positions.size() : 0;
-
-        double exact = 0.0;
-        double recovered = 0.0;
-        if (system.num_qubits <= 20) {
-            exact = lanczos_ground_state(system.hamiltonian).energy;
-            const double denom = system.hf_energy - exact;
-            recovered = (denom > 1e-12)
-                ? 100.0 * (system.hf_energy - cafqa_energy) / denom
-                : 100.0;
+        if (json || problem.family != "molecule") {
+            std::cout << record.to_json() << '\n';
+        } else {
+            print_molecule_csv(problem, record);
         }
-
-        std::cout << molecule << ',' << bond << ',' << system.num_qubits
-                  << ',' << (system.scf_converged ? 1 : 0) << ','
-                  << system.hf_energy << ',' << cafqa_energy << ','
-                  << tuned_value << ',' << exact << ',' << t_gates << ','
-                  << evals << ',' << recovered << '\n';
     } catch (const std::exception& error) {
         std::cerr << "error: " << error.what() << '\n';
         return 1;

@@ -4,18 +4,18 @@
  * bond lengths the Clifford space alone misses part of the correlation
  * energy; allowing a few T gates — still classically simulable via the
  * exact branch decomposition T = alpha I + beta S — closes much of the
- * gap. This example also demonstrates custom objectives with explicit
- * constraint penalties.
+ * gap. The problem (constrained objective, HF prior, exact reference)
+ * comes fully prepared from the registry.
  *
  * Usage: clifford_t_boost [bond_length_angstrom] [max_t_gates]
  */
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
-#include "core/clifford_ansatz.hpp"
+#include "common/text.hpp"
 #include "core/pipeline.hpp"
-#include "problems/molecule_factory.hpp"
-#include "statevector/lanczos.hpp"
+#include "problems/problem.hpp"
 
 int
 main(int argc, char** argv)
@@ -26,35 +26,30 @@ main(int argc, char** argv)
     const std::size_t max_t =
         (argc > 2) ? static_cast<std::size_t>(std::atoi(argv[2])) : 2;
 
-    const auto system = problems::make_molecular_system("H2", bond);
-
-    // Build the constrained objective by hand (what make_objective does
-    // internally): energy + quadratic penalties pinning the neutral
-    // singlet sector.
-    VqaObjective objective;
-    objective.hamiltonian = system.hamiltonian;
-    objective.add_number_constraint(system.number_op,
-                                    system.n_alpha + system.n_beta, 2.0);
-    objective.add_sz_constraint(system.sz_op, 0.0, 2.0);
+    // The registry key carries the geometry; the returned problem
+    // already contains the energy + electron-count + S_z objective
+    // that clifford_t_boost used to assemble by hand.
+    const auto problem =
+        problems::make_problem("molecule:H2?bond=" + format_real(bond));
 
     PipelineConfig config;
-    config.ansatz = system.ansatz;
-    config.objective = objective;
+    config.ansatz = problem.ansatz;
+    config.objective = problem.objective;
     config.search = {.warmup = 120, .iterations = 160, .seed = 3};
-    config.search.seed_steps.push_back(efficient_su2_bitstring_steps(
-        system.num_qubits, system.hf_bits));
+    config.search.seed_steps = problem.seed_steps;
 
     CafqaPipeline pipeline(std::move(config));
     const CafqaResult& base = pipeline.run_clifford_search();
     const TBoostResult& boost = pipeline.run_t_boost(max_t);
-    const GroundState exact = lanczos_ground_state(system.hamiltonian);
+    const double exact = problem.exact_energy().value();
 
     std::cout << "H2 @ " << bond << " A\n"
-              << "Hartree-Fock:        " << system.hf_energy << " Ha\n"
+              << "Hartree-Fock:        "
+              << problem.reference_energy.value() << " Ha\n"
               << "CAFQA (Clifford):    " << base.best_energy << " Ha\n"
               << "CAFQA + " << boost.t_positions.size()
               << "T:          " << boost.best_energy << " Ha\n"
-              << "Exact:               " << exact.energy << " Ha\n";
+              << "Exact:               " << exact << " Ha\n";
     if (!boost.t_positions.empty()) {
         std::cout << "T gates inserted after rotation slots:";
         for (const auto slot : boost.t_positions) {

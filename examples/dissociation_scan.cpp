@@ -4,71 +4,187 @@
  * compare Hartree-Fock, CAFQA and exact energies at each bond length —
  * the workflow behind the paper's Figs. 8-11.
  *
- * Usage: dissociation_scan [molecule] [num_points]
- *   molecule   one of: H2 LiH H2O H6 N2 NaH BeH2 H10 Cr2 (default LiH)
- *   num_points bond lengths across the molecule's Table-1 range
- *              (default 6)
+ * Usage:
+ *   dissociation_scan [molecule] [num_points]
+ *   dissociation_scan [--spec "field=value ..."] [--molecule NAME]
+ *                     [--points N] [--min-bond A] [--max-bond A]
+ *
+ * The scan configuration is a RunSpec (`core/run_spec.hpp`): pass
+ * `--spec "problem=molecule:H6 warmup=300 iterations=400 seed=3"` to
+ * rescale budgets or switch the search strategy for every point of the
+ * sweep; the spec's seed is advanced by one per grid point. The bond
+ * grid defaults to the molecule's Table-1 range and is overridable
+ * with --min-bond/--max-bond/--points.
  */
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
-#include "core/clifford_ansatz.hpp"
-#include "core/pipeline.hpp"
+#include "common/text.hpp"
+#include "core/batch_runner.hpp"
+#include "core/run_spec.hpp"
 #include "problems/molecule_factory.hpp"
-#include "statevector/lanczos.hpp"
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string& message)
+{
+    std::cerr << "dissociation_scan: " << message << '\n'
+              << "usage: dissociation_scan [molecule] [num_points]\n"
+                 "       dissociation_scan [--spec SPEC]"
+                 " [--molecule NAME] [--points N]\n"
+                 "                         [--min-bond A] [--max-bond A]\n";
+    std::exit(1);
+}
+
+/** Strict whole-token integer parse (rejects "3x", "abc", "",
+ *  out-of-int-range values that would otherwise wrap). */
+int
+parse_int(const std::string& flag, const std::string& text)
+{
+    const auto value = cafqa::parse_integer_token(text);
+    if (!value || *value < std::numeric_limits<int>::min() ||
+        *value > std::numeric_limits<int>::max()) {
+        fail(flag + " expects an integer, got '" + text + "'");
+    }
+    return static_cast<int>(*value);
+}
+
+/** Strict whole-token finite positive double parse. */
+double
+parse_length(const std::string& flag, const std::string& text)
+{
+    const auto value = cafqa::parse_real_token(text);
+    if (!value || *value <= 0.0) {
+        fail(flag + " expects a positive length in angstrom, got '" +
+             text + "'");
+    }
+    return *value;
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
 {
     using namespace cafqa;
 
-    const std::string molecule = (argc > 1) ? argv[1] : "LiH";
-    const int points = (argc > 2) ? std::atoi(argv[2]) : 6;
-    if (points < 2) {
-        std::cerr << "num_points must be at least 2\n";
+    // Scan defaults sized for a quick interactive run; a --spec
+    // overrides any of them.
+    RunSpec spec = RunSpec::parse(
+        "problem=molecule:LiH warmup=150 iterations=200 seed=11");
+    std::string molecule;
+    int points = 6;
+    double min_bond = 0.0;
+    double max_bond = 0.0;
+
+    try {
+        int positional = 0;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> const char* {
+                if (i + 1 >= argc) {
+                    fail(arg + " requires a value");
+                }
+                return argv[++i];
+            };
+            if (arg == "--spec") {
+                spec = RunSpec::parse(next());
+            } else if (arg == "--molecule") {
+                molecule = next();
+            } else if (arg == "--points") {
+                points = parse_int(arg, next());
+            } else if (arg == "--min-bond") {
+                min_bond = parse_length(arg, next());
+            } else if (arg == "--max-bond") {
+                max_bond = parse_length(arg, next());
+            } else if (!arg.empty() && arg[0] == '-') {
+                fail("unknown option '" + arg + "'");
+            } else if (positional == 0) {
+                molecule = arg;
+                ++positional;
+            } else if (positional == 1) {
+                points = parse_int("num_points", arg);
+                ++positional;
+            } else {
+                fail("unexpected argument '" + arg + "'");
+            }
+        }
+        if (points < 2) {
+            fail("num_points must be at least 2");
+        }
+
+        // The scanned problem key starts from the spec's (so sector
+        // parameters like charge/spin are preserved per point); the
+        // molecule comes from --molecule / the first positional,
+        // falling back to the key's instance.
+        problems::ProblemKey base_key =
+            problems::ProblemKey::parse(spec.problem);
+        if (!molecule.empty()) {
+            base_key.instance = molecule;
+        } else {
+            molecule = base_key.instance;
+        }
+        const auto info = problems::molecule_info(molecule);
+        if (min_bond <= 0.0) {
+            min_bond = info.min_bond_length;
+        }
+        if (max_bond <= 0.0) {
+            max_bond = info.max_bond_length;
+        }
+        if (max_bond <= min_bond) {
+            fail("--max-bond must exceed --min-bond");
+        }
+
+        std::cout << "Scanning " << molecule << " from " << min_bond
+                  << " to " << max_bond << " Angstrom ("
+                  << info.num_qubits << " qubits)\n\n";
+
+        Table table(molecule + " dissociation");
+        table.set_header({"Bond(A)", "HF(Ha)", "CAFQA(Ha)", "Exact(Ha)",
+                          "CorrRecovered(%)"});
+
+        for (int i = 0; i < points; ++i) {
+            const double bond =
+                min_bond + (max_bond - min_bond) * i / (points - 1);
+            // The base key with its bond parameter replaced: every
+            // other parameter (charge, spin, ...) scans unchanged.
+            problems::ProblemKey key = base_key;
+            std::erase_if(key.params, [](const auto& param) {
+                return param.first == "bond";
+            });
+            key.params.emplace_back("bond", format_real(bond));
+            RunSpec point = spec;
+            point.problem = key.to_string();
+            point.seed = spec.seed + static_cast<std::uint64_t>(i);
+            const RunRecord record = execute_run_spec(point);
+
+            const double hf = record.reference_energy.value_or(0.0);
+            // No exact reference above the Lanczos size limit: report
+            // "-" rather than a fabricated 0/100% row.
+            std::string exact = "-";
+            std::string recovered = "-";
+            if (record.exact_energy.has_value()) {
+                const double denom = hf - *record.exact_energy;
+                exact = Table::num(*record.exact_energy, 5);
+                recovered = Table::num(
+                    (denom > 1e-12)
+                        ? 100.0 * (hf - record.cafqa_energy) / denom
+                        : 100.0,
+                    1);
+            }
+            table.add_row({Table::num(bond, 2), Table::num(hf, 5),
+                           Table::num(record.cafqa_energy, 5), exact,
+                           recovered});
+        }
+        table.print(std::cout);
+    } catch (const std::exception& error) {
+        std::cerr << "error: " << error.what() << '\n';
         return 1;
     }
-
-    const auto info = problems::molecule_info(molecule);
-    std::cout << "Scanning " << molecule << " from "
-              << info.min_bond_length << " to " << info.max_bond_length
-              << " Angstrom (" << info.num_qubits << " qubits)\n\n";
-
-    Table table(molecule + " dissociation");
-    table.set_header({"Bond(A)", "HF(Ha)", "CAFQA(Ha)", "Exact(Ha)",
-                      "CorrRecovered(%)"});
-
-    for (int i = 0; i < points; ++i) {
-        const double bond = info.min_bond_length +
-            (info.max_bond_length - info.min_bond_length) * i /
-                (points - 1);
-        const auto system =
-            problems::make_molecular_system(molecule, bond);
-        PipelineConfig config;
-        config.ansatz = system.ansatz;
-        config.objective = problems::make_objective(system);
-        config.search = {.warmup = 150,
-                         .iterations = 200,
-                         .seed = 11 + static_cast<std::uint64_t>(i)};
-        config.search.seed_steps.push_back(efficient_su2_bitstring_steps(
-            system.num_qubits, system.hf_bits));
-        CafqaPipeline pipeline(std::move(config));
-        const CafqaResult& cafqa = pipeline.run_clifford_search();
-        const GroundState exact =
-            lanczos_ground_state(system.hamiltonian);
-
-        const double denom = system.hf_energy - exact.energy;
-        const double recovered = (denom > 1e-12)
-            ? 100.0 * (system.hf_energy - cafqa.best_energy) / denom
-            : 100.0;
-        table.add_row({Table::num(bond, 2),
-                       Table::num(system.hf_energy, 5),
-                       Table::num(cafqa.best_energy, 5),
-                       Table::num(exact.energy, 5),
-                       Table::num(recovered, 1)});
-    }
-    table.print(std::cout);
     return 0;
 }

@@ -12,10 +12,12 @@
  */
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
+#include "common/text.hpp"
 #include "core/clifford_ansatz.hpp"
 #include "core/pipeline.hpp"
-#include "problems/molecule_factory.hpp"
+#include "problems/problem.hpp"
 #include "statevector/lanczos.hpp"
 
 int
@@ -28,9 +30,10 @@ main(int argc, char** argv)
         (argc > 2) ? static_cast<std::size_t>(std::atoi(argv[2])) : 250;
     const std::string tuner_kind = (argc > 3) ? argv[3] : "spsa";
 
-    const auto system = problems::make_molecular_system("LiH", bond);
+    const auto problem = problems::make_problem(
+        "molecule:LiH?bond=" + format_real(bond));
     VqaObjective objective;
-    objective.hamiltonian = system.hamiltonian;
+    objective.hamiltonian = problem.hamiltonian();
 
     // ---- Both stages through one pipeline: the discrete CAFQA search
     //      (red box of Fig. 4) feeds its best point straight into the
@@ -41,11 +44,10 @@ main(int argc, char** argv)
     tuner.seed = 1;
 
     PipelineConfig config;
-    config.ansatz = system.ansatz;
-    config.objective = problems::make_objective(system);
+    config.ansatz = problem.ansatz;
+    config.objective = problem.objective;
     config.search = {.warmup = 150, .iterations = 200, .seed = 21};
-    config.search.seed_steps.push_back(efficient_su2_bitstring_steps(
-        system.num_qubits, system.hf_bits));
+    config.search.seed_steps = problem.seed_steps;
     config.tuner = tuner;
 
     CafqaPipeline pipeline(std::move(config));
@@ -58,7 +60,7 @@ main(int argc, char** argv)
     // uses a second pipeline with an explicit initialization for the HF
     // comparison as well.
     PipelineConfig cafqa_tune;
-    cafqa_tune.ansatz = system.ansatz;
+    cafqa_tune.ansatz = problem.ansatz;
     cafqa_tune.objective = objective;
     cafqa_tune.tuner = tuner;
     cafqa_tune.tuner_optimizer = optimizer_config(tuner_kind);
@@ -68,16 +70,17 @@ main(int argc, char** argv)
 
     tuner.seed = 2;
     PipelineConfig hf_tune;
-    hf_tune.ansatz = system.ansatz;
+    hf_tune.ansatz = problem.ansatz;
     hf_tune.objective = objective;
     hf_tune.tuner = tuner;
     hf_tune.tuner_optimizer = optimizer_config(tuner_kind);
     CafqaPipeline tune_from_hf(std::move(hf_tune));
+    // The problem's seed steps are the HF determinant's Clifford point.
     const VqaTuneResult from_hf = tune_from_hf.run_vqa_tune(
-        steps_to_angles(efficient_su2_bitstring_steps(system.num_qubits,
-                                                      system.hf_bits)));
+        steps_to_angles(problem.seed_steps.front()));
 
-    const GroundState exact = lanczos_ground_state(system.hamiltonian);
+    const GroundState exact =
+        lanczos_ground_state(problem.hamiltonian());
     const std::size_t it_cafqa =
         iterations_to_converge(from_cafqa.trace, 5e-3);
     const std::size_t it_hf = iterations_to_converge(from_hf.trace, 5e-3);

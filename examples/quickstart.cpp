@@ -3,9 +3,10 @@
  * Quickstart: CAFQA end to end on H2.
  *
  * Pipeline shown here (all in-process, no external dependencies):
- *   1. Build the H2 molecular problem at a stretched bond length —
- *      STO-3G integrals, restricted Hartree-Fock, parity mapping with
- *      two-qubit reduction.
+ *   1. Resolve the problem through the registry: one key builds the H2
+ *      molecular problem at a stretched bond length — STO-3G integrals,
+ *      restricted Hartree-Fock, parity mapping with two-qubit
+ *      reduction, constrained objective and Clifford-searchable ansatz.
  *   2. Run the CAFQA search: Bayesian optimization over the discrete
  *      Clifford parameter space of a hardware-efficient ansatz, each
  *      candidate evaluated exactly by the stabilizer simulator.
@@ -13,13 +14,12 @@
  *      exact (Lanczos) ground state.
  *
  * Build: cmake --build build --target quickstart
- * Run:   ./build/examples/quickstart
+ * Run:   ./build/quickstart
  */
 #include <iostream>
 
-#include "core/clifford_ansatz.hpp"
 #include "core/pipeline.hpp"
-#include "problems/molecule_factory.hpp"
+#include "problems/problem.hpp"
 #include "statevector/lanczos.hpp"
 
 int
@@ -28,35 +28,41 @@ main()
     using namespace cafqa;
 
     // 1. The molecular problem: H2 at 2.2 Angstrom (~3x equilibrium),
-    //    where Hartree-Fock loses most of the correlation energy.
-    const auto system = problems::make_molecular_system("H2", 2.2);
-    std::cout << "Molecule: " << system.molecule.summary() << '\n'
+    //    where Hartree-Fock loses most of the correlation energy. The
+    //    registry key is the whole problem description — swap it for
+    //    "molecule:LiH?bond=2.4", "maxcut:ring-8" or "tfim:chain-6"
+    //    and the rest of this file runs unchanged.
+    const auto problem = problems::make_problem("molecule:H2?bond=2.2");
+    std::cout << "Problem: " << problem.key << " (" << problem.detail
+              << ")\n"
               << "Qubits after parity mapping + Z2 reduction: "
-              << system.num_qubits << '\n'
-              << "Hamiltonian terms: " << system.hamiltonian.num_terms()
+              << problem.num_qubits << '\n'
+              << "Hamiltonian terms: " << problem.hamiltonian().num_terms()
               << '\n'
               << "Ansatz parameters (each in {0, pi/2, pi, 3pi/2}): "
-              << system.ansatz.num_params() << "\n\n";
+              << problem.ansatz.num_params() << "\n\n";
 
-    // 2. The CAFQA search through the pipeline facade. The objective
-    //    adds electron-count and S_z penalties so the search stays in
-    //    the neutral singlet sector. Since H2 is small enough for an
-    //    exact reference, the search is told to stop as soon as it is
-    //    within 0.02 Ha of the ground state instead of burning its
-    //    whole budget. (At this stretched geometry the best Clifford
-    //    state sits ~0.012 Ha above exact, so the target is reachable;
-    //    closing the rest is the continuous tuning stage's job.)
-    const GroundState exact = lanczos_ground_state(system.hamiltonian);
+    // 2. The CAFQA search through the pipeline facade. The problem's
+    //    objective adds electron-count and S_z penalties so the search
+    //    stays in the neutral singlet sector. Since H2 is small enough
+    //    for an exact reference, the search is told to stop as soon as
+    //    it is within 0.02 Ha of the ground state instead of burning
+    //    its whole budget. (At this stretched geometry the best
+    //    Clifford state sits ~0.012 Ha above exact, so the target is
+    //    reachable; closing the rest is the continuous tuning stage's
+    //    job.)
+    const GroundState exact =
+        lanczos_ground_state(problem.hamiltonian());
 
     PipelineConfig config;
-    config.ansatz = system.ansatz;
-    config.objective = problems::make_objective(system);
+    config.ansatz = problem.ansatz;
+    config.objective = problem.objective;
     config.search = {.warmup = 150, .iterations = 200, .seed = 7};
     config.stopping.target_value = exact.energy + 0.02;
-    // Prior-inject the Hartree-Fock point: it is itself a Clifford
-    // state, so CAFQA is guaranteed to do at least as well as HF.
-    config.search.seed_steps.push_back(efficient_su2_bitstring_steps(
-        system.num_qubits, system.hf_bits));
+    // Prior-inject the Hartree-Fock point (the problem's seed steps):
+    // it is itself a Clifford state, so CAFQA is guaranteed to do at
+    // least as well as HF.
+    config.search.seed_steps = problem.seed_steps;
     CafqaPipeline pipeline(std::move(config));
     const CafqaResult& result = pipeline.run_clifford_search();
 
@@ -72,10 +78,11 @@ main()
               << to_string(result.stop_reason) << ")\n\n";
 
     // 3. Compare against Hartree-Fock and the exact ground state.
-    const double hf_error = system.hf_energy - exact.energy;
+    const double hf_energy = problem.reference_energy.value();
+    const double hf_error = hf_energy - exact.energy;
     const double cafqa_error = result.best_energy - exact.energy;
 
-    std::cout << "Hartree-Fock energy: " << system.hf_energy << " Ha\n"
+    std::cout << "Hartree-Fock energy: " << hf_energy << " Ha\n"
               << "CAFQA energy:        " << result.best_energy << " Ha\n"
               << "Exact energy:        " << exact.energy << " Ha\n\n"
               << "HF error:    " << hf_error << " Ha\n"

@@ -1,0 +1,77 @@
+#include "common/text.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace cafqa {
+
+std::string
+format_real(double value)
+{
+    char buffer[32];
+    const auto [end, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    CAFQA_ASSERT(ec == std::errc{}, "double formatting failed");
+    return std::string(buffer, end);
+}
+
+std::string
+json_quote(const std::string& text)
+{
+    std::string out = "\"";
+    for (const char raw : text) {
+        const unsigned char c = static_cast<unsigned char>(raw);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (c < 0x20) {
+                char escaped[8];
+                std::snprintf(escaped, sizeof(escaped), "\\u%04x", c);
+                out += escaped;
+            } else {
+                out += raw;
+            }
+            break;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::optional<std::int64_t>
+parse_integer_token(const std::string& text)
+{
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+        return std::nullopt;
+    }
+    return static_cast<std::int64_t>(value);
+}
+
+std::optional<double>
+parse_real_token(const std::string& text)
+{
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(value)) {
+        return std::nullopt;
+    }
+    return value;
+}
+
+} // namespace cafqa

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Small shared text-formatting helpers: shortest round-trip decimal
+ * rendering of doubles (canonical problem keys, spec serialization,
+ * JSON numbers) and JSON string quoting. One definition each, so every
+ * emitter in the tree escapes and formats identically.
+ */
+#ifndef CAFQA_COMMON_TEXT_HPP
+#define CAFQA_COMMON_TEXT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cafqa {
+
+/**
+ * The shortest decimal representation that parses back to exactly
+ * `value` (std::to_chars): "2.2" stays "2.2", not "2.2000000000000002".
+ * Requires a finite value.
+ */
+std::string format_real(double value);
+
+/** `text` as a quoted JSON string: quotes/backslashes/control
+ *  characters escaped (control characters as \uXXXX). */
+std::string json_quote(const std::string& text);
+
+/**
+ * Strict whole-token integer parse: nullopt unless the entire token is
+ * a decimal integer within range (rejects "abc", "12x", "", overflow).
+ * Call sites attach their own context to the error they raise.
+ */
+std::optional<std::int64_t> parse_integer_token(const std::string& text);
+
+/** Strict whole-token finite-double parse: nullopt unless the entire
+ *  token is a finite number (rejects "nan", "inf", trailing garbage). */
+std::optional<double> parse_real_token(const std::string& text);
+
+} // namespace cafqa
+
+#endif // CAFQA_COMMON_TEXT_HPP

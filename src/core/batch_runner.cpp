@@ -1,0 +1,224 @@
+#include "core/batch_runner.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+#include "common/thread_pool.hpp"
+
+namespace cafqa {
+
+namespace {
+
+/** Shortest round-trip decimal; non-finite values become JSON null. */
+std::string
+json_number(double value)
+{
+    return std::isfinite(value) ? format_real(value) : "null";
+}
+
+} // namespace
+
+std::string
+RunRecord::to_json() const
+{
+    std::string out = "{";
+    const auto field = [&out](const std::string& name,
+                              const std::string& value) {
+        if (out.size() > 1) {
+            out += ",";
+        }
+        out += json_quote(name) + ":" + value;
+    };
+    field("problem", json_quote(problem_key.empty() ? spec.problem
+                                                    : problem_key));
+    if (!spec.label.empty()) {
+        field("label", json_quote(spec.label));
+    }
+    field("name", json_quote(problem_name));
+    field("qubits", std::to_string(num_qubits));
+    field("ok", ok ? "true" : "false");
+    if (!ok) {
+        field("error", json_quote(error));
+    } else {
+        field("best_objective", json_number(best_objective));
+        field("cafqa_energy", json_number(cafqa_energy));
+        if (tuned_value.has_value()) {
+            field("tuned_value", json_number(*tuned_value));
+        }
+        if (reference_energy.has_value()) {
+            field("reference_energy", json_number(*reference_energy));
+        }
+        if (exact_energy.has_value()) {
+            field("exact_energy", json_number(*exact_energy));
+        }
+        field("evals_to_best", std::to_string(evaluations_to_best));
+        field("t_gates", std::to_string(t_gates));
+        field("stop_reason", json_quote(stop_reason));
+        if (!tune_stop_reason.empty()) {
+            field("tune_stop_reason", json_quote(tune_stop_reason));
+        }
+    }
+    if (!metrics.empty()) {
+        std::string nested;
+        for (const auto& [name, value] : metrics) {
+            if (!nested.empty()) {
+                nested += ",";
+            }
+            nested += json_quote(name) + ":" + json_number(value);
+        }
+        field("metrics", "{" + nested + "}");
+    }
+    field("wall_ms", json_number(wall_ms));
+    field("spec", json_quote(spec.to_string()));
+    out += "}";
+    return out;
+}
+
+RunRecord
+execute_run_spec(const RunSpec& spec, PipelineObserver observer)
+{
+    spec.validate();
+    const problems::Problem problem = problems::make_problem(spec.problem);
+    return execute_run_spec(spec, problem, std::move(observer));
+}
+
+RunRecord
+execute_run_spec(const RunSpec& spec, const problems::Problem& problem,
+                 PipelineObserver observer)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    RunRecord record;
+    record.spec = spec;
+    record.problem_key = problem.key;
+    record.problem_name = problem.name;
+    record.num_qubits = problem.num_qubits;
+    record.metrics = problem.metrics;
+    record.reference_energy = problem.reference_energy;
+
+    CafqaPipeline pipeline(make_pipeline_config(spec, problem));
+    if (observer) {
+        pipeline.set_observer(std::move(observer));
+    }
+
+    pipeline.run_clifford_search();
+    if (spec.max_t > 0) {
+        pipeline.run_t_boost(spec.max_t);
+        record.t_gates = pipeline.t_boost_result().t_positions.size();
+    }
+    if (spec.tune > 0) {
+        record.tuned_value = pipeline.run_vqa_tune().final_value;
+        record.tune_stop_reason =
+            to_string(pipeline.tune_result().stop_reason);
+    }
+
+    record.best_objective = spec.max_t > 0
+                                ? pipeline.t_boost_result().best_objective
+                                : pipeline.clifford_result().best_objective;
+    record.cafqa_energy = pipeline.best_energy();
+    record.evaluations_to_best =
+        pipeline.clifford_result().evaluations_to_best;
+    record.stop_reason =
+        to_string(pipeline.clifford_result().stop_reason);
+    if (spec.exact) {
+        record.exact_energy = problem.exact_energy();
+    }
+    record.ok = true;
+
+    record.wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return record;
+}
+
+BatchRunner::BatchRunner(BatchOptions options) : options_(options)
+{
+    CAFQA_REQUIRE(options_.run_threads >= 1,
+                  "per-run thread count must be at least 1");
+}
+
+void
+BatchRunner::set_observer(BatchObserver observer)
+{
+    observer_ = std::move(observer);
+}
+
+std::vector<RunRecord>
+BatchRunner::run(const std::vector<RunSpec>& specs)
+{
+    std::vector<RunRecord> records(specs.size());
+    if (specs.empty()) {
+        return records;
+    }
+
+    // A dedicated pool when a concurrency bound was asked for, else
+    // the process-wide shared pool.
+    std::unique_ptr<ThreadPool> own_pool;
+    if (options_.concurrency > 0) {
+        own_pool = std::make_unique<ThreadPool>(options_.concurrency);
+    }
+    ThreadPool& pool =
+        own_pool ? *own_pool : ThreadPool::shared();
+
+    std::mutex observer_mutex;
+    pool.parallel_for(specs.size(), [&](std::size_t worker,
+                                        std::size_t index) {
+        (void)worker;
+        RunSpec spec = specs[index];
+        if (spec.threads == 0) {
+            // The batch fan-out may be running on the shared pool;
+            // a nested parallel_for on the same pool would deadlock,
+            // so give the run its own (small) pool instead. Thread
+            // count never changes results — evaluation batching is
+            // trajectory-preserving.
+            spec.threads = options_.run_threads;
+        }
+        PipelineObserver fan_in;
+        if (observer_) {
+            fan_in = [&, index](const PipelineEvent& event) {
+                std::lock_guard lock(observer_mutex);
+                observer_(index, specs[index], event);
+            };
+        }
+        try {
+            records[index] = execute_run_spec(spec, std::move(fan_in));
+        } catch (const std::exception& error) {
+            records[index] = RunRecord{};
+            records[index].spec = specs[index];
+            records[index].ok = false;
+            records[index].error = error.what();
+        }
+        // Report the spec as submitted, not the thread-count override.
+        records[index].spec = specs[index];
+    });
+    return records;
+}
+
+std::string
+batch_results_json(const std::vector<RunRecord>& records)
+{
+    std::size_t failed = 0;
+    std::string runs;
+    for (const auto& record : records) {
+        if (!record.ok) {
+            ++failed;
+        }
+        runs += runs.empty() ? "\n  " : ",\n  ";
+        runs += record.to_json();
+    }
+    std::string out = "{\n \"total\": ";
+    out += std::to_string(records.size());
+    out += ",\n \"failed\": ";
+    out += std::to_string(failed);
+    out += ",\n \"runs\": [";
+    out += runs;
+    out += runs.empty() ? "]" : "\n ]";
+    out += "\n}";
+    return out;
+}
+
+} // namespace cafqa

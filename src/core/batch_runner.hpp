@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Concurrent multi-run execution — the first step toward the
+ * serve-many-requests north star: hand the runner a list of `RunSpec`s
+ * and it executes them concurrently over a thread pool, each run fully
+ * isolated (its own pipeline, backends and caches), and returns
+ * machine-readable per-run records plus an aggregated JSON report.
+ *
+ *   BatchRunner runner;
+ *   const auto records = runner.run({
+ *       RunSpec::parse("problem=molecule:H2?bond=2.2 warmup=60"),
+ *       RunSpec::parse("problem=maxcut:ring-8 search=anneal"),
+ *   });
+ *   std::cout << batch_results_json(records) << '\n';
+ *
+ * Concurrency never changes results: every record is bit-identical to
+ * executing its spec alone with `execute_run_spec` (regression-tested),
+ * because runs share nothing and each pipeline's own evaluation
+ * batching is trajectory-preserving.
+ */
+#ifndef CAFQA_CORE_BATCH_RUNNER_HPP
+#define CAFQA_CORE_BATCH_RUNNER_HPP
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/run_spec.hpp"
+#include "problems/problem.hpp"
+
+namespace cafqa {
+
+/** Outcome of one spec execution. */
+struct RunRecord
+{
+    /** The spec as submitted. */
+    RunSpec spec;
+    /** Canonical problem key (round-trips through make_problem). */
+    std::string problem_key;
+    std::string problem_name;
+    std::size_t num_qubits = 0;
+
+    /** False when the run threw; `error` then holds the message and
+     *  the result fields are meaningless. */
+    bool ok = false;
+    std::string error;
+
+    /** Objective (energy + penalties) at the best discrete point. */
+    double best_objective = 0.0;
+    /** Bare Hamiltonian energy at the best discrete point (after
+     *  T-boost when the spec enabled it). */
+    double cafqa_energy = 0.0;
+    /** Final tuned objective value (when `spec.tune > 0`). */
+    std::optional<double> tuned_value;
+    /** Problem baselines, when the family provides them. */
+    std::optional<double> reference_energy;
+    std::optional<double> exact_energy;
+    /** Instance metrics copied from the problem (bond length, edge
+     *  count, couplings, ...). */
+    std::vector<std::pair<std::string, double>> metrics;
+
+    std::size_t evaluations_to_best = 0;
+    std::size_t t_gates = 0;
+    /** Stop reason of the discrete search stage. */
+    std::string stop_reason;
+    /** Stop reason of the tuning stage (empty when `spec.tune == 0`). */
+    std::string tune_stop_reason;
+    /** Wall-clock duration of this run (not deterministic). */
+    double wall_ms = 0.0;
+
+    /** One flat JSON object (one line, no trailing newline). */
+    std::string to_json() const;
+};
+
+/**
+ * Execute one spec end to end: resolve the problem, run the discrete
+ * search, the optional T-boost and the optional continuous tuning, and
+ * collect the record. Throws on failure (the batch runner catches and
+ * records instead). The optional observer receives the pipeline's
+ * stage events.
+ */
+RunRecord execute_run_spec(const RunSpec& spec,
+                           PipelineObserver observer = nullptr);
+
+/** Same, over an already-resolved problem (the CLI resolves once so it
+ *  can also report problem metadata on its own). */
+RunRecord execute_run_spec(const RunSpec& spec,
+                           const problems::Problem& problem,
+                           PipelineObserver observer = nullptr);
+
+/** Batch execution controls. */
+struct BatchOptions
+{
+    /** Concurrent runs; 0 uses the process-wide shared pool (sized to
+     *  the hardware), otherwise a dedicated pool of this size. */
+    std::size_t concurrency = 0;
+    /**
+     * Worker threads given to each run whose spec leaves `threads` at
+     * 0. Runs inside the batch must not lean on the shared pool (the
+     * batch fan-out itself may occupy it), so 0 is re-mapped to this
+     * per-run pool size; 1 (the default) keeps every core busy running
+     * whole specs side by side.
+     */
+    std::size_t run_threads = 1;
+};
+
+/** Observer fan-in: every run's pipeline events funnel through one
+ *  callback, tagged with the run index (serialized by the runner, so
+ *  the callback needs no locking of its own). */
+using BatchObserver = std::function<void(
+    std::size_t run_index, const RunSpec& spec, const PipelineEvent&)>;
+
+/** Executes many RunSpecs concurrently with per-run isolation. */
+class BatchRunner
+{
+  public:
+    explicit BatchRunner(BatchOptions options = {});
+
+    /** Install (or clear) the fan-in observer. */
+    void set_observer(BatchObserver observer);
+
+    /**
+     * Execute every spec (order of the result matches the input). A
+     * run that throws yields a record with `ok == false` and the error
+     * message; it never aborts the other runs.
+     */
+    std::vector<RunRecord> run(const std::vector<RunSpec>& specs);
+
+  private:
+    BatchOptions options_;
+    BatchObserver observer_;
+};
+
+/** Aggregated machine-readable report: {"runs": [...], "total": N,
+ *  "failed": M}. */
+std::string batch_results_json(const std::vector<RunRecord>& records);
+
+} // namespace cafqa
+
+#endif // CAFQA_CORE_BATCH_RUNNER_HPP

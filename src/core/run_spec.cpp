@@ -1,0 +1,480 @@
+#include "core/run_spec.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace cafqa {
+
+namespace {
+
+[[noreturn]] void
+fail_field(const std::string& name, const std::string& why)
+{
+    CAFQA_REQUIRE(false,
+                  "run spec field \"" + name + "\" " + why +
+                      " (accepted fields: problem, label, warmup, "
+                      "iterations, seed, search, hf-seed, max-t, tune, "
+                      "tune-backend, tuner, budget, target-energy, "
+                      "threads, cache, cache-capacity, exact)");
+}
+
+std::uint64_t
+parse_count_value(const std::string& name, const std::string& text,
+                  std::uint64_t min_value)
+{
+    const auto value = parse_integer_token(text);
+    if (!value || *value < 0 ||
+        static_cast<std::uint64_t>(*value) < min_value) {
+        fail_field(name, "expects an integer >= " +
+                             std::to_string(min_value) + ", got \"" +
+                             text + "\"");
+    }
+    return static_cast<std::uint64_t>(*value);
+}
+
+double
+parse_real_value(const std::string& name, const std::string& text)
+{
+    const auto value = parse_real_token(text);
+    if (!value) {
+        fail_field(name,
+                   "expects a finite number, got \"" + text + "\"");
+    }
+    return *value;
+}
+
+bool
+parse_flag_value(const std::string& name, const std::string& text)
+{
+    if (text == "1" || text == "true") {
+        return true;
+    }
+    if (text == "0" || text == "false") {
+        return false;
+    }
+    fail_field(name, "expects 0/1/true/false, got \"" + text + "\"");
+}
+
+/** Text fields must survive the whitespace-tokenized text form (and
+ *  the JSON form's limited escape set), so whitespace and control
+ *  characters are rejected at assignment. */
+std::string
+parse_text_value(const std::string& name, const std::string& value)
+{
+    for (const char c : value) {
+        if (static_cast<unsigned char>(c) < 0x21) {
+            fail_field(name, "must not contain whitespace or control "
+                             "characters, got \"" + value + "\"");
+        }
+    }
+    return value;
+}
+
+/** Apply one `name=value` assignment (shared by both input forms). */
+void
+assign_field(RunSpec& spec, const std::string& name,
+             const std::string& value)
+{
+    if (name == "problem") {
+        spec.problem = parse_text_value(name, value);
+    } else if (name == "label") {
+        spec.label = parse_text_value(name, value);
+    } else if (name == "warmup") {
+        spec.warmup = static_cast<std::size_t>(
+            parse_count_value(name, value, 1));
+    } else if (name == "iterations") {
+        spec.iterations = static_cast<std::size_t>(
+            parse_count_value(name, value, 1));
+    } else if (name == "seed") {
+        spec.seed = parse_count_value(name, value, 0);
+    } else if (name == "search") {
+        spec.search = parse_text_value(name, value);
+    } else if (name == "hf-seed") {
+        spec.hf_seed = parse_flag_value(name, value);
+    } else if (name == "max-t") {
+        spec.max_t = static_cast<std::size_t>(
+            parse_count_value(name, value, 0));
+    } else if (name == "tune") {
+        spec.tune = static_cast<std::size_t>(
+            parse_count_value(name, value, 0));
+    } else if (name == "tune-backend") {
+        spec.tune_backend =
+            value == "auto" ? "" : parse_text_value(name, value);
+    } else if (name == "tuner") {
+        spec.tuner = parse_text_value(name, value);
+    } else if (name == "budget") {
+        spec.budget = static_cast<std::size_t>(
+            parse_count_value(name, value, 1));
+    } else if (name == "target-energy") {
+        spec.target_energy = parse_real_value(name, value);
+    } else if (name == "threads") {
+        spec.threads = static_cast<std::size_t>(
+            parse_count_value(name, value, 1));
+    } else if (name == "cache") {
+        spec.cache = parse_flag_value(name, value);
+    } else if (name == "cache-capacity") {
+        // A nonzero capacity implies the cache at config time
+        // (make_pipeline_config), mirroring the CLI's --cache-capacity.
+        spec.cache_capacity = static_cast<std::size_t>(
+            parse_count_value(name, value, 1));
+    } else if (name == "exact") {
+        spec.exact = parse_flag_value(name, value);
+    } else {
+        fail_field(name, "is not a known field");
+    }
+}
+
+void
+require_unseen(std::vector<std::string>& seen, const std::string& name)
+{
+    for (const auto& existing : seen) {
+        if (existing == name) {
+            fail_field(name, "appears more than once");
+        }
+    }
+    seen.push_back(name);
+}
+
+/** Append the serialized fields of `spec` that differ from defaults,
+ *  via a caller-supplied emitter (shared by text and JSON forms). */
+template <typename EmitText, typename EmitNumber, typename EmitFlag>
+void
+emit_fields(const RunSpec& spec, EmitText&& text, EmitNumber&& number,
+            EmitFlag&& flag)
+{
+    const RunSpec defaults;
+    text("problem", spec.problem);
+    if (spec.label != defaults.label) {
+        text("label", spec.label);
+    }
+    if (spec.warmup != defaults.warmup) {
+        number("warmup", std::to_string(spec.warmup));
+    }
+    if (spec.iterations != defaults.iterations) {
+        number("iterations", std::to_string(spec.iterations));
+    }
+    if (spec.seed != defaults.seed) {
+        number("seed", std::to_string(spec.seed));
+    }
+    if (spec.search != defaults.search) {
+        text("search", spec.search);
+    }
+    if (spec.hf_seed != defaults.hf_seed) {
+        flag("hf-seed", spec.hf_seed);
+    }
+    if (spec.max_t != defaults.max_t) {
+        number("max-t", std::to_string(spec.max_t));
+    }
+    if (spec.tune != defaults.tune) {
+        number("tune", std::to_string(spec.tune));
+    }
+    if (spec.tune_backend != defaults.tune_backend) {
+        text("tune-backend", spec.tune_backend);
+    }
+    if (spec.tuner != defaults.tuner) {
+        text("tuner", spec.tuner);
+    }
+    if (spec.budget != defaults.budget) {
+        number("budget", std::to_string(spec.budget));
+    }
+    if (spec.target_energy.has_value()) {
+        number("target-energy", format_real(*spec.target_energy));
+    }
+    if (spec.threads != defaults.threads) {
+        number("threads", std::to_string(spec.threads));
+    }
+    if (spec.cache != defaults.cache) {
+        flag("cache", spec.cache);
+    }
+    if (spec.cache_capacity != defaults.cache_capacity) {
+        number("cache-capacity", std::to_string(spec.cache_capacity));
+    }
+    if (spec.exact != defaults.exact) {
+        flag("exact", spec.exact);
+    }
+}
+
+// ------------------------------------------------- minimal JSON reader
+
+/** Cursor over a flat JSON object {"name": value, ...} with string,
+ *  number and boolean values — the only shapes RunSpec serializes. */
+class JsonCursor
+{
+  public:
+    explicit JsonCursor(const std::string& text) : text_(text) {}
+
+    void
+    expect(char c)
+    {
+        skip_space();
+        if (pos_ >= text_.size() || text_[pos_] != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skip_space();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    string_value()
+    {
+        skip_space();
+        if (pos_ >= text_.size() || text_[pos_] != '"') {
+            fail("expected a string");
+        }
+        ++pos_;
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size()) {
+                    fail("dangling escape");
+                }
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  case '/': c = '/'; break;
+                  case 'b': c = '\b'; break;
+                  case 'f': c = '\f'; break;
+                  case 'n': c = '\n'; break;
+                  case 'r': c = '\r'; break;
+                  case 't': c = '\t'; break;
+                  default: fail("unsupported string escape");
+                }
+            }
+            out += c;
+        }
+        if (pos_ >= text_.size()) {
+            fail("unterminated string");
+        }
+        ++pos_; // closing quote
+        return out;
+    }
+
+    /** A number/true/false token, returned as raw text for the field
+     *  parsers (which apply the strict numeric contracts). */
+    std::string
+    scalar_value()
+    {
+        skip_space();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '+' || text_[pos_] == '-' ||
+                text_[pos_] == '.')) {
+            ++pos_;
+        }
+        if (pos_ == start) {
+            fail("expected a value");
+        }
+        return text_.substr(start, pos_ - start);
+    }
+
+    bool
+    at_string() const
+    {
+        std::size_t p = pos_;
+        while (p < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[p]))) {
+            ++p;
+        }
+        return p < text_.size() && text_[p] == '"';
+    }
+
+    void
+    expect_end()
+    {
+        skip_space();
+        if (pos_ != text_.size()) {
+            fail("trailing content after the object");
+        }
+    }
+
+  private:
+    void
+    skip_space()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    [[noreturn]] void
+    fail(const std::string& why) const
+    {
+        CAFQA_REQUIRE(false, "malformed run spec JSON (" + why +
+                                 ") in: " + text_);
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+void
+RunSpec::set(const std::string& field, const std::string& value)
+{
+    assign_field(*this, field, value);
+}
+
+RunSpec
+RunSpec::parse(const std::string& text)
+{
+    RunSpec spec;
+    std::vector<std::string> seen;
+    std::istringstream stream(text);
+    std::string token;
+    while (stream >> token) {
+        const auto equals = token.find('=');
+        if (equals == std::string::npos || equals == 0) {
+            CAFQA_REQUIRE(false, "run spec token \"" + token +
+                                     "\" must look like field=value");
+        }
+        const std::string name = token.substr(0, equals);
+        require_unseen(seen, name);
+        assign_field(spec, name, token.substr(equals + 1));
+    }
+    return spec;
+}
+
+RunSpec
+RunSpec::from_json(const std::string& json)
+{
+    RunSpec spec;
+    std::vector<std::string> seen;
+    JsonCursor cursor(json);
+    cursor.expect('{');
+    if (!cursor.consume('}')) {
+        do {
+            const std::string name = cursor.string_value();
+            cursor.expect(':');
+            const std::string value = cursor.at_string()
+                                          ? cursor.string_value()
+                                          : cursor.scalar_value();
+            require_unseen(seen, name);
+            assign_field(spec, name, value);
+        } while (cursor.consume(','));
+        cursor.expect('}');
+    }
+    cursor.expect_end();
+    return spec;
+}
+
+std::string
+RunSpec::to_string() const
+{
+    std::string out;
+    const auto token = [&out](const std::string& name,
+                              const std::string& value) {
+        out += (out.empty() ? "" : " ") + name + "=" + value;
+    };
+    emit_fields(
+        *this, token, token,
+        [&token](const std::string& name, bool value) {
+            token(name, value ? "1" : "0");
+        });
+    return out;
+}
+
+std::string
+RunSpec::to_json() const
+{
+    std::string out = "{";
+    const auto comma = [&out] {
+        if (out.size() > 1) {
+            out += ",";
+        }
+    };
+    emit_fields(
+        *this,
+        [&](const std::string& name, const std::string& value) {
+            comma();
+            out += json_quote(name) + ":" + json_quote(value);
+        },
+        [&](const std::string& name, const std::string& value) {
+            comma();
+            out += json_quote(name) + ":" + value;
+        },
+        [&](const std::string& name, bool value) {
+            comma();
+            out += json_quote(name) + ":" + (value ? "true" : "false");
+        });
+    out += "}";
+    return out;
+}
+
+void
+RunSpec::validate() const
+{
+    CAFQA_REQUIRE(!problem.empty(),
+                  "run spec names no problem (set "
+                  "problem=<family:instance>, e.g. "
+                  "problem=molecule:H2?bond=0.74)");
+}
+
+std::vector<RunSpec>
+parse_run_specs_jsonl(const std::string& text)
+{
+    std::vector<RunSpec> specs;
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) {
+        const auto start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#') {
+            continue;
+        }
+        specs.push_back(RunSpec::from_json(line));
+    }
+    return specs;
+}
+
+PipelineConfig
+make_pipeline_config(const RunSpec& spec,
+                     const problems::Problem& problem)
+{
+    PipelineConfig config;
+    config.ansatz = problem.ansatz;
+    config.objective = problem.objective;
+    config.search.warmup = spec.warmup;
+    config.search.iterations = spec.iterations;
+    config.search.seed = spec.seed;
+    config.threads = spec.threads;
+    config.tuner.iterations = spec.tune;
+    config.tuner.seed = spec.seed + 1;
+    config.tuner.backend = spec.tune_backend;
+    config.search_optimizer = optimizer_config(spec.search);
+    config.tuner_optimizer = optimizer_config(spec.tuner);
+    if (spec.budget > 0) {
+        config.stopping.max_evaluations = spec.budget;
+    }
+    if (spec.target_energy.has_value()) {
+        config.stopping.target_value = spec.target_energy;
+    }
+    config.cache.enabled = spec.cache || spec.cache_capacity > 0;
+    if (spec.cache_capacity > 0) {
+        config.cache.capacity = spec.cache_capacity;
+    }
+    if (spec.hf_seed) {
+        config.search.seed_steps = problem.seed_steps;
+    }
+    return config;
+}
+
+} // namespace cafqa

@@ -31,8 +31,13 @@ edges_to_hamiltonian(std::size_t n,
 double
 MaxCutProblem::optimal_cut() const
 {
-    CAFQA_REQUIRE(num_vertices <= 24,
-                  "brute-force MaxCut limited to 24 vertices");
+    CAFQA_REQUIRE(
+        num_vertices <= max_brute_force_vertices,
+        "optimal_cut enumerates all 2^n assignments and is limited to " +
+            std::to_string(max_brute_force_vertices) +
+            " vertices; this instance has " +
+            std::to_string(num_vertices) +
+            " (use a heuristic or a bound instead)");
     std::size_t best = 0;
     const std::uint64_t limit = std::uint64_t{1} << num_vertices;
     for (std::uint64_t assignment = 0; assignment < limit; ++assignment) {

@@ -22,12 +22,18 @@ namespace cafqa::problems {
 /** A MaxCut instance. */
 struct MaxCutProblem
 {
+    /** Largest instance `optimal_cut` will brute-force (2^n states). */
+    static constexpr std::size_t max_brute_force_vertices = 24;
+
     std::string name;
     std::size_t num_vertices = 0;
     std::vector<std::pair<std::size_t, std::size_t>> edges;
     PauliSum hamiltonian;
 
-    /** Brute-force optimum cut size (vertices <= 24). */
+    /** Brute-force optimum cut size.
+     *  @throws std::invalid_argument when the instance exceeds
+     *  `max_brute_force_vertices` (the enumeration would be
+     *  intractable, not merely slow). */
     double optimal_cut() const;
 };
 

@@ -1,0 +1,86 @@
+#include "problems/spin_chains.hpp"
+
+#include "common/error.hpp"
+
+namespace cafqa::problems {
+
+namespace {
+
+/** Number of coupled nearest-neighbor pairs. */
+std::size_t
+num_bonds(std::size_t num_sites, bool periodic)
+{
+    return periodic ? num_sites : num_sites - 1;
+}
+
+PauliString
+two_site(std::size_t n, std::size_t a, std::size_t b, PauliLetter letter)
+{
+    PauliString s(n);
+    s.set_letter(a, letter);
+    s.set_letter(b, letter);
+    return s;
+}
+
+} // namespace
+
+SpinChainProblem
+make_tfim_chain(std::size_t num_sites, double coupling_j, double field_h,
+                bool periodic)
+{
+    CAFQA_REQUIRE(num_sites >= 2, "spin chain needs at least two sites");
+    CAFQA_REQUIRE(!periodic || num_sites >= 3,
+                  "a periodic chain (ring) needs at least three sites");
+
+    SpinChainProblem problem;
+    problem.name = (periodic ? "tfim-ring" : "tfim-chain") +
+                   std::to_string(num_sites);
+    problem.num_sites = num_sites;
+    problem.periodic = periodic;
+
+    PauliSum h(num_sites);
+    const std::size_t bonds = num_bonds(num_sites, periodic);
+    for (std::size_t v = 0; v < bonds; ++v) {
+        h.add_term(-coupling_j,
+                   two_site(num_sites, v, (v + 1) % num_sites,
+                            PauliLetter::Z));
+    }
+    for (std::size_t v = 0; v < num_sites; ++v) {
+        PauliString x(num_sites);
+        x.set_letter(v, PauliLetter::X);
+        h.add_term(-field_h, std::move(x));
+    }
+    h.simplify();
+    problem.hamiltonian = std::move(h);
+    return problem;
+}
+
+SpinChainProblem
+make_xxz_chain(std::size_t num_sites, double coupling_j, double delta,
+               bool periodic)
+{
+    CAFQA_REQUIRE(num_sites >= 2, "spin chain needs at least two sites");
+    CAFQA_REQUIRE(!periodic || num_sites >= 3,
+                  "a periodic chain (ring) needs at least three sites");
+
+    SpinChainProblem problem;
+    problem.name = (periodic ? "xxz-ring" : "xxz-chain") +
+                   std::to_string(num_sites);
+    problem.num_sites = num_sites;
+    problem.periodic = periodic;
+
+    PauliSum h(num_sites);
+    const std::size_t bonds = num_bonds(num_sites, periodic);
+    for (std::size_t v = 0; v < bonds; ++v) {
+        const std::size_t w = (v + 1) % num_sites;
+        h.add_term(coupling_j, two_site(num_sites, v, w, PauliLetter::X));
+        h.add_term(coupling_j, two_site(num_sites, v, w, PauliLetter::Y));
+        h.add_term(coupling_j * delta,
+                   two_site(num_sites, v, w, PauliLetter::Z));
+    }
+    h.simplify();
+    problem.hamiltonian = std::move(h);
+    return problem;
+}
+
+} // namespace cafqa::problems

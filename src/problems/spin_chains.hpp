@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Spin-chain problem instances beyond chemistry and MaxCut: the
+ * transverse-field Ising model and the Heisenberg XXZ model on open
+ * chains and rings. Both are standard variational workloads with
+ * hardware-efficient (EfficientSU2-style) ansatze whose fixed gates are
+ * all Clifford, so the circuits are directly CAFQA-searchable, and both
+ * have exact small-size reference energies via the Lanczos solver
+ * (paper Section 2.1: CAFQA applies to any variational workload).
+ */
+#ifndef CAFQA_PROBLEMS_SPIN_CHAINS_HPP
+#define CAFQA_PROBLEMS_SPIN_CHAINS_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "pauli/pauli_sum.hpp"
+
+namespace cafqa::problems {
+
+/** A 1D lattice of quantum spins with a named Hamiltonian. */
+struct SpinChainProblem
+{
+    std::string name;
+    std::size_t num_sites = 0;
+    /** Ring (periodic) vs open chain boundary. */
+    bool periodic = false;
+    PauliSum hamiltonian;
+};
+
+/**
+ * Transverse-field Ising model
+ *   H = -J sum_<i,i+1> Z_i Z_{i+1} - h sum_i X_i
+ * on `num_sites` spins (open chain, or ring when `periodic`). The
+ * classical limits h = 0 (ferromagnet) and J = 0 (paramagnet) are
+ * stabilizer states, so the Clifford search is exact there; near the
+ * critical point h ~ J the search returns the best stabilizer
+ * approximation.
+ */
+SpinChainProblem make_tfim_chain(std::size_t num_sites, double coupling_j,
+                                 double field_h, bool periodic);
+
+/**
+ * Heisenberg XXZ model
+ *   H = J sum_<i,i+1> (X_i X_{i+1} + Y_i Y_{i+1} + delta Z_i Z_{i+1})
+ * on `num_sites` spins (open chain, or ring when `periodic`).
+ * delta = 1 is the isotropic Heisenberg antiferromagnet for J > 0.
+ */
+SpinChainProblem make_xxz_chain(std::size_t num_sites, double coupling_j,
+                                double delta, bool periodic);
+
+} // namespace cafqa::problems
+
+#endif // CAFQA_PROBLEMS_SPIN_CHAINS_HPP

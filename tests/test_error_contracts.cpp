@@ -21,8 +21,12 @@
 #include "opt/nelder_mead.hpp"
 #include "opt/optimizer_registry.hpp"
 #include "opt/spsa.hpp"
+#include "core/batch_runner.hpp"
+#include "core/run_spec.hpp"
 #include "problems/maxcut.hpp"
 #include "problems/molecule_factory.hpp"
+#include "problems/problem.hpp"
+#include "problems/spin_chains.hpp"
 #include "stabilizer/expectation_engine.hpp"
 #include "stabilizer/stabilizer_simulator.hpp"
 #include "stabilizer/symplectic_tableau.hpp"
@@ -363,6 +367,92 @@ TEST(ErrorContracts, ProblemGuards)
     problems::MolecularSystemOptions options;
     options.sector_spin_2sz = 8; // H2 has only 2 active orbitals
     EXPECT_THROW(problems::make_molecular_system("H2", 0.74, options),
+                 std::invalid_argument);
+
+    // Spin chains need at least two sites (three for a ring).
+    EXPECT_THROW(problems::make_tfim_chain(1, 1.0, 1.0, false),
+                 std::invalid_argument);
+    EXPECT_THROW(problems::make_xxz_chain(2, 1.0, 1.0, true),
+                 std::invalid_argument);
+}
+
+TEST(ErrorContracts, MaxCutBruteForceLimitIsExplicit)
+{
+    // optimal_cut must refuse intractable instances with an error that
+    // names the limit and the offending size, instead of silently
+    // enumerating 2^n assignments.
+    const auto big = problems::make_ring_maxcut(25);
+    try {
+        (void)big.optimal_cut();
+        FAIL() << "optimal_cut accepted 25 vertices";
+    } catch (const std::invalid_argument& error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("24"), std::string::npos) << message;
+        EXPECT_NE(message.find("25"), std::string::npos) << message;
+    }
+    // The brute-force cap is part of the public contract.
+    EXPECT_EQ(problems::MaxCutProblem::max_brute_force_vertices, 24u);
+    // At the registry level, an oversized instance simply has no exact
+    // solver instead of a throwing one.
+    EXPECT_FALSE(problems::make_problem("maxcut:ring-25")
+                     .exact_energy()
+                     .has_value());
+}
+
+TEST(ErrorContracts, ProblemRegistryUnknownKeysListTheRegisteredOnes)
+{
+    // A typo'd family must tell the caller which families exist,
+    // mirroring the backend/optimizer registry contract.
+    try {
+        problems::make_problem("no-such-family:thing");
+        FAIL() << "make_problem accepted an unknown family";
+    } catch (const std::invalid_argument& error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("no-such-family"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("registered:"), std::string::npos)
+            << message;
+        for (const char* family : {"molecule", "maxcut", "tfim", "xxz"}) {
+            EXPECT_NE(message.find(family), std::string::npos)
+                << "missing \"" << family << "\" in: " << message;
+        }
+    }
+
+    // Unknown query parameters are rejected naming the accepted ones.
+    try {
+        problems::make_problem("tfim:chain-4?bogus=1");
+        FAIL() << "make_problem accepted an unknown parameter";
+    } catch (const std::invalid_argument& error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("bogus"), std::string::npos) << message;
+        EXPECT_NE(message.find("accepted"), std::string::npos) << message;
+        EXPECT_NE(message.find("h"), std::string::npos) << message;
+    }
+
+    // Malformed instances and parameter values.
+    EXPECT_THROW(problems::make_problem("tfim:blob-4"),
+                 std::invalid_argument);
+    EXPECT_THROW(problems::make_problem("tfim:chain-x"),
+                 std::invalid_argument);
+    EXPECT_THROW(problems::make_problem("tfim:chain-4?h=abc"),
+                 std::invalid_argument);
+    EXPECT_THROW(problems::make_problem("maxcut:er-8?p=1.5"),
+                 std::invalid_argument);
+    EXPECT_THROW(problems::make_problem("maxcut:ring-6?ansatz=ucc"),
+                 std::invalid_argument);
+    EXPECT_THROW(problems::make_problem("molecule:H2?bond=-1"),
+                 std::invalid_argument);
+    EXPECT_THROW(problems::make_problem("molecule:Xe2?bond=1"),
+                 std::invalid_argument);
+}
+
+TEST(ErrorContracts, RunSpecGuards)
+{
+    EXPECT_THROW(RunSpec::parse("bogus=1"), std::invalid_argument);
+    EXPECT_THROW(RunSpec::parse("warmup=1x"), std::invalid_argument);
+    EXPECT_THROW(RunSpec::from_json("[1,2]"), std::invalid_argument);
+    EXPECT_THROW(RunSpec{}.validate(), std::invalid_argument);
+    EXPECT_THROW(BatchRunner(BatchOptions{.run_threads = 0}),
                  std::invalid_argument);
 }
 
