@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Command-line client for the CAFQA job server: submit specs, stream
+ * every event the server sends back as JSON lines on stdout, exit once
+ * all submitted jobs resolved (result or rejection).
+ *
+ * Usage:
+ *   cafqa_client (--unix PATH | --host ADDR --port N)
+ *                [--stats] [--shutdown MODE] [SPEC ...]
+ *
+ * Each positional argument is one text-form spec
+ * (`problem=maxcut:ring-6 warmup=8 ...`), submitted with ids c1, c2,
+ * ... `--stats` asks for a stats event after the submissions;
+ * `--shutdown drain|now` asks the server to shut down afterwards (the
+ * client then also waits for the server's bye).
+ *
+ * Exit status: 0 when every submitted job produced an ok record, 1 on
+ * rejections, failed records or connection errors.
+ */
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/text.hpp"
+#include "server/client.hpp"
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string& message)
+{
+    std::cerr << "cafqa_client: " << message << '\n'
+              << "usage: cafqa_client (--unix PATH | --host ADDR "
+                 "--port N) [--stats] [--shutdown MODE] [SPEC ...]\n";
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace cafqa;
+    using namespace cafqa::server;
+
+    std::string unix_path;
+    std::string host = "127.0.0.1";
+    int port = 0;
+    bool stats = false;
+    bool do_shutdown = false;
+    bool drain = true;
+    std::vector<std::string> spec_texts;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> const char* {
+                if (i + 1 >= argc) {
+                    fail(arg + " requires a value");
+                }
+                return argv[++i];
+            };
+            if (arg == "--unix") {
+                unix_path = next();
+            } else if (arg == "--host") {
+                host = next();
+            } else if (arg == "--port") {
+                port = std::atoi(next());
+            } else if (arg == "--stats") {
+                stats = true;
+            } else if (arg == "--shutdown") {
+                const std::string mode = next();
+                if (mode != "drain" && mode != "now") {
+                    fail("--shutdown expects drain or now");
+                }
+                do_shutdown = true;
+                drain = mode == "drain";
+            } else if (!arg.empty() && arg[0] == '-') {
+                fail("unknown option '" + arg + "'");
+            } else {
+                spec_texts.push_back(arg);
+            }
+        }
+        if (unix_path.empty() && port == 0) {
+            fail("name a server: --unix PATH or --port N");
+        }
+
+        BlockingClient client =
+            unix_path.empty() ? BlockingClient::connect_tcp(host, port)
+                              : BlockingClient::connect_unix(unix_path);
+
+        std::size_t pending = 0;
+        for (std::size_t i = 0; i < spec_texts.size(); ++i) {
+            const std::string id = "c" + std::to_string(i + 1);
+            // Submit the raw text form; the server rejects (rather
+            // than drops) anything malformed, so bad specs still get
+            // a per-job response.
+            client.send_line("{\"op\":\"submit\",\"id\":\"" + id +
+                             "\",\"spec\":" + json_quote(spec_texts[i]) +
+                             "}");
+            ++pending;
+        }
+        if (stats) {
+            client.send_line(stats_line());
+        }
+        if (do_shutdown) {
+            client.send_line(shutdown_line(drain));
+        }
+
+        bool all_ok = true;
+        std::size_t stats_pending = stats ? 1 : 0;
+        while (pending > 0 || stats_pending > 0 || do_shutdown) {
+            const auto line = client.read_line();
+            if (!line) {
+                if (pending > 0) {
+                    std::cerr << "cafqa_client: connection closed with "
+                              << pending << " job(s) unresolved\n";
+                    all_ok = false;
+                }
+                break;
+            }
+            std::cout << *line << '\n';
+            const Event event = parse_event(*line);
+            if (event.event == "result") {
+                --pending;
+                if (event.record_json.find("\"ok\":true") ==
+                    std::string::npos) {
+                    all_ok = false;
+                }
+            } else if (event.event == "rejected") {
+                --pending;
+                all_ok = false;
+            } else if (event.event == "error") {
+                all_ok = false;
+            } else if (event.event == "stats") {
+                stats_pending = 0;
+            } else if (event.event == "bye") {
+                break;
+            }
+        }
+        return all_ok ? 0 : 1;
+    } catch (const std::exception& error) {
+        std::cerr << "cafqa_client: " << error.what() << '\n';
+        return 1;
+    }
+}

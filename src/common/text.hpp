@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace cafqa {
 
@@ -35,6 +36,33 @@ std::optional<std::int64_t> parse_integer_token(const std::string& text);
 /** Strict whole-token finite-double parse: nullopt unless the entire
  *  token is a finite number (rejects "nan", "inf", trailing garbage). */
 std::optional<double> parse_real_token(const std::string& text);
+
+/** One field of a flat JSON object, in source order. */
+struct JsonField
+{
+    std::string name;
+    /** Decoded text when `is_string`; otherwise the raw source slice
+     *  of the value (a scalar token, or a balanced nested object /
+     *  array kept verbatim for pass-through). */
+    std::string value;
+    bool is_string = false;
+};
+
+/**
+ * Parse one flat JSON object `{"name": value, ...}` — the shape every
+ * serializer in this tree emits (RunSpec, RunRecord, CacheStats, the
+ * job-server protocol). String values are unescaped; numbers, booleans
+ * and null come back as raw tokens for the caller's strict parsers;
+ * nested objects/arrays come back as raw balanced text (pass-through,
+ * not recursed into). Duplicate names are NOT rejected here — callers
+ * with that contract check the returned list. Throws
+ * `std::invalid_argument` naming the defect and the offending text.
+ */
+std::vector<JsonField> parse_flat_json_object(const std::string& text);
+
+/** The field named `name`, or nullptr. */
+const JsonField* find_json_field(const std::vector<JsonField>& fields,
+                                 const std::string& name);
 
 } // namespace cafqa
 

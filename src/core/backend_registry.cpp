@@ -3,7 +3,10 @@
 #include <map>
 #include <mutex>
 
+#include <bit>
+
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "core/evaluator.hpp"
 #include "core/sampled_evaluator.hpp"
 
@@ -66,6 +69,31 @@ has_cached_prefix(const std::string& kind)
 }
 
 } // namespace
+
+std::uint64_t
+backend_config_hash(const BackendConfig& config)
+{
+    std::size_t h = kHashSeed;
+    for (const char c : config.kind) {
+        h = hash_mix(h, static_cast<unsigned char>(c));
+    }
+    h = hash_mix(h, config.ansatz.num_qubits());
+    for (const GateOp& op : config.ansatz.ops()) {
+        h = hash_mix(h, static_cast<std::uint64_t>(op.kind));
+        h = hash_mix(h, op.q0);
+        h = hash_mix(h, op.q1);
+        h = hash_mix(h, static_cast<std::uint64_t>(op.param));
+        h = hash_mix(h, std::bit_cast<std::uint64_t>(op.angle));
+    }
+    h = hash_mix(h, std::bit_cast<std::uint64_t>(config.noise.depolarizing_1q));
+    h = hash_mix(h, std::bit_cast<std::uint64_t>(config.noise.depolarizing_2q));
+    h = hash_mix(h,
+                 std::bit_cast<std::uint64_t>(config.noise.amplitude_damping));
+    h = hash_mix(h, config.shots);
+    h = hash_mix(h, config.seed);
+    // Never 0: 0 means "unsalted" to the caching wrappers.
+    return h == 0 ? kHashSeed : h;
+}
 
 void
 register_backend(const std::string& kind, BackendFactory factory)
@@ -141,7 +169,10 @@ make_backend(const BackendConfig& config)
     }
     std::unique_ptr<Backend> backend = factory(config);
     CAFQA_ASSERT(backend != nullptr, "backend factory returned null");
-    if (config.cache.enabled) {
+    if (config.shared_cache) {
+        backend = wrap_with_cache(std::move(backend), config.shared_cache,
+                                  backend_config_hash(config));
+    } else if (config.cache.enabled) {
         backend = wrap_with_cache(std::move(backend), config.cache);
     }
     return backend;

@@ -55,7 +55,25 @@ struct BackendConfig
     /** Memoizing-cache block: `cache.enabled` (or the `"cached:"` kind
      *  prefix) wraps the backend in the caching decorator. */
     CacheOptions cache;
+    /**
+     * Cross-run shared cache (the job server's process-wide cache).
+     * When set, the backend is wrapped over THIS cache instead of a
+     * fresh one — regardless of `cache.enabled` — with
+     * `backend_config_hash(*this)` mixed into every key, so distinct
+     * configurations sharing one cache can never alias an entry.
+     */
+    std::shared_ptr<EvaluationCache> shared_cache;
 };
+
+/**
+ * Structural hash over everything that determines a backend's
+ * expectation values: kind, ansatz gates, noise parameters, shots and
+ * sampling seed. Two configs with equal hashes produce (up to a 64-bit
+ * collision) interchangeable evaluations — the aliasing guard for
+ * cross-run cache sharing. Cache options are deliberately excluded
+ * (they never change values).
+ */
+std::uint64_t backend_config_hash(const BackendConfig& config);
 
 /** Factory signature stored in the registry. */
 using BackendFactory =

@@ -40,6 +40,12 @@ RunRecord::to_json() const
     field("name", json_quote(problem_name));
     field("qubits", std::to_string(num_qubits));
     field("ok", ok ? "true" : "false");
+    if (cancelled) {
+        // Emitted only when set: uncancelled records keep the exact
+        // byte layout of pre-cancellation builds (the server's
+        // bit-identical-to-solo contract).
+        field("cancelled", "true");
+    }
     if (!ok) {
         field("error", json_quote(error));
     } else {
@@ -80,14 +86,31 @@ RunRecord::to_json() const
 RunRecord
 execute_run_spec(const RunSpec& spec, PipelineObserver observer)
 {
-    spec.validate();
-    const problems::Problem problem = problems::make_problem(spec.problem);
-    return execute_run_spec(spec, problem, std::move(observer));
+    RunContext context;
+    context.observer = std::move(observer);
+    return execute_run_spec(spec, context);
 }
 
 RunRecord
 execute_run_spec(const RunSpec& spec, const problems::Problem& problem,
                  PipelineObserver observer)
+{
+    RunContext context;
+    context.observer = std::move(observer);
+    return execute_run_spec(spec, problem, context);
+}
+
+RunRecord
+execute_run_spec(const RunSpec& spec, const RunContext& context)
+{
+    spec.validate();
+    const problems::Problem problem = problems::make_problem(spec.problem);
+    return execute_run_spec(spec, problem, context);
+}
+
+RunRecord
+execute_run_spec(const RunSpec& spec, const problems::Problem& problem,
+                 const RunContext& context)
 {
     const auto start = std::chrono::steady_clock::now();
 
@@ -99,17 +122,28 @@ execute_run_spec(const RunSpec& spec, const problems::Problem& problem,
     record.metrics = problem.metrics;
     record.reference_energy = problem.reference_energy;
 
-    CafqaPipeline pipeline(make_pipeline_config(spec, problem));
-    if (observer) {
-        pipeline.set_observer(std::move(observer));
+    PipelineConfig config = make_pipeline_config(spec, problem);
+    config.stopping.cancel = context.cancel;
+    config.shared_cache = context.shared_cache;
+    CafqaPipeline pipeline(std::move(config));
+    if (context.observer) {
+        pipeline.set_observer(context.observer);
     }
 
+    // A raised token stops the in-flight stage at its next recorded
+    // evaluation (StopReason::Cancelled); later stages are skipped here
+    // so a cancelled run never starts new work.
+    const auto is_cancelled = [&context] {
+        return context.cancel &&
+               context.cancel->load(std::memory_order_relaxed);
+    };
+
     pipeline.run_clifford_search();
-    if (spec.max_t > 0) {
+    if (spec.max_t > 0 && !is_cancelled()) {
         pipeline.run_t_boost(spec.max_t);
         record.t_gates = pipeline.t_boost_result().t_positions.size();
     }
-    if (spec.tune > 0) {
+    if (spec.tune > 0 && !is_cancelled()) {
         record.tuned_value = pipeline.run_vqa_tune().final_value;
         record.tune_stop_reason =
             to_string(pipeline.tune_result().stop_reason);
@@ -123,9 +157,10 @@ execute_run_spec(const RunSpec& spec, const problems::Problem& problem,
         pipeline.clifford_result().evaluations_to_best;
     record.stop_reason =
         to_string(pipeline.clifford_result().stop_reason);
-    if (spec.exact) {
+    if (spec.exact && !is_cancelled()) {
         record.exact_energy = problem.exact_energy();
     }
+    record.cancelled = is_cancelled();
     record.ok = true;
 
     record.wall_ms =
@@ -135,7 +170,9 @@ execute_run_spec(const RunSpec& spec, const problems::Problem& problem,
     return record;
 }
 
-BatchRunner::BatchRunner(BatchOptions options) : options_(options)
+BatchRunner::BatchRunner(BatchOptions options)
+    : options_(options),
+      stop_(std::make_shared<std::atomic<bool>>(false))
 {
     CAFQA_REQUIRE(options_.run_threads >= 1,
                   "per-run thread count must be at least 1");
@@ -145,6 +182,26 @@ void
 BatchRunner::set_observer(BatchObserver observer)
 {
     observer_ = std::move(observer);
+}
+
+void
+BatchRunner::request_stop()
+{
+    stop_->store(true, std::memory_order_relaxed);
+}
+
+bool
+BatchRunner::stop_requested() const
+{
+    return stop_->load(std::memory_order_relaxed);
+}
+
+void
+BatchRunner::reset_stop()
+{
+    // A fresh token: runs already cancelled by the old one keep their
+    // (raised) flag, future runs observe the new, lowered one.
+    stop_ = std::make_shared<std::atomic<bool>>(false);
 }
 
 std::vector<RunRecord>
@@ -164,6 +221,10 @@ BatchRunner::run(const std::vector<RunSpec>& specs)
     ThreadPool& pool =
         own_pool ? *own_pool : ThreadPool::shared();
 
+    // Snapshot the token so a concurrent reset_stop re-arms future
+    // batches without racing this one.
+    const std::shared_ptr<std::atomic<bool>> stop = stop_;
+
     std::mutex observer_mutex;
     pool.parallel_for(specs.size(), [&](std::size_t worker,
                                         std::size_t index) {
@@ -177,18 +238,28 @@ BatchRunner::run(const std::vector<RunSpec>& specs)
             // trajectory-preserving.
             spec.threads = options_.run_threads;
         }
-        PipelineObserver fan_in;
+        RunContext context;
+        context.cancel = stop;
         if (observer_) {
-            fan_in = [&, index](const PipelineEvent& event) {
+            context.observer = [&, index](const PipelineEvent& event) {
                 std::lock_guard lock(observer_mutex);
                 observer_(index, specs[index], event);
             };
         }
         try {
-            records[index] = execute_run_spec(spec, std::move(fan_in));
+            if (stop->load(std::memory_order_relaxed)) {
+                // request_stop before this run started: do not execute
+                // it at all (in-flight runs stop via their criteria).
+                records[index] = RunRecord{};
+                records[index].ok = false;
+                records[index].cancelled = true;
+                records[index].error = "cancelled before start "
+                                       "(BatchRunner::request_stop)";
+            } else {
+                records[index] = execute_run_spec(spec, context);
+            }
         } catch (const std::exception& error) {
             records[index] = RunRecord{};
-            records[index].spec = specs[index];
             records[index].ok = false;
             records[index].error = error.what();
         }

@@ -21,7 +21,9 @@
 #ifndef CAFQA_CORE_BATCH_RUNNER_HPP
 #define CAFQA_CORE_BATCH_RUNNER_HPP
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,6 +48,11 @@ struct RunRecord
      *  the result fields are meaningless. */
     bool ok = false;
     std::string error;
+    /** True when a cancel token stopped the run early (the result
+     *  fields hold the best point found before cancellation; stages
+     *  that had not started were skipped). Serialized only when set,
+     *  so uncancelled records are byte-identical to pre-cancel runs. */
+    bool cancelled = false;
 
     /** Objective (energy + penalties) at the best discrete point. */
     double best_objective = 0.0;
@@ -75,6 +82,30 @@ struct RunRecord
 };
 
 /**
+ * Per-run execution hooks threaded through `execute_run_spec` — the
+ * serving integration surface. All fields optional; the default context
+ * reproduces a plain solo run exactly.
+ */
+struct RunContext
+{
+    /** Receives the pipeline's stage events. */
+    PipelineObserver observer;
+    /**
+     * Cooperative cancel token (`StoppingCriteria::cancel`): when
+     * another thread stores true, the in-flight stage stops at its next
+     * recorded evaluation with stop reason "cancelled" and later stages
+     * are skipped; the record keeps the best point found so far with
+     * `RunRecord::cancelled` set. Latency is one evaluation (one block
+     * in batched phases).
+     */
+    std::shared_ptr<std::atomic<bool>> cancel;
+    /** Cross-run shared evaluation cache (`PipelineConfig`'s field of
+     *  the same name): jobs on the same problem share materialized
+     *  evaluations process-wide. */
+    std::shared_ptr<EvaluationCache> shared_cache;
+};
+
+/**
  * Execute one spec end to end: resolve the problem, run the discrete
  * search, the optional T-boost and the optional continuous tuning, and
  * collect the record. Throws on failure (the batch runner catches and
@@ -89,6 +120,12 @@ RunRecord execute_run_spec(const RunSpec& spec,
 RunRecord execute_run_spec(const RunSpec& spec,
                            const problems::Problem& problem,
                            PipelineObserver observer = nullptr);
+
+/** Same, with the full serving context (cancel token, shared cache). */
+RunRecord execute_run_spec(const RunSpec& spec, const RunContext& context);
+RunRecord execute_run_spec(const RunSpec& spec,
+                           const problems::Problem& problem,
+                           const RunContext& context);
 
 /** Batch execution controls. */
 struct BatchOptions
@@ -128,9 +165,29 @@ class BatchRunner
      */
     std::vector<RunRecord> run(const std::vector<RunSpec>& specs);
 
+    /**
+     * Cooperative cancellation, callable from any thread (the job
+     * server's drain path; useful standalone for Ctrl-C handling).
+     * Semantics: runs currently executing stop at their next recorded
+     * evaluation — their records keep the best point found so far,
+     * with `RunRecord::cancelled` set and stop reason "cancelled";
+     * specs not yet started are not executed at all and yield
+     * `ok == false`, `cancelled == true` records. The request is
+     * STICKY: it also applies to future `run` calls on this runner
+     * until `reset_stop` clears it (a stopped runner is "shut down",
+     * not paused).
+     */
+    void request_stop();
+    /** True once `request_stop` has been called (and not reset). */
+    bool stop_requested() const;
+    /** Re-arm a stopped runner for further `run` calls. */
+    void reset_stop();
+
   private:
     BatchOptions options_;
     BatchObserver observer_;
+    /** Shared with every in-flight run's stopping criteria. */
+    std::shared_ptr<std::atomic<bool>> stop_;
 };
 
 /** Aggregated machine-readable report: {"runs": [...], "total": N,

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "common/text.hpp"
 
 namespace cafqa {
 
@@ -22,12 +23,16 @@ bits_of(double value)
     return std::bit_cast<std::int64_t>(value);
 }
 
-/** Key prefix of a discrete point: the steps verbatim. */
+/** Key prefix of a discrete point: the steps verbatim, preceded by the
+ *  configuration salt when the cache is shared across configurations. */
 EvaluationCache::Key
-discrete_prefix(const std::vector<int>& steps)
+discrete_prefix(const std::vector<int>& steps, std::uint64_t salt)
 {
     EvaluationCache::Key key;
-    key.reserve(steps.size() + 1);
+    key.reserve(steps.size() + 2);
+    if (salt != 0) {
+        key.push_back(static_cast<std::int64_t>(salt));
+    }
     for (const int s : steps) {
         key.push_back(s);
     }
@@ -36,12 +41,17 @@ discrete_prefix(const std::vector<int>& steps)
 
 /** Key prefix of a continuous point: params quantized to `resolution`
  *  (`quantize_coordinate` is shared with the unique-budget accounting
- *  so the two identities agree). */
+ *  so the two identities agree), preceded by the configuration salt
+ *  when shared. */
 EvaluationCache::Key
-continuous_prefix(const std::vector<double>& params, double resolution)
+continuous_prefix(const std::vector<double>& params, double resolution,
+                  std::uint64_t salt)
 {
     EvaluationCache::Key key;
-    key.reserve(params.size() + 1);
+    key.reserve(params.size() + 2);
+    if (salt != 0) {
+        key.push_back(static_cast<std::int64_t>(salt));
+    }
     for (const double p : params) {
         key.push_back(quantize_coordinate(p, resolution));
     }
@@ -68,8 +78,29 @@ observable_hash(const PauliSum& op)
 // ---------------------------------------------------------------------------
 // EvaluationCache
 
+std::string
+CacheStats::to_json() const
+{
+    std::string out = "{";
+    const auto field = [&out](const char* name, const std::string& value) {
+        if (out.size() > 1) {
+            out += ",";
+        }
+        out += json_quote(name) + ":" + value;
+    };
+    field("hits", std::to_string(hits));
+    field("misses", std::to_string(misses));
+    field("evictions", std::to_string(evictions));
+    field("entries", std::to_string(entries));
+    field("bytes", std::to_string(bytes));
+    field("preparations", std::to_string(preparations));
+    field("hit_rate", format_real(hit_rate()));
+    out += "}";
+    return out;
+}
+
 EvaluationCache::EvaluationCache(const CacheOptions& options)
-    : capacity_(options.capacity)
+    : options_(options), capacity_(options.capacity)
 {
     CAFQA_REQUIRE(options.capacity >= 1,
                   "cache capacity must be at least 1 entry");
@@ -170,16 +201,17 @@ EvaluationCache::stats() const
 CachingDiscreteBackend::CachingDiscreteBackend(
     std::unique_ptr<DiscreteBackend> inner, const CacheOptions& options)
     : CachingDiscreteBackend(std::move(inner),
-                             std::make_shared<EvaluationCache>(options))
+                             std::make_shared<EvaluationCache>(options), 0)
 {
 }
 
 CachingDiscreteBackend::CachingDiscreteBackend(
     std::unique_ptr<DiscreteBackend> inner,
-    std::shared_ptr<EvaluationCache> cache)
-    : inner_(std::move(inner)), cache_(std::move(cache))
+    std::shared_ptr<EvaluationCache> cache, std::uint64_t salt)
+    : inner_(std::move(inner)), cache_(std::move(cache)), salt_(salt)
 {
     CAFQA_REQUIRE(inner_ != nullptr, "cannot cache a null backend");
+    CAFQA_REQUIRE(cache_ != nullptr, "cannot share a null cache");
     kind_ = "cached:" + std::string(inner_->kind());
 }
 
@@ -187,7 +219,7 @@ void
 CachingDiscreteBackend::prepare(const std::vector<int>& steps)
 {
     point_ = steps;
-    key_prefix_ = discrete_prefix(steps);
+    key_prefix_ = discrete_prefix(steps, salt_);
     has_point_ = true;
     inner_prepared_ = false;
 }
@@ -258,7 +290,8 @@ std::unique_ptr<Backend>
 CachingDiscreteBackend::clone() const
 {
     auto copy = std::unique_ptr<CachingDiscreteBackend>(
-        new CachingDiscreteBackend(inner_->clone_discrete(), cache_));
+        new CachingDiscreteBackend(inner_->clone_discrete(), cache_,
+                                   salt_));
     copy->point_ = point_;
     copy->key_prefix_ = key_prefix_;
     copy->has_point_ = has_point_;
@@ -274,18 +307,30 @@ CachingContinuousBackend::CachingContinuousBackend(
     std::unique_ptr<ContinuousBackend> inner, const CacheOptions& options)
     : CachingContinuousBackend(std::move(inner),
                                std::make_shared<EvaluationCache>(options),
-                               options.resolution)
+                               options.resolution, 0)
 {
 }
 
 CachingContinuousBackend::CachingContinuousBackend(
     std::unique_ptr<ContinuousBackend> inner,
-    std::shared_ptr<EvaluationCache> cache, double resolution)
+    std::shared_ptr<EvaluationCache> cache, std::uint64_t salt)
+    : CachingContinuousBackend(
+          std::move(inner), cache,
+          cache ? cache->options().resolution : 0.0, salt)
+{
+}
+
+CachingContinuousBackend::CachingContinuousBackend(
+    std::unique_ptr<ContinuousBackend> inner,
+    std::shared_ptr<EvaluationCache> cache, double resolution,
+    std::uint64_t salt)
     : inner_(std::move(inner)),
       cache_(std::move(cache)),
+      salt_(salt),
       resolution_(resolution)
 {
     CAFQA_REQUIRE(inner_ != nullptr, "cannot cache a null backend");
+    CAFQA_REQUIRE(cache_ != nullptr, "cannot share a null cache");
     CAFQA_REQUIRE(resolution_ > 0.0,
                   "cache quantization resolution must be positive");
     kind_ = "cached:" + std::string(inner_->kind());
@@ -295,7 +340,7 @@ void
 CachingContinuousBackend::prepare(const std::vector<double>& params)
 {
     point_ = params;
-    key_prefix_ = continuous_prefix(params, resolution_);
+    key_prefix_ = continuous_prefix(params, resolution_, salt_);
     has_point_ = true;
     inner_prepared_ = false;
 }
@@ -364,7 +409,7 @@ CachingContinuousBackend::clone() const
 {
     auto copy = std::unique_ptr<CachingContinuousBackend>(
         new CachingContinuousBackend(inner_->clone_continuous(), cache_,
-                                     resolution_));
+                                     resolution_, salt_));
     copy->point_ = point_;
     copy->key_prefix_ = key_prefix_;
     copy->has_point_ = has_point_;
@@ -388,6 +433,29 @@ wrap_with_cache(std::unique_ptr<Backend> backend, const CacheOptions& options)
         backend.release();
         return std::make_unique<CachingContinuousBackend>(
             std::unique_ptr<ContinuousBackend>(continuous), options);
+    }
+    CAFQA_REQUIRE(false, "backend kind \"" + std::string(backend->kind()) +
+                             "\" is neither discrete nor continuous; "
+                             "cannot wrap it in a cache");
+    return nullptr; // unreachable
+}
+
+std::unique_ptr<Backend>
+wrap_with_cache(std::unique_ptr<Backend> backend,
+                std::shared_ptr<EvaluationCache> cache, std::uint64_t salt)
+{
+    CAFQA_REQUIRE(backend != nullptr, "cannot cache a null backend");
+    if (auto* discrete = dynamic_cast<DiscreteBackend*>(backend.get())) {
+        backend.release();
+        return std::make_unique<CachingDiscreteBackend>(
+            std::unique_ptr<DiscreteBackend>(discrete), std::move(cache),
+            salt);
+    }
+    if (auto* continuous = dynamic_cast<ContinuousBackend*>(backend.get())) {
+        backend.release();
+        return std::make_unique<CachingContinuousBackend>(
+            std::unique_ptr<ContinuousBackend>(continuous),
+            std::move(cache), salt);
     }
     CAFQA_REQUIRE(false, "backend kind \"" + std::string(backend->kind()) +
                              "\" is neither discrete nor continuous; "

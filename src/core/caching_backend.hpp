@@ -95,6 +95,11 @@ struct CacheStats
             ? 0.0
             : static_cast<double>(hits) / static_cast<double>(lookups);
     }
+
+    /** One flat JSON object ({"hits":..,"misses":..,...,"hit_rate":..})
+     *  — shared by the job server's `stats` verb and the CLI's
+     *  `--trace` output. */
+    std::string to_json() const;
 };
 
 /**
@@ -133,6 +138,11 @@ class EvaluationCache
 
     std::size_t capacity() const { return capacity_; }
 
+    /** The options the cache was built with (wrappers sharing the cache
+     *  pull the quantization resolution from here, so every user of one
+     *  cache agrees on the continuous-point identity). */
+    const CacheOptions& options() const { return options_; }
+
     /** Stable mix over the key words (the shard selector). */
     static std::size_t hash_key(const Key& key);
 
@@ -158,6 +168,7 @@ class EvaluationCache
         std::size_t bytes = 0;
     };
 
+    CacheOptions options_;
     std::size_t capacity_ = 0;
     std::size_t per_shard_capacity_ = 0;
     std::vector<std::unique_ptr<Shard>> shards_;
@@ -176,6 +187,18 @@ class CachingDiscreteBackend final : public DiscreteBackend
     /** Wrap `inner` with a fresh cache. */
     CachingDiscreteBackend(std::unique_ptr<DiscreteBackend> inner,
                            const CacheOptions& options);
+
+    /**
+     * Wrap `inner` over an EXISTING cache — the cross-run sharing hook
+     * the job server uses so every job on the same problem hits one
+     * process-wide cache. `salt` is mixed into every key; pass
+     * `backend_config_hash` of the backend's full configuration so
+     * distinct circuits/kinds sharing the cache can never alias (0
+     * keeps the legacy single-run key layout).
+     */
+    CachingDiscreteBackend(std::unique_ptr<DiscreteBackend> inner,
+                           std::shared_ptr<EvaluationCache> cache,
+                           std::uint64_t salt);
 
     std::string_view kind() const override { return kind_; }
     std::size_t num_qubits() const override { return inner_->num_qubits(); }
@@ -201,15 +224,15 @@ class CachingDiscreteBackend final : public DiscreteBackend
     const std::shared_ptr<EvaluationCache>& cache() const { return cache_; }
 
   private:
-    CachingDiscreteBackend(std::unique_ptr<DiscreteBackend> inner,
-                           std::shared_ptr<EvaluationCache> cache);
-
     /** Prepare the wrapped backend for the pending point (miss path). */
     void ensure_prepared() const;
 
     std::unique_ptr<DiscreteBackend> inner_;
     std::shared_ptr<EvaluationCache> cache_;
     std::string kind_;
+    /** Nonzero when the cache is shared across configurations: mixed
+     *  into every key as a leading word. */
+    std::uint64_t salt_ = 0;
     std::vector<int> point_;
     EvaluationCache::Key key_prefix_;
     bool has_point_ = false;
@@ -222,6 +245,13 @@ class CachingContinuousBackend final : public ContinuousBackend
   public:
     CachingContinuousBackend(std::unique_ptr<ContinuousBackend> inner,
                              const CacheOptions& options);
+
+    /** Wrap `inner` over an existing shared cache; see the discrete
+     *  wrapper. The quantization resolution comes from the shared
+     *  cache's own options so every sharer agrees on point identity. */
+    CachingContinuousBackend(std::unique_ptr<ContinuousBackend> inner,
+                             std::shared_ptr<EvaluationCache> cache,
+                             std::uint64_t salt);
 
     std::string_view kind() const override { return kind_; }
     std::size_t num_qubits() const override { return inner_->num_qubits(); }
@@ -242,13 +272,14 @@ class CachingContinuousBackend final : public ContinuousBackend
   private:
     CachingContinuousBackend(std::unique_ptr<ContinuousBackend> inner,
                              std::shared_ptr<EvaluationCache> cache,
-                             double resolution);
+                             double resolution, std::uint64_t salt);
 
     void ensure_prepared() const;
 
     std::unique_ptr<ContinuousBackend> inner_;
     std::shared_ptr<EvaluationCache> cache_;
     std::string kind_;
+    std::uint64_t salt_ = 0;
     double resolution_ = 1e-12;
     std::vector<double> point_;
     EvaluationCache::Key key_prefix_;
@@ -260,6 +291,12 @@ class CachingContinuousBackend final : public ContinuousBackend
  *  `make_backend` for `"cached:<kind>"` / `BackendConfig::cache`). */
 std::unique_ptr<Backend> wrap_with_cache(std::unique_ptr<Backend> backend,
                                          const CacheOptions& options);
+
+/** Wrap over an existing shared cache with a key salt (used by
+ *  `make_backend` when `BackendConfig::shared_cache` is set). */
+std::unique_ptr<Backend>
+wrap_with_cache(std::unique_ptr<Backend> backend,
+                std::shared_ptr<EvaluationCache> cache, std::uint64_t salt);
 
 /** The wrapper's cache stats, or nullopt when `backend` is not a
  *  caching decorator. */

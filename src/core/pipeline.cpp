@@ -43,6 +43,7 @@ CafqaPipeline::stage_backend_config(std::string kind, Circuit ansatz) const
     backend_config.kind = std::move(kind);
     backend_config.ansatz = std::move(ansatz);
     backend_config.cache = config_.cache;
+    backend_config.shared_cache = config_.shared_cache;
     return backend_config;
 }
 
@@ -242,7 +243,8 @@ CafqaPipeline::run_t_boost(std::size_t max_t_gates)
                 t_round_options(config_.search, result.best_steps),
                 "t_boost");
             if (const std::optional<CacheStats> stats =
-                    cache_stats_of(*backend)) {
+                    config_.shared_cache ? std::optional<CacheStats>{}
+                                         : cache_stats_of(*backend)) {
                 // Each candidate circuit has its own cache (distinct
                 // circuits share no states); the counters sum into a
                 // stage total, while the point-in-time gauges
@@ -279,9 +281,16 @@ CafqaPipeline::run_t_boost(std::size_t max_t_gates)
     }
 
     boost_ = std::move(result);
+    if (config_.shared_cache) {
+        // Per-candidate deltas are meaningless against a shared cache
+        // (every snapshot is the global counters); report the global
+        // state instead of a sum of snapshots.
+        boost_stats = config_.shared_cache->stats();
+    }
     emit(PipelineEvent::Kind::StageEnd, "t_boost",
          boost_->t_positions.size(), boost_->best_objective,
-         config_.cache.enabled ? &boost_stats : nullptr);
+         config_.cache.enabled || config_.shared_cache ? &boost_stats
+                                                       : nullptr);
     return *boost_;
 }
 

@@ -116,6 +116,18 @@ struct PipelineConfig
      *  `unique_budget` additionally makes `stopping.max_evaluations`
      *  count unique points only. */
     CacheOptions cache;
+    /**
+     * Cross-run shared evaluation cache (the job server's process-wide
+     * cache). When set, every stage backend is wrapped over this cache
+     * — config-hash-salted keys keep distinct circuits/kinds from
+     * aliasing — instead of a per-stage fresh one. Results stay
+     * bit-identical to an uncached run for deterministic backends (the
+     * cache is a pure memoizer); a *stochastic* backend ("sampled")
+     * would replay the first job's frozen shot noise into later jobs.
+     * StageEnd cache stats then report the shared cache's global
+     * counters.
+     */
+    std::shared_ptr<EvaluationCache> shared_cache;
 };
 
 /**

@@ -199,132 +199,15 @@ emit_fields(const RunSpec& spec, EmitText&& text, EmitNumber&& number,
     }
 }
 
-// ------------------------------------------------- minimal JSON reader
-
-/** Cursor over a flat JSON object {"name": value, ...} with string,
- *  number and boolean values — the only shapes RunSpec serializes. */
-class JsonCursor
+/** First `limit` characters of a jsonl line, elided for error text. */
+std::string
+line_snippet(const std::string& line, std::size_t limit = 60)
 {
-  public:
-    explicit JsonCursor(const std::string& text) : text_(text) {}
-
-    void
-    expect(char c)
-    {
-        skip_space();
-        if (pos_ >= text_.size() || text_[pos_] != c) {
-            fail(std::string("expected '") + c + "'");
-        }
-        ++pos_;
+    if (line.size() <= limit) {
+        return line;
     }
-
-    bool
-    consume(char c)
-    {
-        skip_space();
-        if (pos_ < text_.size() && text_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    std::string
-    string_value()
-    {
-        skip_space();
-        if (pos_ >= text_.size() || text_[pos_] != '"') {
-            fail("expected a string");
-        }
-        ++pos_;
-        std::string out;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            char c = text_[pos_++];
-            if (c == '\\') {
-                if (pos_ >= text_.size()) {
-                    fail("dangling escape");
-                }
-                const char esc = text_[pos_++];
-                switch (esc) {
-                  case '"': c = '"'; break;
-                  case '\\': c = '\\'; break;
-                  case '/': c = '/'; break;
-                  case 'b': c = '\b'; break;
-                  case 'f': c = '\f'; break;
-                  case 'n': c = '\n'; break;
-                  case 'r': c = '\r'; break;
-                  case 't': c = '\t'; break;
-                  default: fail("unsupported string escape");
-                }
-            }
-            out += c;
-        }
-        if (pos_ >= text_.size()) {
-            fail("unterminated string");
-        }
-        ++pos_; // closing quote
-        return out;
-    }
-
-    /** A number/true/false token, returned as raw text for the field
-     *  parsers (which apply the strict numeric contracts). */
-    std::string
-    scalar_value()
-    {
-        skip_space();
-        const std::size_t start = pos_;
-        while (pos_ < text_.size() &&
-               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '+' || text_[pos_] == '-' ||
-                text_[pos_] == '.')) {
-            ++pos_;
-        }
-        if (pos_ == start) {
-            fail("expected a value");
-        }
-        return text_.substr(start, pos_ - start);
-    }
-
-    bool
-    at_string() const
-    {
-        std::size_t p = pos_;
-        while (p < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[p]))) {
-            ++p;
-        }
-        return p < text_.size() && text_[p] == '"';
-    }
-
-    void
-    expect_end()
-    {
-        skip_space();
-        if (pos_ != text_.size()) {
-            fail("trailing content after the object");
-        }
-    }
-
-  private:
-    void
-    skip_space()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-            ++pos_;
-        }
-    }
-
-    [[noreturn]] void
-    fail(const std::string& why) const
-    {
-        CAFQA_REQUIRE(false, "malformed run spec JSON (" + why +
-                                 ") in: " + text_);
-    }
-
-    const std::string& text_;
-    std::size_t pos_ = 0;
-};
+    return line.substr(0, limit) + "...";
+}
 
 } // namespace
 
@@ -359,21 +242,15 @@ RunSpec::from_json(const std::string& json)
 {
     RunSpec spec;
     std::vector<std::string> seen;
-    JsonCursor cursor(json);
-    cursor.expect('{');
-    if (!cursor.consume('}')) {
-        do {
-            const std::string name = cursor.string_value();
-            cursor.expect(':');
-            const std::string value = cursor.at_string()
-                                          ? cursor.string_value()
-                                          : cursor.scalar_value();
-            require_unseen(seen, name);
-            assign_field(spec, name, value);
-        } while (cursor.consume(','));
-        cursor.expect('}');
+    for (const JsonField& field : parse_flat_json_object(json)) {
+        CAFQA_REQUIRE(field.is_string ||
+                          (field.value[0] != '{' && field.value[0] != '['),
+                      "run spec field \"" + field.name +
+                          "\" must be a string, number or boolean, "
+                          "got a nested value");
+        require_unseen(seen, field.name);
+        assign_field(spec, field.name, field.value);
     }
-    cursor.expect_end();
     return spec;
 }
 
@@ -435,12 +312,21 @@ parse_run_specs_jsonl(const std::string& text)
     std::vector<RunSpec> specs;
     std::istringstream stream(text);
     std::string line;
+    std::size_t line_number = 0;
     while (std::getline(stream, line)) {
+        ++line_number;
         const auto start = line.find_first_not_of(" \t\r");
         if (start == std::string::npos || line[start] == '#') {
             continue;
         }
-        specs.push_back(RunSpec::from_json(line));
+        try {
+            specs.push_back(RunSpec::from_json(line));
+        } catch (const std::invalid_argument& error) {
+            CAFQA_REQUIRE(false, "jsonl line " +
+                                     std::to_string(line_number) + " (" +
+                                     line_snippet(line) +
+                                     "): " + error.what());
+        }
     }
     return specs;
 }

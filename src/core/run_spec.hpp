@@ -94,7 +94,8 @@ struct RunSpec
      */
     static RunSpec parse(const std::string& text);
 
-    /** Parse one flat JSON object (same fields as the text form). */
+    /** Parse one flat JSON object (same fields as the text form, same
+     *  rejection rules — duplicates included). */
     static RunSpec from_json(const std::string& json);
 
     /** Serialize to the text form; emits `problem` plus every field
@@ -110,7 +111,10 @@ struct RunSpec
 
 /**
  * Parse a JSON-lines batch file: one RunSpec object per non-empty line
- * (lines starting with '#' are comments).
+ * (lines starting with '#' are comments). A bad line throws
+ * std::invalid_argument prefixed with its 1-based line number and a
+ * snippet of the offending text, e.g.
+ * `jsonl line 3 ({"problem":...}): run spec field ...`.
  */
 std::vector<RunSpec> parse_run_specs_jsonl(const std::string& text);
 

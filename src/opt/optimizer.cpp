@@ -56,6 +56,8 @@ to_string(StopReason reason)
         return "converged";
       case StopReason::SpaceExhausted:
         return "space-exhausted";
+      case StopReason::Cancelled:
+        return "cancelled";
     }
     return "unknown";
 }
@@ -164,7 +166,13 @@ OutcomeRecorder::after_record(double value, bool improved)
         progress_(outcome_.history.size(), outcome_.best_value);
     }
 
-    // Criteria checks, most informative reason first.
+    // Criteria checks, most informative reason first. Cancellation wins
+    // over everything: the caller asked for the run to end, and any
+    // other reason would misreport a truncated search as complete.
+    if (criteria_.cancel && criteria_.cancel->load(std::memory_order_relaxed)) {
+        stopped_ = StopReason::Cancelled;
+        throw EarlyStop{};
+    }
     if (criteria_.target_value.has_value() &&
         outcome_.best_value <= *criteria_.target_value) {
         stopped_ = StopReason::TargetReached;

@@ -20,8 +20,10 @@
 #ifndef CAFQA_OPT_OPTIMIZER_HPP
 #define CAFQA_OPT_OPTIMIZER_HPP
 
+#include <atomic>
 #include <chrono>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <unordered_set>
@@ -56,6 +58,9 @@ enum class StopReason {
     Converged,
     /** An exhaustive search enumerated the entire space. */
     SpaceExhausted,
+    /** `StoppingCriteria::cancel` was raised by another thread (job
+     *  server cancel verb, `BatchRunner::request_stop`, SIGTERM). */
+    Cancelled,
 };
 
 /** Human-readable stop reason ("budget", "target", ...). */
@@ -102,6 +107,15 @@ struct StoppingCriteria
      * configurations.
      */
     double unique_resolution = 0.0;
+    /**
+     * Cooperative cancellation token: when another thread stores `true`
+     * here, the run stops at the next recorded evaluation with
+     * `StopReason::Cancelled` (the best point found so far is still
+     * returned). Latency is one evaluation — or one block in batched
+     * phases such as the Bayesian warm-up, same caveat as
+     * `max_seconds`. Null (the default) disables the check.
+     */
+    std::shared_ptr<const std::atomic<bool>> cancel;
 };
 
 /**

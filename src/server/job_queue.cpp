@@ -1,0 +1,142 @@
+#include "server/job_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace cafqa::server {
+
+const char*
+to_string(Admit admit)
+{
+    switch (admit) {
+      case Admit::Accepted: return "accepted";
+      case Admit::QueueFull: return "queue full";
+      case Admit::Draining: return "server draining";
+    }
+    return "?";
+}
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity)
+{
+    CAFQA_REQUIRE(capacity_ > 0, "job queue capacity must be positive");
+}
+
+Admit
+JobQueue::push(Job job)
+{
+    {
+        std::lock_guard lock(mutex_);
+        if (closed_) {
+            return Admit::Draining;
+        }
+        if (size_ >= capacity_) {
+            return Admit::QueueFull;
+        }
+        auto [it, inserted] = clients_.try_emplace(job.client);
+        if (inserted) {
+            rotation_.push_back(job.client);
+        }
+        it->second.push_back(std::move(job));
+        ++size_;
+    }
+    ready_.notify_one();
+    return Admit::Accepted;
+}
+
+std::size_t
+JobQueue::next_slot_locked()
+{
+    if (rotation_.empty()) {
+        return std::string::npos;
+    }
+    for (std::size_t probe = 0; probe < rotation_.size(); ++probe) {
+        const std::size_t slot = (cursor_ + probe) % rotation_.size();
+        if (!clients_[rotation_[slot]].empty()) {
+            return slot;
+        }
+    }
+    return std::string::npos;
+}
+
+void
+JobQueue::advance_cursor_locked(std::size_t slot, bool exhausted)
+{
+    if (exhausted) {
+        // Retire the drained client so thousands of short-lived
+        // connections don't accumulate dead rotation slots; the erase
+        // shifts the next client INTO `slot`, which is exactly where
+        // the round-robin should look next.
+        clients_.erase(rotation_[slot]);
+        rotation_.erase(rotation_.begin() +
+                        static_cast<std::ptrdiff_t>(slot));
+        cursor_ = rotation_.empty() ? 0 : slot % rotation_.size();
+    } else {
+        // Advance PAST the client just served so the next pop looks at
+        // the following one — that is the round-robin interleave.
+        cursor_ = (slot + 1) % rotation_.size();
+    }
+}
+
+std::optional<Job>
+JobQueue::pop()
+{
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [this] { return size_ > 0 || closed_; });
+    if (size_ == 0) {
+        return std::nullopt;
+    }
+    const std::size_t slot = next_slot_locked();
+    CAFQA_ASSERT(slot != std::string::npos,
+                 "job queue size and rotation disagree");
+    std::deque<Job>& fifo = clients_[rotation_[slot]];
+    Job job = std::move(fifo.front());
+    fifo.pop_front();
+    --size_;
+    advance_cursor_locked(slot, fifo.empty());
+    return job;
+}
+
+void
+JobQueue::close()
+{
+    {
+        std::lock_guard lock(mutex_);
+        closed_ = true;
+    }
+    ready_.notify_all();
+}
+
+std::vector<Job>
+JobQueue::drain_now()
+{
+    std::vector<Job> jobs;
+    std::lock_guard lock(mutex_);
+    // Fair order for the flush too, so cancelled-record order matches
+    // what the workers would have run.
+    while (size_ > 0) {
+        const std::size_t slot = next_slot_locked();
+        CAFQA_ASSERT(slot != std::string::npos,
+                     "job queue size and rotation disagree");
+        std::deque<Job>& fifo = clients_[rotation_[slot]];
+        jobs.push_back(std::move(fifo.front()));
+        fifo.pop_front();
+        --size_;
+        advance_cursor_locked(slot, fifo.empty());
+    }
+    return jobs;
+}
+
+bool
+JobQueue::closed() const
+{
+    std::lock_guard lock(mutex_);
+    return closed_;
+}
+
+std::size_t
+JobQueue::size() const
+{
+    std::lock_guard lock(mutex_);
+    return size_;
+}
+
+} // namespace cafqa::server

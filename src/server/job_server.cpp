@@ -1,0 +1,520 @@
+#include "server/job_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace cafqa::server {
+
+namespace {
+
+[[noreturn]] void
+fail_errno(const std::string& what)
+{
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void
+close_fd(int& fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace
+
+JobServer::Connection::~Connection()
+{
+    close_fd(fd);
+}
+
+void
+JobServer::Connection::send(const std::string& line)
+{
+    std::lock_guard lock(write_mutex);
+    send_locked(line);
+}
+
+void
+JobServer::Connection::send_locked(const std::string& line)
+{
+    if (!open.load(std::memory_order_relaxed)) {
+        return;
+    }
+    const std::string framed = line + "\n";
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n = ::send(fd, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            // Peer gone (EPIPE/ECONNRESET/...): later sends discard.
+            open.store(false, std::memory_order_relaxed);
+            return;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+JobServer::JobServer(ServerOptions options)
+    : options_(std::move(options)),
+      queue_(options_.queue_capacity)
+{
+    CAFQA_REQUIRE(options_.workers >= 1,
+                  "job server needs at least one worker");
+    CAFQA_REQUIRE(options_.run_threads >= 1,
+                  "per-run thread count must be at least 1");
+    CAFQA_REQUIRE(options_.unix_path.empty() || options_.port == 0,
+                  "configure either unix_path or a TCP port, not both");
+    if (options_.cache.enabled) {
+        cache_ = std::make_shared<EvaluationCache>(options_.cache);
+    }
+}
+
+JobServer::~JobServer()
+{
+    if (started_) {
+        shutdown(false);
+        wait();
+    }
+    close_fd(listen_fd_);
+    close_fd(wake_pipe_[0]);
+    close_fd(wake_pipe_[1]);
+}
+
+void
+JobServer::start()
+{
+    CAFQA_REQUIRE(!started_, "job server already started");
+    if (::pipe(wake_pipe_) != 0) {
+        fail_errno("pipe");
+    }
+
+    if (!options_.unix_path.empty()) {
+        sockaddr_un address{};
+        address.sun_family = AF_UNIX;
+        CAFQA_REQUIRE(
+            options_.unix_path.size() < sizeof(address.sun_path),
+            "unix socket path too long: " + options_.unix_path);
+        std::strncpy(address.sun_path, options_.unix_path.c_str(),
+                     sizeof(address.sun_path) - 1);
+        listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listen_fd_ < 0) {
+            fail_errno("socket(AF_UNIX)");
+        }
+        ::unlink(options_.unix_path.c_str()); // stale path from a crash
+        if (::bind(listen_fd_,
+                   reinterpret_cast<const sockaddr*>(&address),
+                   sizeof(address)) != 0) {
+            fail_errno("bind(" + options_.unix_path + ")");
+        }
+    } else {
+        sockaddr_in address{};
+        address.sin_family = AF_INET;
+        address.sin_port =
+            htons(static_cast<std::uint16_t>(options_.port));
+        if (::inet_pton(AF_INET, options_.host.c_str(),
+                        &address.sin_addr) != 1) {
+            throw std::runtime_error("bad listen address: " +
+                                     options_.host);
+        }
+        listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listen_fd_ < 0) {
+            fail_errno("socket(AF_INET)");
+        }
+        const int yes = 1;
+        ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &yes,
+                     sizeof(yes));
+        if (::bind(listen_fd_,
+                   reinterpret_cast<const sockaddr*>(&address),
+                   sizeof(address)) != 0) {
+            fail_errno("bind(" + options_.host + ":" +
+                       std::to_string(options_.port) + ")");
+        }
+        sockaddr_in bound{};
+        socklen_t bound_size = sizeof(bound);
+        if (::getsockname(listen_fd_,
+                          reinterpret_cast<sockaddr*>(&bound),
+                          &bound_size) != 0) {
+            fail_errno("getsockname");
+        }
+        port_ = ntohs(bound.sin_port);
+    }
+    if (::listen(listen_fd_, 64) != 0) {
+        fail_errno("listen");
+    }
+
+    started_ = true;
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    workers_.reserve(options_.workers);
+    for (std::size_t i = 0; i < options_.workers; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+void
+JobServer::accept_loop()
+{
+    for (;;) {
+        pollfd fds[2] = {
+            {listen_fd_, POLLIN, 0},
+            {wake_pipe_[0], POLLIN, 0},
+        };
+        if (::poll(fds, 2, -1) < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return;
+        }
+        if (fds[1].revents != 0) {
+            return; // shutdown
+        }
+        if ((fds[0].revents & POLLIN) == 0) {
+            continue;
+        }
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            continue;
+        }
+        auto connection = std::make_shared<Connection>();
+        connection->fd = fd;
+        {
+            std::lock_guard lock(connections_mutex_);
+            connection->id = next_connection_id_++;
+            connections_[connection->id] = connection;
+            readers_.emplace_back(
+                [this, connection] { reader_loop(connection); });
+        }
+    }
+}
+
+void
+JobServer::reader_loop(std::shared_ptr<Connection> connection)
+{
+    LineFramer framer(options_.max_line_bytes);
+    std::vector<std::string> lines;
+    char buffer[4096];
+    for (;;) {
+        const ssize_t n = ::recv(connection->fd, buffer, sizeof(buffer), 0);
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        if (n <= 0) {
+            break;
+        }
+        lines.clear();
+        const bool ok = framer.feed(
+            std::string_view(buffer, static_cast<std::size_t>(n)), lines);
+        for (const std::string& line : lines) {
+            if (!line.empty()) {
+                handle_line(connection, line);
+            }
+        }
+        if (!ok) {
+            connection->send(event_error(
+                "request line exceeds " +
+                std::to_string(framer.max_line_bytes()) + " bytes"));
+            break;
+        }
+    }
+    connection->open.store(false, std::memory_order_relaxed);
+    std::lock_guard lock(connections_mutex_);
+    connections_.erase(connection->id);
+}
+
+void
+JobServer::handle_line(const std::shared_ptr<Connection>& connection,
+                       const std::string& line)
+{
+    Request request;
+    try {
+        request = parse_request(line);
+    } catch (const std::exception& error) {
+        // A submit whose spec failed to parse still deserves a per-job
+        // rejection (clients correlate by id); salvage the id when the
+        // envelope itself is readable.
+        try {
+            const auto fields = parse_flat_json_object(line);
+            const JsonField* op = find_json_field(fields, "op");
+            const JsonField* id = find_json_field(fields, "id");
+            if (op != nullptr && op->value == "submit" && id != nullptr &&
+                id->is_string) {
+                rejected_.fetch_add(1, std::memory_order_relaxed);
+                connection->send(event_rejected(id->value, error.what()));
+                return;
+            }
+        } catch (...) {
+            // fall through to the request-level error
+        }
+        connection->send(event_error(error.what()));
+        return;
+    }
+    switch (request.op) {
+      case Op::Submit:
+        handle_submit(connection, std::move(request));
+        break;
+      case Op::Cancel: {
+        std::shared_ptr<std::atomic<bool>> token;
+        {
+            std::lock_guard lock(jobs_mutex_);
+            const auto it = jobs_.find(request.id);
+            if (it != jobs_.end()) {
+                token = it->second;
+            }
+        }
+        if (token) {
+            token->store(true, std::memory_order_relaxed);
+            cancelled_.fetch_add(1, std::memory_order_relaxed);
+            connection->send(event_cancelled(request.id));
+        } else {
+            connection->send(event_error("unknown or finished job id \"" +
+                                         request.id + "\""));
+        }
+        break;
+      }
+      case Op::Stats:
+        connection->send(event_stats(
+            counters(), cache_ ? cache_->stats() : CacheStats{}));
+        break;
+      case Op::Shutdown:
+        shutdown(request.drain);
+        break;
+    }
+}
+
+void
+JobServer::handle_submit(const std::shared_ptr<Connection>& connection,
+                         Request request)
+{
+    std::string id = request.id.empty()
+                         ? "job-" + std::to_string(next_job_id_.fetch_add(
+                               1, std::memory_order_relaxed))
+                         : request.id;
+    try {
+        request.spec.validate();
+    } catch (const std::exception& error) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        connection->send(event_rejected(id, error.what()));
+        return;
+    }
+
+    auto token = std::make_shared<std::atomic<bool>>(false);
+    bool fresh_id;
+    {
+        std::lock_guard lock(jobs_mutex_);
+        fresh_id = jobs_.try_emplace(id, token).second;
+    }
+    if (!fresh_id) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        connection->send(event_rejected(
+            id, "duplicate job id (still queued or running)"));
+        return;
+    }
+
+    Job job;
+    job.client = "conn-" + std::to_string(connection->id);
+    job.id = id;
+    job.spec = std::move(request.spec);
+    job.cancel = token;
+    job.respond = [connection](const std::string& line) {
+        connection->send(line);
+    };
+
+    // Hold the connection's write lock ACROSS the push so `accepted`
+    // hits the wire before the worker — which may pop the job
+    // immediately — can interleave its `started` event. (No deadlock:
+    // the queue lock is never held while writing to a connection.)
+    std::lock_guard lock(connection->write_mutex);
+    const Admit admit = queue_.push(std::move(job));
+    if (admit != Admit::Accepted) {
+        unregister_job(id);
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        connection->send_locked(event_rejected(id, to_string(admit)));
+        return;
+    }
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    connection->send_locked(event_accepted(id, queue_.size()));
+}
+
+void
+JobServer::worker_loop()
+{
+    while (auto job = queue_.pop()) {
+        process_job(*job);
+    }
+}
+
+void
+JobServer::process_job(Job& job)
+{
+    if (job.cancel->load(std::memory_order_relaxed)) {
+        flush_cancelled(job);
+        return;
+    }
+    job.respond(event_started(job.id));
+
+    RunSpec spec = job.spec;
+    if (spec.threads == 0) {
+        // Workers already run whole jobs side by side; a job leaning on
+        // the process-shared pool would fight its siblings for it (same
+        // rationale as BatchOptions::run_threads).
+        spec.threads = options_.run_threads;
+    }
+    RunContext context;
+    context.cancel = job.cancel;
+    context.shared_cache = cache_;
+
+    RunRecord record;
+    try {
+        record = execute_run_spec(spec, context);
+    } catch (const std::exception& error) {
+        record = RunRecord{};
+        record.ok = false;
+        record.error = error.what();
+    }
+    // Report the spec as submitted, not the thread-count override.
+    record.spec = job.spec;
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    job.respond(event_result(job.id, record));
+    unregister_job(job.id);
+}
+
+void
+JobServer::flush_cancelled(Job& job)
+{
+    RunRecord record;
+    record.spec = job.spec;
+    record.ok = false;
+    record.cancelled = true;
+    record.error = "cancelled before start";
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    job.respond(event_result(job.id, record));
+    unregister_job(job.id);
+}
+
+void
+JobServer::unregister_job(const std::string& id)
+{
+    std::lock_guard lock(jobs_mutex_);
+    jobs_.erase(id);
+}
+
+void
+JobServer::shutdown(bool drain)
+{
+    bool expected = false;
+    if (!shutdown_requested_.compare_exchange_strong(expected, true)) {
+        return; // first call wins
+    }
+    {
+        std::lock_guard lock(shutdown_mutex_);
+        drain_ = drain;
+    }
+    queue_.close();
+    if (!drain) {
+        // Cancel everything: in-flight jobs stop at their next recorded
+        // evaluation, queued jobs flush cancelled records right here
+        // (a worker stuck in a long run must not delay them).
+        {
+            std::lock_guard lock(jobs_mutex_);
+            for (auto& [id, token] : jobs_) {
+                token->store(true, std::memory_order_relaxed);
+            }
+        }
+        for (Job& job : queue_.drain_now()) {
+            flush_cancelled(job);
+        }
+    }
+    // Wake the accept loop (signal-safe: one byte down a pipe).
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+    shutdown_cv_.notify_all();
+}
+
+void
+JobServer::wait()
+{
+    {
+        std::unique_lock lock(shutdown_mutex_);
+        shutdown_cv_.wait(
+            lock, [this] { return shutdown_requested_.load(); });
+    }
+    std::lock_guard teardown(teardown_mutex_);
+    if (finished_) {
+        return;
+    }
+
+    accept_thread_.join();
+    close_fd(listen_fd_);
+    if (!options_.unix_path.empty()) {
+        ::unlink(options_.unix_path.c_str());
+    }
+
+    // Workers exit once the (closed) queue is empty — in drain mode
+    // that is after every queued job ran and streamed its record.
+    for (std::thread& worker : workers_) {
+        worker.join();
+    }
+
+    // Every record is out; say bye and wake the readers.
+    bool drain;
+    {
+        std::lock_guard lock(shutdown_mutex_);
+        drain = drain_;
+    }
+    std::vector<std::shared_ptr<Connection>> snapshot;
+    {
+        std::lock_guard lock(connections_mutex_);
+        snapshot.reserve(connections_.size());
+        for (const auto& [id, connection] : connections_) {
+            snapshot.push_back(connection);
+        }
+    }
+    for (const auto& connection : snapshot) {
+        connection->send(event_bye(drain ? "drain" : "now"));
+        connection->open.store(false, std::memory_order_relaxed);
+        ::shutdown(connection->fd, SHUT_RDWR);
+    }
+    std::vector<std::thread> readers;
+    {
+        std::lock_guard lock(connections_mutex_);
+        readers.swap(readers_);
+    }
+    for (std::thread& reader : readers) {
+        reader.join();
+    }
+    {
+        std::lock_guard lock(connections_mutex_);
+        connections_.clear();
+    }
+    finished_ = true;
+}
+
+ServerCounters
+JobServer::counters() const
+{
+    ServerCounters out;
+    out.submitted = submitted_.load(std::memory_order_relaxed);
+    out.completed = completed_.load(std::memory_order_relaxed);
+    out.cancelled = cancelled_.load(std::memory_order_relaxed);
+    out.rejected = rejected_.load(std::memory_order_relaxed);
+    out.queued = queue_.size();
+    return out;
+}
+
+} // namespace cafqa::server

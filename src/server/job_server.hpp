@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The CAFQA job server — the north-star serving daemon. One process
+ * owns a listening socket (TCP loopback or Unix-domain), a bounded
+ * client-fair job queue, a pool of worker threads executing `RunSpec`s
+ * through `execute_run_spec`, and ONE process-wide evaluation cache
+ * that every job shares (config-hash-salted keys, so distinct problems
+ * never alias while repeated problems hit each other's entries).
+ *
+ *   ServerOptions options;
+ *   options.unix_path = "/tmp/cafqa.sock";   // or options.port = 0 (TCP)
+ *   JobServer server(options);
+ *   server.start();
+ *   ...
+ *   server.shutdown(true);                    // drain; e.g. SIGTERM hook
+ *   server.wait();                            // joins everything
+ *
+ * Lifecycle contract:
+ *  - `submit` past capacity is rejected with a reason, never queued.
+ *  - `cancel` raises the job's cooperative token: a queued job yields a
+ *    cancelled record without running; an in-flight job stops at its
+ *    next recorded evaluation and its record keeps the best-so-far.
+ *  - `shutdown drain` stops admission, finishes every queued and
+ *    in-flight job, streams all remaining records, then says bye.
+ *  - `shutdown now` additionally cancels everything: queued jobs flush
+ *    cancelled records immediately, in-flight jobs stop cooperatively.
+ *  - Records for uncancelled jobs are byte-identical to a solo
+ *    `execute_run_spec` of the same spec, except `wall_ms` (wall time
+ *    is not deterministic).
+ *
+ * Wire protocol: `server/protocol.hpp`. Queue semantics:
+ * `server/job_queue.hpp`.
+ */
+#ifndef CAFQA_SERVER_JOB_SERVER_HPP
+#define CAFQA_SERVER_JOB_SERVER_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/caching_backend.hpp"
+#include "server/job_queue.hpp"
+#include "server/protocol.hpp"
+
+namespace cafqa::server {
+
+/** Daemon configuration. */
+struct ServerOptions
+{
+    /** Non-empty: listen on this Unix-domain socket path (stale paths
+     *  are unlinked; the path is removed again on shutdown). */
+    std::string unix_path;
+    /** TCP listen address when `unix_path` is empty. Port 0 binds an
+     *  ephemeral port; read it back with `JobServer::port()`. */
+    std::string host = "127.0.0.1";
+    int port = 0;
+    /** Concurrent job executors. */
+    std::size_t workers = 2;
+    /** Admission bound: queued (not yet started) jobs. */
+    std::size_t queue_capacity = 1024;
+    /** Protocol line bound; longer request lines drop the connection. */
+    std::size_t max_line_bytes = kDefaultMaxLineBytes;
+    /** Threads per run for specs that leave `threads` at 0 (same
+     *  rationale as `BatchOptions::run_threads`: the workers already
+     *  fan jobs out side by side). */
+    std::size_t run_threads = 1;
+    /** Process-wide shared evaluation cache. `enabled` here means
+     *  "give the server one cross-job cache"; capacity/shards bound its
+     *  residency. Disabled, each job falls back to whatever its own
+     *  spec asked for. */
+    CacheOptions cache{.enabled = true};
+};
+
+class JobServer
+{
+  public:
+    /** Validates options; does not touch the network yet. */
+    explicit JobServer(ServerOptions options);
+    /** Implies `shutdown(false)` + `wait()` when still running. */
+    ~JobServer();
+
+    JobServer(const JobServer&) = delete;
+    JobServer& operator=(const JobServer&) = delete;
+
+    /** Bind, listen and spawn the accept + worker threads. Throws
+     *  std::runtime_error on socket failures. */
+    void start();
+
+    /** Resolved TCP port (after `start`; 0 for a Unix-domain server). */
+    int port() const { return port_; }
+    const std::string& unix_path() const { return options_.unix_path; }
+
+    /**
+     * Initiate shutdown; non-blocking and callable from any thread,
+     * including connection readers (the `shutdown` protocol op) —
+     * teardown that must join threads happens in `wait()`. Idempotent;
+     * the first call wins.
+     */
+    void shutdown(bool drain);
+
+    /** Block until shutdown is initiated, then tear everything down:
+     *  join workers (draining the queue per the shutdown mode), say bye
+     *  on every connection, join readers, close sockets. */
+    void wait();
+
+    /** Snapshot of the server counters (stats verb / tests). */
+    ServerCounters counters() const;
+
+    /** The process-wide cache (null when `options.cache.enabled` is
+     *  false). */
+    const std::shared_ptr<EvaluationCache>& cache() const { return cache_; }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::uint64_t id = 0;
+        std::mutex write_mutex;
+        std::atomic<bool> open{true};
+
+        ~Connection();
+
+        /** Write `line` + '\n' whole; a failed write marks the
+         *  connection closed and later sends discard silently. */
+        void send(const std::string& line);
+
+        /** `send` body for a caller already holding `write_mutex`
+         *  (used to order `accepted` ahead of the worker's
+         *  `started`). */
+        void send_locked(const std::string& line);
+    };
+
+    void accept_loop();
+    void reader_loop(std::shared_ptr<Connection> connection);
+    void worker_loop();
+
+    void handle_line(const std::shared_ptr<Connection>& connection,
+                     const std::string& line);
+    void handle_submit(const std::shared_ptr<Connection>& connection,
+                       Request request);
+    /** Execute (or flush as cancelled) one job and emit its result. */
+    void process_job(Job& job);
+    /** Emit the ok==false, cancelled==true record of a job that never
+     *  ran. */
+    void flush_cancelled(Job& job);
+
+    void unregister_job(const std::string& id);
+
+    ServerOptions options_;
+    int listen_fd_ = -1;
+    int wake_pipe_[2] = {-1, -1};
+    int port_ = 0;
+    bool started_ = false;
+
+    JobQueue queue_;
+    std::shared_ptr<EvaluationCache> cache_;
+
+    std::thread accept_thread_;
+    std::vector<std::thread> workers_;
+
+    std::mutex connections_mutex_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Connection>>
+        connections_;
+    std::vector<std::thread> readers_;
+    std::uint64_t next_connection_id_ = 1;
+
+    /** Active (queued or in-flight) job id -> cancel token. */
+    std::mutex jobs_mutex_;
+    std::unordered_map<std::string,
+                       std::shared_ptr<std::atomic<bool>>>
+        jobs_;
+    std::atomic<std::uint64_t> next_job_id_{1};
+
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> cancelled_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+
+    std::mutex shutdown_mutex_;
+    std::condition_variable shutdown_cv_;
+    std::atomic<bool> shutdown_requested_{false};
+    bool drain_ = true;
+    /** Serializes teardown so concurrent `wait` calls are safe. */
+    std::mutex teardown_mutex_;
+    bool finished_ = false;
+};
+
+} // namespace cafqa::server
+
+#endif // CAFQA_SERVER_JOB_SERVER_HPP

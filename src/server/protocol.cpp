@@ -1,0 +1,282 @@
+#include "server/protocol.hpp"
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace cafqa::server {
+
+LineFramer::LineFramer(std::size_t max_line_bytes)
+    : max_line_bytes_(max_line_bytes)
+{
+    CAFQA_REQUIRE(max_line_bytes_ > 0,
+                  "line framer byte bound must be positive");
+}
+
+bool
+LineFramer::feed(std::string_view bytes, std::vector<std::string>& lines)
+{
+    if (overflowed_) {
+        return false;
+    }
+    std::size_t start = 0;
+    while (start <= bytes.size()) {
+        const std::size_t newline = bytes.find('\n', start);
+        if (newline == std::string_view::npos) {
+            buffer_.append(bytes.substr(start));
+            break;
+        }
+        buffer_.append(bytes.substr(start, newline - start));
+        if (buffer_.size() > max_line_bytes_) {
+            overflowed_ = true;
+            return false;
+        }
+        if (!buffer_.empty() && buffer_.back() == '\r') {
+            buffer_.pop_back();
+        }
+        lines.push_back(std::move(buffer_));
+        buffer_.clear();
+        start = newline + 1;
+    }
+    if (buffer_.size() > max_line_bytes_) {
+        overflowed_ = true;
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string& why)
+{
+    CAFQA_REQUIRE(false, "bad request: " + why);
+}
+
+/** The field named `name`, required to exist and (when `as_string`) to
+ *  be a JSON string. */
+const JsonField&
+required_field(const std::vector<JsonField>& fields,
+               const std::string& name, bool as_string)
+{
+    const JsonField* field = find_json_field(fields, name);
+    if (field == nullptr) {
+        fail("missing required field \"" + name + "\"");
+    }
+    if (as_string && !field->is_string) {
+        fail("field \"" + name + "\" must be a JSON string");
+    }
+    return *field;
+}
+
+void
+reject_duplicates(const std::vector<JsonField>& fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        for (std::size_t j = i + 1; j < fields.size(); ++j) {
+            if (fields[i].name == fields[j].name) {
+                fail("field \"" + fields[i].name +
+                     "\" appears more than once");
+            }
+        }
+    }
+}
+
+} // namespace
+
+Request
+parse_request(const std::string& line)
+{
+    const std::vector<JsonField> fields = parse_flat_json_object(line);
+    const JsonField* op = find_json_field(fields, "op");
+    if (op == nullptr) {
+        // Implicit submit: the whole object is a flat RunSpec (which
+        // applies its own duplicate/unknown-field rejection).
+        Request request;
+        request.op = Op::Submit;
+        request.spec = RunSpec::from_json(line);
+        return request;
+    }
+    reject_duplicates(fields);
+    if (!op->is_string) {
+        fail("field \"op\" must be a JSON string");
+    }
+
+    Request request;
+    if (op->value == "submit") {
+        request.op = Op::Submit;
+        if (const JsonField* id = find_json_field(fields, "id")) {
+            request.id = id->value;
+        }
+        const JsonField& spec = required_field(fields, "spec", true);
+        request.spec = RunSpec::parse(spec.value);
+    } else if (op->value == "cancel") {
+        request.op = Op::Cancel;
+        request.id = required_field(fields, "id", true).value;
+    } else if (op->value == "stats") {
+        request.op = Op::Stats;
+    } else if (op->value == "shutdown") {
+        request.op = Op::Shutdown;
+        if (const JsonField* mode = find_json_field(fields, "mode")) {
+            if (mode->value == "drain") {
+                request.drain = true;
+            } else if (mode->value == "now") {
+                request.drain = false;
+            } else {
+                fail("shutdown mode must be \"drain\" or \"now\", got \"" +
+                     mode->value + "\"");
+            }
+        }
+    } else {
+        fail("unknown op \"" + op->value +
+             "\" (expected submit, cancel, stats or shutdown)");
+    }
+    return request;
+}
+
+std::string
+submit_line(const std::string& id, const RunSpec& spec)
+{
+    std::string out = "{\"op\":\"submit\"";
+    if (!id.empty()) {
+        out += ",\"id\":" + json_quote(id);
+    }
+    out += ",\"spec\":" + json_quote(spec.to_string()) + "}";
+    return out;
+}
+
+std::string
+cancel_line(const std::string& id)
+{
+    return "{\"op\":\"cancel\",\"id\":" + json_quote(id) + "}";
+}
+
+std::string
+stats_line()
+{
+    return "{\"op\":\"stats\"}";
+}
+
+std::string
+shutdown_line(bool drain)
+{
+    return std::string("{\"op\":\"shutdown\",\"mode\":\"") +
+           (drain ? "drain" : "now") + "\"}";
+}
+
+std::string
+event_accepted(const std::string& id, std::size_t queued)
+{
+    return "{\"event\":\"accepted\",\"id\":" + json_quote(id) +
+           ",\"queued\":" + std::to_string(queued) + "}";
+}
+
+std::string
+event_rejected(const std::string& id, const std::string& reason)
+{
+    return "{\"event\":\"rejected\",\"id\":" + json_quote(id) +
+           ",\"reason\":" + json_quote(reason) + "}";
+}
+
+std::string
+event_started(const std::string& id)
+{
+    return "{\"event\":\"started\",\"id\":" + json_quote(id) + "}";
+}
+
+std::string
+event_result(const std::string& id, const RunRecord& record)
+{
+    return "{\"event\":\"result\",\"id\":" + json_quote(id) +
+           ",\"record\":" + record.to_json() + "}";
+}
+
+std::string
+event_cancelled(const std::string& id)
+{
+    return "{\"event\":\"cancelled\",\"id\":" + json_quote(id) + "}";
+}
+
+std::string
+event_error(const std::string& message)
+{
+    return "{\"event\":\"error\",\"message\":" + json_quote(message) + "}";
+}
+
+std::string
+event_bye(const std::string& reason)
+{
+    return "{\"event\":\"bye\",\"reason\":" + json_quote(reason) + "}";
+}
+
+std::string
+event_stats(const ServerCounters& counters, const CacheStats& cache)
+{
+    return "{\"event\":\"stats\",\"submitted\":" +
+           std::to_string(counters.submitted) +
+           ",\"completed\":" + std::to_string(counters.completed) +
+           ",\"cancelled\":" + std::to_string(counters.cancelled) +
+           ",\"rejected\":" + std::to_string(counters.rejected) +
+           ",\"queued\":" + std::to_string(counters.queued) +
+           ",\"cache\":" + cache.to_json() + "}";
+}
+
+namespace {
+
+std::uint64_t
+counter_value(const JsonField* field)
+{
+    if (field == nullptr) {
+        return 0;
+    }
+    const auto value = parse_integer_token(field->value);
+    if (!value || *value < 0) {
+        fail("counter field \"" + field->name +
+             "\" is not a non-negative integer");
+    }
+    return static_cast<std::uint64_t>(*value);
+}
+
+} // namespace
+
+Event
+parse_event(const std::string& line)
+{
+    const std::vector<JsonField> fields = parse_flat_json_object(line);
+    Event out;
+    const JsonField* kind = find_json_field(fields, "event");
+    if (kind == nullptr || !kind->is_string) {
+        CAFQA_REQUIRE(false,
+                      "bad response: missing \"event\" field in: " + line);
+    }
+    out.event = kind->value;
+    if (const JsonField* id = find_json_field(fields, "id")) {
+        out.id = id->value;
+    }
+    if (const JsonField* reason = find_json_field(fields, "reason")) {
+        out.reason = reason->value;
+    }
+    if (const JsonField* message = find_json_field(fields, "message")) {
+        out.message = message->value;
+    }
+    if (const JsonField* record = find_json_field(fields, "record")) {
+        out.record_json = record->value;
+    }
+    if (const JsonField* cache = find_json_field(fields, "cache")) {
+        out.cache_json = cache->value;
+    }
+    if (const JsonField* queued = find_json_field(fields, "queued")) {
+        out.queued = static_cast<std::size_t>(counter_value(queued));
+    }
+    out.counters.submitted =
+        counter_value(find_json_field(fields, "submitted"));
+    out.counters.completed =
+        counter_value(find_json_field(fields, "completed"));
+    out.counters.cancelled =
+        counter_value(find_json_field(fields, "cancelled"));
+    out.counters.rejected =
+        counter_value(find_json_field(fields, "rejected"));
+    out.counters.queued = counter_value(find_json_field(fields, "queued"));
+    return out;
+}
+
+} // namespace cafqa::server

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The job-server wire protocol: JSON lines in both directions, one
+ * message per '\n'-terminated line.
+ *
+ * Requests (client -> server) are flat JSON objects selected by their
+ * "op" field:
+ *
+ *   {"op":"submit","id":"j1","spec":"problem=maxcut:ring-6 warmup=8"}
+ *   {"op":"cancel","id":"j1"}
+ *   {"op":"stats"}
+ *   {"op":"shutdown","mode":"drain"}        // or "now"
+ *
+ * A line WITHOUT an "op" field is an implicit submit whose whole object
+ * is a flat RunSpec (`RunSpec::from_json` grammar) — so a `RunSpec`
+ * jsonl batch file pipes straight into a connection:
+ *
+ *   {"problem":"maxcut:ring-6","warmup":8,"iterations":8}
+ *
+ * Responses (server -> client) are events:
+ *
+ *   {"event":"accepted","id":"j1","queued":3}
+ *   {"event":"rejected","id":"j1","reason":"queue full"}
+ *   {"event":"started","id":"j1"}
+ *   {"event":"result","id":"j1","record":{...RunRecord::to_json()...}}
+ *   {"event":"cancelled","id":"j1"}          // cancel registered; the
+ *                                            // result event still follows
+ *   {"event":"stats","cache":{...},"submitted":N,"completed":N,...}
+ *   {"event":"error","message":"..."}        // request-level failure
+ *   {"event":"bye","reason":"drain"}         // server closing the stream
+ *
+ * This header is socket-free: framing and message encode/decode are
+ * plain string transforms, unit-testable without a server.
+ */
+#ifndef CAFQA_SERVER_PROTOCOL_HPP
+#define CAFQA_SERVER_PROTOCOL_HPP
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/batch_runner.hpp"
+#include "core/caching_backend.hpp"
+#include "core/run_spec.hpp"
+
+namespace cafqa::server {
+
+/** Default per-line bound; a line this long is a protocol violation. */
+inline constexpr std::size_t kDefaultMaxLineBytes = std::size_t{1} << 20;
+
+/**
+ * Incremental '\n' splitter over an arbitrary byte stream: feed it
+ * whatever `read` returned — half a line, many lines, anything — and it
+ * hands back every completed line (terminator stripped, a trailing
+ * '\r' too, so telnet-style clients work). A line exceeding the byte
+ * bound poisons the framer: `feed` returns false, `overflowed` latches,
+ * and the connection should be dropped (the alternative — skipping to
+ * the next '\n' — would silently execute half a request).
+ */
+class LineFramer
+{
+  public:
+    explicit LineFramer(std::size_t max_line_bytes = kDefaultMaxLineBytes);
+
+    /** Consume `bytes`, appending completed lines to `lines`. Returns
+     *  false once the current line exceeds the bound (the framer then
+     *  rejects all further input). */
+    bool feed(std::string_view bytes, std::vector<std::string>& lines);
+
+    /** True once a line exceeded the bound. */
+    bool overflowed() const { return overflowed_; }
+
+    /** Bytes of the current, incomplete line. */
+    std::size_t buffered() const { return buffer_.size(); }
+
+    std::size_t max_line_bytes() const { return max_line_bytes_; }
+
+  private:
+    std::size_t max_line_bytes_;
+    std::string buffer_;
+    bool overflowed_ = false;
+};
+
+/** Request kinds. */
+enum class Op {
+    Submit,
+    Cancel,
+    Stats,
+    Shutdown,
+};
+
+/** One decoded request line. */
+struct Request
+{
+    Op op = Op::Submit;
+    /** Client-chosen job id (submit, cancel). Empty on an implicit
+     *  submit — the server assigns one and echoes it in `accepted`. */
+    std::string id;
+    /** The spec to run (submit only). */
+    RunSpec spec;
+    /** Shutdown mode: true finishes queued + in-flight jobs first,
+     *  false cancels everything in flight. */
+    bool drain = true;
+};
+
+/** Decode one request line; throws std::invalid_argument naming the
+ *  defect (unknown op, missing field, bad spec, duplicate field, ...). */
+Request parse_request(const std::string& line);
+
+// ---- Request encoders (client side). One JSON line, no newline. ----
+
+std::string submit_line(const std::string& id, const RunSpec& spec);
+std::string cancel_line(const std::string& id);
+std::string stats_line();
+std::string shutdown_line(bool drain);
+
+// ---- Response encoders (server side). One JSON line, no newline. ----
+
+std::string event_accepted(const std::string& id, std::size_t queued);
+std::string event_rejected(const std::string& id,
+                           const std::string& reason);
+std::string event_started(const std::string& id);
+/** Embeds the record verbatim (`RunRecord::to_json()`), so a client
+ *  extracting the "record" field sees exactly the solo-run bytes. */
+std::string event_result(const std::string& id, const RunRecord& record);
+std::string event_cancelled(const std::string& id);
+std::string event_error(const std::string& message);
+std::string event_bye(const std::string& reason);
+
+/** Server-level counters reported by the stats verb. */
+struct ServerCounters
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t queued = 0;
+};
+
+std::string event_stats(const ServerCounters& counters,
+                        const CacheStats& cache);
+
+/** One decoded response line (the client-side mirror of `Request`).
+ *  Fields are filled per event kind; `record_json` holds the raw
+ *  embedded record for "result". */
+struct Event
+{
+    std::string event;
+    std::string id;
+    std::string reason;
+    std::string message;
+    std::string record_json;
+    std::string cache_json;
+    std::size_t queued = 0;
+    ServerCounters counters;
+};
+
+/** Decode one response line; throws std::invalid_argument on anything
+ *  that is not a well-formed event object. */
+Event parse_event(const std::string& line);
+
+} // namespace cafqa::server
+
+#endif // CAFQA_SERVER_PROTOCOL_HPP

@@ -11,7 +11,9 @@
 #include <cmath>
 #include <map>
 
+#include "common/text.hpp"
 #include "common/thread_pool.hpp"
+#include "core/batch_runner.hpp"
 #include "core/caching_backend.hpp"
 #include "core/evaluator.hpp"
 #include "core/pipeline.hpp"
@@ -448,6 +450,76 @@ TEST(RandomSearch, UniqueBudgetKeepsDrawingPastDuplicates)
     EXPECT_EQ(outcome.unique_evaluations, 4u);
     EXPECT_EQ(outcome.history.size(), 4u);
     EXPECT_EQ(outcome.best_value, 0.0);
+}
+
+TEST(CacheStats, JsonRoundTripsEveryCounter)
+{
+    CacheStats stats;
+    stats.hits = 41;
+    stats.misses = 7;
+    stats.evictions = 3;
+    stats.entries = 4;
+    stats.bytes = 2048;
+    stats.preparations = 7;
+
+    const std::string json = stats.to_json();
+    const std::vector<JsonField> fields = parse_flat_json_object(json);
+    const auto value = [&](const std::string& name) {
+        const JsonField* field = find_json_field(fields, name);
+        EXPECT_NE(field, nullptr) << name << " missing from " << json;
+        return field != nullptr ? field->value : std::string{};
+    };
+    EXPECT_EQ(value("hits"), "41");
+    EXPECT_EQ(value("misses"), "7");
+    EXPECT_EQ(value("evictions"), "3");
+    EXPECT_EQ(value("entries"), "4");
+    EXPECT_EQ(value("bytes"), "2048");
+    EXPECT_EQ(value("preparations"), "7");
+    EXPECT_EQ(value("hit_rate"), format_real(stats.hit_rate()));
+
+    // Zero-lookup stats serialize a well-defined rate.
+    const std::string empty = CacheStats{}.to_json();
+    const auto empty_fields = parse_flat_json_object(empty);
+    EXPECT_EQ(find_json_field(empty_fields, "hit_rate")->value, "0");
+}
+
+TEST(SharedCache, CrossRunSharingIsBitIdenticalAndHits)
+{
+    // Two identical runs over one process-wide cache: the second hits
+    // the first's entries, and both records match the uncached solo
+    // run exactly — the serving cache is a pure memoizer.
+    const RunSpec spec =
+        RunSpec::parse("problem=maxcut:ring-6 warmup=6 iterations=6");
+    const RunRecord solo = execute_run_spec(spec);
+
+    RunContext context;
+    context.shared_cache =
+        std::make_shared<EvaluationCache>(cache_on());
+    const RunRecord first = execute_run_spec(spec, context);
+    const CacheStats after_first = context.shared_cache->stats();
+    EXPECT_GT(after_first.misses, 0u);
+
+    const RunRecord second = execute_run_spec(spec, context);
+    const CacheStats after_second = context.shared_cache->stats();
+    EXPECT_GT(after_second.hits, after_first.hits);
+    // Every point of the second run was already materialized.
+    EXPECT_EQ(after_second.entries, after_first.entries);
+
+    for (const RunRecord* record : {&first, &second}) {
+        EXPECT_EQ(record->best_objective, solo.best_objective);
+        EXPECT_EQ(record->cafqa_energy, solo.cafqa_energy);
+        EXPECT_EQ(record->evaluations_to_best, solo.evaluations_to_best);
+        EXPECT_EQ(record->stop_reason, solo.stop_reason);
+    }
+
+    // Distinct problems sharing the cache must not alias: a different
+    // instance over the same cache still matches ITS solo run.
+    const RunSpec other =
+        RunSpec::parse("problem=maxcut:ring-8 warmup=6 iterations=6");
+    const RunRecord other_solo = execute_run_spec(other);
+    const RunRecord other_shared = execute_run_spec(other, context);
+    EXPECT_EQ(other_shared.best_objective, other_solo.best_objective);
+    EXPECT_EQ(other_shared.cafqa_energy, other_solo.cafqa_energy);
 }
 
 } // namespace

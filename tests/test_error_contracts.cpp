@@ -456,5 +456,45 @@ TEST(ErrorContracts, RunSpecGuards)
                  std::invalid_argument);
 }
 
+TEST(ErrorContracts, RunSpecRejectsDuplicateFields)
+{
+    // Duplicates are a hard error (never silent last-wins), in both
+    // input forms.
+    EXPECT_THROW(RunSpec::parse("problem=a seed=1 seed=2"),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        RunSpec::from_json(R"({"problem":"a","seed":1,"seed":2})"),
+        std::invalid_argument);
+    try {
+        RunSpec::from_json(R"({"problem":"a","seed":1,"seed":2})");
+        FAIL() << "duplicate field accepted";
+    } catch (const std::invalid_argument& error) {
+        EXPECT_NE(std::string(error.what()).find("more than once"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(ErrorContracts, JsonlErrorsNameTheOffendingLine)
+{
+    const std::string text = "{\"problem\":\"maxcut:ring-6\"}\n"
+                             "# comment\n"
+                             "\n"
+                             "{\"problem\":\"a\",\"warmup\":0}\n";
+    try {
+        parse_run_specs_jsonl(text);
+        FAIL() << "bad jsonl accepted";
+    } catch (const std::invalid_argument& error) {
+        const std::string what = error.what();
+        // 1-based line number (comments and blanks count) + a snippet
+        // of the offending line + the underlying field error.
+        EXPECT_NE(what.find("jsonl line 4"), std::string::npos) << what;
+        EXPECT_NE(what.find("{\"problem\":\"a\",\"warmup\":0}"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("warmup"), std::string::npos) << what;
+    }
+}
+
 } // namespace
 } // namespace cafqa

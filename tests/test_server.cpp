@@ -1,0 +1,470 @@
+/**
+ * Job-server subsystem tests: line framing (partial reads, batched
+ * messages, oversized-line rejection), request/event codecs, the
+ * client-fair bounded queue, and end-to-end socket flows — submit /
+ * result round trips, cancel-mid-run, queue-full rejection and
+ * drain-flushes-everything shutdown.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/batch_runner.hpp"
+#include "server/client.hpp"
+#include "server/job_queue.hpp"
+#include "server/job_server.hpp"
+#include "server/protocol.hpp"
+
+namespace cafqa::server {
+namespace {
+
+// ------------------------------------------------------------- framing
+
+TEST(LineFramer, SplitsPartialReads)
+{
+    LineFramer framer;
+    std::vector<std::string> lines;
+    EXPECT_TRUE(framer.feed("{\"op\":\"st", lines));
+    EXPECT_TRUE(lines.empty());
+    EXPECT_GT(framer.buffered(), 0u);
+    EXPECT_TRUE(framer.feed("ats\"}\n", lines));
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "{\"op\":\"stats\"}");
+    EXPECT_EQ(framer.buffered(), 0u);
+}
+
+TEST(LineFramer, ManyMessagesInOneRead)
+{
+    LineFramer framer;
+    std::vector<std::string> lines;
+    EXPECT_TRUE(framer.feed("a\nb\r\nc\nd", lines));
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], "a");
+    EXPECT_EQ(lines[1], "b"); // '\r' stripped
+    EXPECT_EQ(lines[2], "c");
+    EXPECT_EQ(framer.buffered(), 1u); // "d" awaits its newline
+}
+
+TEST(LineFramer, RejectsOversizedLines)
+{
+    LineFramer framer(8);
+    std::vector<std::string> lines;
+    EXPECT_TRUE(framer.feed("12345678\n", lines)); // exactly at bound
+    ASSERT_EQ(lines.size(), 1u);
+    // One byte over, split across reads: poisoned even before the
+    // newline arrives.
+    EXPECT_TRUE(framer.feed("12345", lines));
+    EXPECT_FALSE(framer.feed("6789", lines));
+    EXPECT_TRUE(framer.overflowed());
+    // Poisoned framers reject everything afterwards.
+    EXPECT_FALSE(framer.feed("x\n", lines));
+    EXPECT_EQ(lines.size(), 1u);
+}
+
+// -------------------------------------------------------------- codecs
+
+TEST(Protocol, ParsesEnvelopeSubmit)
+{
+    const Request request = parse_request(
+        "{\"op\":\"submit\",\"id\":\"j1\","
+        "\"spec\":\"problem=maxcut:ring-6 warmup=8\"}");
+    EXPECT_EQ(request.op, Op::Submit);
+    EXPECT_EQ(request.id, "j1");
+    EXPECT_EQ(request.spec.problem, "maxcut:ring-6");
+    EXPECT_EQ(request.spec.warmup, 8u);
+}
+
+TEST(Protocol, ParsesImplicitSubmit)
+{
+    // No "op": the whole line is a flat RunSpec.
+    const Request request =
+        parse_request("{\"problem\":\"tfim:chain-4?h=1\",\"seed\":3}");
+    EXPECT_EQ(request.op, Op::Submit);
+    EXPECT_TRUE(request.id.empty());
+    EXPECT_EQ(request.spec.problem, "tfim:chain-4?h=1");
+    EXPECT_EQ(request.spec.seed, 3u);
+}
+
+TEST(Protocol, ParsesControlOps)
+{
+    EXPECT_EQ(parse_request("{\"op\":\"stats\"}").op, Op::Stats);
+    const Request cancel =
+        parse_request("{\"op\":\"cancel\",\"id\":\"j9\"}");
+    EXPECT_EQ(cancel.op, Op::Cancel);
+    EXPECT_EQ(cancel.id, "j9");
+    EXPECT_TRUE(parse_request("{\"op\":\"shutdown\"}").drain);
+    EXPECT_FALSE(
+        parse_request("{\"op\":\"shutdown\",\"mode\":\"now\"}").drain);
+}
+
+TEST(Protocol, RejectsBadRequests)
+{
+    EXPECT_THROW(parse_request("not json"), std::invalid_argument);
+    EXPECT_THROW(parse_request("{\"op\":\"nope\"}"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_request("{\"op\":\"submit\"}"), // no spec
+                 std::invalid_argument);
+    EXPECT_THROW(parse_request("{\"op\":\"cancel\"}"), // no id
+                 std::invalid_argument);
+    EXPECT_THROW(
+        parse_request("{\"op\":\"shutdown\",\"mode\":\"later\"}"),
+        std::invalid_argument);
+    // Duplicate fields are a protocol violation, not last-wins.
+    EXPECT_THROW(
+        parse_request("{\"op\":\"cancel\",\"id\":\"a\",\"id\":\"b\"}"),
+        std::invalid_argument);
+}
+
+TEST(Protocol, EventRoundTrip)
+{
+    const Event accepted = parse_event(event_accepted("j1", 7));
+    EXPECT_EQ(accepted.event, "accepted");
+    EXPECT_EQ(accepted.id, "j1");
+    EXPECT_EQ(accepted.queued, 7u);
+
+    RunRecord record;
+    record.spec = RunSpec::parse("problem=maxcut:ring-6");
+    record.ok = true;
+    record.best_objective = -1.5;
+    const Event result = parse_event(event_result("j1", record));
+    EXPECT_EQ(result.event, "result");
+    // The embedded record is passed through byte for byte.
+    EXPECT_EQ(result.record_json, record.to_json());
+
+    ServerCounters counters;
+    counters.submitted = 4;
+    counters.completed = 3;
+    const Event stats = parse_event(event_stats(counters, CacheStats{}));
+    EXPECT_EQ(stats.event, "stats");
+    EXPECT_EQ(stats.counters.submitted, 4u);
+    EXPECT_EQ(stats.counters.completed, 3u);
+    EXPECT_FALSE(stats.cache_json.empty());
+}
+
+// --------------------------------------------------------------- queue
+
+Job
+make_job(const std::string& client, const std::string& id)
+{
+    Job job;
+    job.client = client;
+    job.id = id;
+    return job;
+}
+
+TEST(JobQueue, RoundRobinAcrossClients)
+{
+    JobQueue queue(16);
+    // A floods first; B's two jobs must interleave, not wait out A.
+    for (const char* id : {"a1", "a2", "a3"}) {
+        EXPECT_EQ(queue.push(make_job("A", id)), Admit::Accepted);
+    }
+    for (const char* id : {"b1", "b2"}) {
+        EXPECT_EQ(queue.push(make_job("B", id)), Admit::Accepted);
+    }
+    std::vector<std::string> order;
+    for (std::size_t i = 0; i < 5; ++i) {
+        order.push_back(queue.pop()->id);
+    }
+    EXPECT_EQ(order,
+              (std::vector<std::string>{"a1", "b1", "a2", "b2", "a3"}));
+}
+
+TEST(JobQueue, BoundedAdmission)
+{
+    JobQueue queue(2);
+    EXPECT_EQ(queue.push(make_job("A", "a1")), Admit::Accepted);
+    EXPECT_EQ(queue.push(make_job("B", "b1")), Admit::Accepted);
+    EXPECT_EQ(queue.push(make_job("C", "c1")), Admit::QueueFull);
+    EXPECT_EQ(queue.size(), 2u);
+    queue.pop();
+    EXPECT_EQ(queue.push(make_job("C", "c1")), Admit::Accepted);
+}
+
+TEST(JobQueue, CloseDrainsThenSignalsExhaustion)
+{
+    JobQueue queue(4);
+    queue.push(make_job("A", "a1"));
+    queue.close();
+    EXPECT_EQ(queue.push(make_job("A", "a2")), Admit::Draining);
+    EXPECT_EQ(queue.pop()->id, "a1"); // queued work still drains
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(JobQueue, DrainNowFlushesEverythingFairly)
+{
+    JobQueue queue(8);
+    queue.push(make_job("A", "a1"));
+    queue.push(make_job("A", "a2"));
+    queue.push(make_job("B", "b1"));
+    const std::vector<Job> flushed = queue.drain_now();
+    ASSERT_EQ(flushed.size(), 3u);
+    EXPECT_EQ(flushed[0].id, "a1");
+    EXPECT_EQ(flushed[1].id, "b1");
+    EXPECT_EQ(flushed[2].id, "a2");
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+// --------------------------------------------------- end-to-end socket
+
+/** Read events until `predicate` consumes one; collects everything by
+ *  kind along the way. */
+Event
+read_until(BlockingClient& client, const std::string& kind,
+           const std::string& id = "")
+{
+    for (;;) {
+        const auto line = client.read_line();
+        if (!line) {
+            ADD_FAILURE() << "connection closed waiting for " << kind;
+            return Event{};
+        }
+        const Event event = parse_event(*line);
+        if (event.event == kind && (id.empty() || event.id == id)) {
+            return event;
+        }
+    }
+}
+
+TEST(JobServerEndToEnd, SubmitResultRoundTrip)
+{
+    ServerOptions options;
+    options.workers = 1;
+    JobServer server(options);
+    server.start();
+
+    auto client = BlockingClient::connect_tcp("127.0.0.1", server.port());
+    const RunSpec spec =
+        RunSpec::parse("problem=maxcut:ring-6 warmup=4 iterations=4");
+    client.send_line(submit_line("j1", spec));
+
+    const Event accepted = read_until(client, "accepted", "j1");
+    EXPECT_EQ(accepted.id, "j1");
+    read_until(client, "started", "j1");
+    const Event result = read_until(client, "result", "j1");
+    EXPECT_NE(result.record_json.find("\"ok\":true"), std::string::npos);
+    EXPECT_EQ(result.record_json.find("\"cancelled\""),
+              std::string::npos);
+
+    // Malformed request: request-level error event, connection lives.
+    client.send_line("{\"op\":\"warp\"}");
+    const Event error = read_until(client, "error");
+    EXPECT_NE(error.message.find("unknown op"), std::string::npos);
+
+    // Stats verb reports the counters and the shared cache.
+    client.send_line(stats_line());
+    const Event stats = read_until(client, "stats");
+    EXPECT_EQ(stats.counters.submitted, 1u);
+    EXPECT_EQ(stats.counters.completed, 1u);
+    EXPECT_FALSE(stats.cache_json.empty());
+
+    server.shutdown(true);
+    server.wait();
+}
+
+TEST(JobServerEndToEnd, RecordMatchesSoloRun)
+{
+    ServerOptions options;
+    options.workers = 1;
+    JobServer server(options);
+    server.start();
+
+    auto client = BlockingClient::connect_tcp("127.0.0.1", server.port());
+    const RunSpec spec = RunSpec::parse(
+        "problem=tfim:chain-4?h=1 warmup=4 iterations=4 tune=4");
+    client.send_line(submit_line("solo", spec));
+    const Event result = read_until(client, "result", "solo");
+    server.shutdown(true);
+    server.wait();
+
+    // Byte-identical to the solo run except wall_ms (not
+    // deterministic): compare around that one field.
+    const std::string solo = execute_run_spec(spec).to_json();
+    const auto strip = [](const std::string& json) {
+        const std::size_t at = json.find("\"wall_ms\":");
+        const std::size_t end = json.find_first_of(",}", at + 10);
+        return json.substr(0, at) + json.substr(end + 1);
+    };
+    EXPECT_EQ(strip(result.record_json), strip(solo));
+}
+
+TEST(JobServerEndToEnd, CancelMidRunKeepsBestSoFar)
+{
+    ServerOptions options;
+    options.workers = 1;
+    JobServer server(options);
+    server.start();
+
+    auto client = BlockingClient::connect_tcp("127.0.0.1", server.port());
+    // A budget far beyond what could finish quickly: without the
+    // cancel this would run for a very long time.
+    client.send_line(submit_line(
+        "big", RunSpec::parse("problem=maxcut:ring-8 search=anneal "
+                              "warmup=50000 iterations=2000000")));
+    read_until(client, "started", "big");
+    client.send_line(cancel_line("big"));
+    read_until(client, "cancelled", "big");
+    const Event result = read_until(client, "result", "big");
+    // Cooperative stop: the record still carries the best point found.
+    EXPECT_NE(result.record_json.find("\"cancelled\":true"),
+              std::string::npos);
+    EXPECT_NE(result.record_json.find("\"stop_reason\":\"cancelled\""),
+              std::string::npos);
+    EXPECT_NE(result.record_json.find("\"ok\":true"), std::string::npos);
+
+    // Cancelling an unknown id is an error event, not a crash.
+    client.send_line(cancel_line("nope"));
+    const Event error = read_until(client, "error");
+    EXPECT_NE(error.message.find("unknown"), std::string::npos);
+
+    server.shutdown(true);
+    server.wait();
+}
+
+TEST(JobServerEndToEnd, QueueFullRejectsWithReason)
+{
+    ServerOptions options;
+    options.workers = 1;
+    options.queue_capacity = 1;
+    JobServer server(options);
+    server.start();
+
+    auto client = BlockingClient::connect_tcp("127.0.0.1", server.port());
+    // One long job occupies the worker; the queue (capacity 1) takes
+    // exactly one more; the third submit must bounce.
+    client.send_line(submit_line(
+        "running", RunSpec::parse("problem=maxcut:ring-8 search=anneal "
+                                  "warmup=50000 iterations=2000000")));
+    read_until(client, "started", "running");
+    client.send_line(submit_line(
+        "queued", RunSpec::parse("problem=maxcut:ring-6 warmup=4 "
+                                 "iterations=4")));
+    read_until(client, "accepted", "queued");
+    client.send_line(submit_line(
+        "bounced", RunSpec::parse("problem=maxcut:ring-6 warmup=4 "
+                                  "iterations=4")));
+    const Event rejected = read_until(client, "rejected", "bounced");
+    EXPECT_EQ(rejected.reason, "queue full");
+
+    // Duplicate ids of still-active jobs bounce too.
+    client.send_line(submit_line(
+        "queued", RunSpec::parse("problem=maxcut:ring-6")));
+    const Event duplicate = read_until(client, "rejected", "queued");
+    EXPECT_NE(duplicate.reason.find("duplicate"), std::string::npos);
+
+    server.shutdown(false); // cancel the long job; don't wait it out
+    server.wait();
+}
+
+TEST(JobServerEndToEnd, DrainFlushesAllRecordsThenSaysBye)
+{
+    ServerOptions options;
+    options.workers = 1; // serialize so jobs really queue up
+    JobServer server(options);
+    server.start();
+
+    auto client = BlockingClient::connect_tcp("127.0.0.1", server.port());
+    std::vector<std::string> ids;
+    for (std::size_t i = 1; i <= 4; ++i) {
+        const std::string id = "d" + std::to_string(i);
+        ids.push_back(id);
+        client.send_line(submit_line(
+            id, RunSpec::parse("problem=maxcut:ring-6 warmup=4 "
+                               "iterations=4 seed=" +
+                               std::to_string(i))));
+    }
+    client.send_line(shutdown_line(true));
+    // The bye is emitted by the teardown in wait(), so run it
+    // concurrently with the read loop below.
+    std::thread waiter([&server] { server.wait(); });
+
+    // Drain contract: every accepted job streams its record before the
+    // bye, and nothing is marked cancelled.
+    std::map<std::string, bool> resolved;
+    for (;;) {
+        const auto line = client.read_line();
+        ASSERT_TRUE(line.has_value());
+        const Event event = parse_event(*line);
+        if (event.event == "result") {
+            EXPECT_NE(event.record_json.find("\"ok\":true"),
+                      std::string::npos);
+            EXPECT_EQ(event.record_json.find("\"cancelled\""),
+                      std::string::npos);
+            resolved[event.id] = true;
+        } else if (event.event == "bye") {
+            EXPECT_EQ(event.reason, "drain");
+            break;
+        }
+    }
+    for (const std::string& id : ids) {
+        EXPECT_TRUE(resolved[id]) << id << " never resolved";
+    }
+    EXPECT_FALSE(client.read_line().has_value()); // clean EOF after bye
+    waiter.join();
+
+    const ServerCounters counters = server.counters();
+    EXPECT_EQ(counters.submitted, ids.size());
+    EXPECT_EQ(counters.completed, ids.size());
+}
+
+TEST(JobServerEndToEnd, ShutdownNowCancelsQueuedJobs)
+{
+    ServerOptions options;
+    options.workers = 1;
+    JobServer server(options);
+    server.start();
+
+    auto client = BlockingClient::connect_tcp("127.0.0.1", server.port());
+    client.send_line(submit_line(
+        "long", RunSpec::parse("problem=maxcut:ring-8 search=anneal "
+                               "warmup=50000 iterations=2000000")));
+    read_until(client, "started", "long");
+    client.send_line(submit_line(
+        "waiting", RunSpec::parse("problem=maxcut:ring-6")));
+    read_until(client, "accepted", "waiting");
+
+    client.send_line(shutdown_line(false));
+    // Both records flush (in either order): the in-flight one
+    // cooperatively cancelled with its best-so-far, the queued one
+    // cancelled before start.
+    std::map<std::string, std::string> records;
+    while (records.size() < 2) {
+        const auto line = client.read_line();
+        ASSERT_TRUE(line.has_value());
+        const Event event = parse_event(*line);
+        if (event.event == "result") {
+            records[event.id] = event.record_json;
+        }
+    }
+    EXPECT_NE(records["long"].find("\"cancelled\":true"),
+              std::string::npos);
+    EXPECT_NE(records["waiting"].find("\"cancelled\":true"),
+              std::string::npos);
+    EXPECT_NE(records["waiting"].find("cancelled before start"),
+              std::string::npos);
+    server.wait();
+}
+
+TEST(JobServerEndToEnd, UnixDomainSocketServes)
+{
+    ServerOptions options;
+    options.workers = 1;
+    options.unix_path = "/tmp/cafqa_test_server.sock";
+    JobServer server(options);
+    server.start();
+
+    auto client = BlockingClient::connect_unix(options.unix_path);
+    client.send_line(submit_line(
+        "u1", RunSpec::parse("problem=maxcut:ring-6 warmup=4 "
+                             "iterations=4")));
+    const Event result = read_until(client, "result", "u1");
+    EXPECT_NE(result.record_json.find("\"ok\":true"), std::string::npos);
+    server.shutdown(true);
+    server.wait();
+}
+
+} // namespace
+} // namespace cafqa::server
