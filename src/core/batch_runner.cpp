@@ -149,7 +149,11 @@ execute_run_spec(const RunSpec& spec, const problems::Problem& problem,
             to_string(pipeline.tune_result().stop_reason);
     }
 
-    record.best_objective = spec.max_t > 0
+    // Gate on the stage having actually run, not on the spec asking for
+    // it: a cancel during the Clifford stage skips run_t_boost, and
+    // t_boost_result() would throw — turning a clean best-so-far
+    // cancelled record into an error record.
+    record.best_objective = pipeline.t_boost_done()
                                 ? pipeline.t_boost_result().best_objective
                                 : pipeline.clifford_result().best_objective;
     record.cafqa_energy = pipeline.best_energy();

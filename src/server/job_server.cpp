@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -32,6 +33,44 @@ close_fd(int& fd)
         ::close(fd);
         fd = -1;
     }
+}
+
+/**
+ * Make `path` bindable without hijacking anything: nothing there is
+ * fine, a stale socket (left by a crash; nobody answers) is unlinked,
+ * and a non-socket file or a socket a live server answers on throws.
+ */
+void
+remove_stale_unix_socket(const std::string& path)
+{
+    struct stat status {};
+    if (::lstat(path.c_str(), &status) != 0) {
+        if (errno == ENOENT) {
+            return; // nothing to clear
+        }
+        fail_errno("stat(" + path + ")");
+    }
+    if (!S_ISSOCK(status.st_mode)) {
+        throw std::runtime_error(path +
+                                 " exists and is not a socket; refusing "
+                                 "to unlink it");
+    }
+    int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe < 0) {
+        fail_errno("socket(AF_UNIX)");
+    }
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    std::strncpy(address.sun_path, path.c_str(),
+                 sizeof(address.sun_path) - 1);
+    const bool live =
+        ::connect(probe, reinterpret_cast<const sockaddr*>(&address),
+                  sizeof(address)) == 0;
+    close_fd(probe);
+    if (live) {
+        throw std::runtime_error("another server is live on " + path);
+    }
+    ::unlink(path.c_str()); // stale socket from a crash
 }
 
 } // namespace
@@ -63,8 +102,15 @@ JobServer::Connection::send_locked(const std::string& line)
             if (errno == EINTR) {
                 continue;
             }
-            // Peer gone (EPIPE/ECONNRESET/...): later sends discard.
+            // EAGAIN/EWOULDBLOCK: the SO_SNDTIMEO bound expired — the
+            // peer stopped reading and its socket buffer is full. Any
+            // other errno: peer gone (EPIPE/ECONNRESET/...). Either
+            // way, drop the connection so a worker blocked in
+            // `respond` cannot stall job processing; the half-close
+            // below kicks the reader out of recv so the connection
+            // reaps instead of lingering.
             open.store(false, std::memory_order_relaxed);
+            ::shutdown(fd, SHUT_RDWR);
             return;
         }
         sent += static_cast<std::size_t>(n);
@@ -113,11 +159,11 @@ JobServer::start()
             "unix socket path too long: " + options_.unix_path);
         std::strncpy(address.sun_path, options_.unix_path.c_str(),
                      sizeof(address.sun_path) - 1);
+        remove_stale_unix_socket(options_.unix_path);
         listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
         if (listen_fd_ < 0) {
             fail_errno("socket(AF_UNIX)");
         }
-        ::unlink(options_.unix_path.c_str()); // stale path from a crash
         if (::bind(listen_fd_,
                    reinterpret_cast<const sockaddr*>(&address),
                    sizeof(address)) != 0) {
@@ -191,15 +237,52 @@ JobServer::accept_loop()
         if (fd < 0) {
             continue;
         }
+        if (options_.send_timeout_ms > 0) {
+            // Bound every write so a client that stops reading cannot
+            // park a worker inside `respond` forever (see
+            // Connection::send_locked).
+            timeval bound{};
+            bound.tv_sec =
+                static_cast<time_t>(options_.send_timeout_ms / 1000);
+            bound.tv_usec = static_cast<suseconds_t>(
+                (options_.send_timeout_ms % 1000) * 1000);
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &bound,
+                         sizeof(bound));
+        }
         auto connection = std::make_shared<Connection>();
         connection->fd = fd;
         {
             std::lock_guard lock(connections_mutex_);
             connection->id = next_connection_id_++;
             connections_[connection->id] = connection;
-            readers_.emplace_back(
-                [this, connection] { reader_loop(connection); });
+            readers_.emplace(
+                connection->id,
+                std::thread([this, connection] { reader_loop(connection); }));
         }
+        reap_finished_readers();
+    }
+}
+
+void
+JobServer::reap_finished_readers()
+{
+    std::vector<std::thread> finished;
+    {
+        std::lock_guard lock(connections_mutex_);
+        finished.reserve(finished_readers_.size());
+        for (const std::uint64_t id : finished_readers_) {
+            const auto it = readers_.find(id);
+            if (it != readers_.end()) {
+                finished.push_back(std::move(it->second));
+                readers_.erase(it);
+            }
+        }
+        finished_readers_.clear();
+    }
+    // Join outside the lock: a reader announces itself finished as its
+    // very last locked action, so these joins only wait out a return.
+    for (std::thread& reader : finished) {
+        reader.join();
     }
 }
 
@@ -235,6 +318,9 @@ JobServer::reader_loop(std::shared_ptr<Connection> connection)
     connection->open.store(false, std::memory_order_relaxed);
     std::lock_guard lock(connections_mutex_);
     connections_.erase(connection->id);
+    // Announce exit LAST so whoever joins us (accept loop reap, or
+    // wait()) only ever waits for this return statement.
+    finished_readers_.push_back(connection->id);
 }
 
 void
@@ -314,17 +400,6 @@ JobServer::handle_submit(const std::shared_ptr<Connection>& connection,
     }
 
     auto token = std::make_shared<std::atomic<bool>>(false);
-    bool fresh_id;
-    {
-        std::lock_guard lock(jobs_mutex_);
-        fresh_id = jobs_.try_emplace(id, token).second;
-    }
-    if (!fresh_id) {
-        rejected_.fetch_add(1, std::memory_order_relaxed);
-        connection->send(event_rejected(
-            id, "duplicate job id (still queued or running)"));
-        return;
-    }
 
     Job job;
     job.client = "conn-" + std::to_string(connection->id);
@@ -340,9 +415,29 @@ JobServer::handle_submit(const std::shared_ptr<Connection>& connection,
     // immediately — can interleave its `started` event. (No deadlock:
     // the queue lock is never held while writing to a connection.)
     std::lock_guard lock(connection->write_mutex);
-    const Admit admit = queue_.push(std::move(job));
+    bool fresh_id;
+    Admit admit = Admit::Accepted;
+    {
+        // Registration and push are ONE critical section: a concurrent
+        // cancel must never find (and "cancel") a job the queue then
+        // rejects — the client would see `cancelled` followed by
+        // `rejected` for an id that never existed.
+        std::lock_guard jobs_lock(jobs_mutex_);
+        fresh_id = jobs_.try_emplace(id, token).second;
+        if (fresh_id) {
+            admit = queue_.push(std::move(job));
+            if (admit != Admit::Accepted) {
+                jobs_.erase(id);
+            }
+        }
+    }
+    if (!fresh_id) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        connection->send_locked(event_rejected(
+            id, "duplicate job id (still queued or running)"));
+        return;
+    }
     if (admit != Admit::Accepted) {
-        unregister_job(id);
         rejected_.fetch_add(1, std::memory_order_relaxed);
         connection->send_locked(event_rejected(id, to_string(admit)));
         return;
@@ -493,7 +588,12 @@ JobServer::wait()
     std::vector<std::thread> readers;
     {
         std::lock_guard lock(connections_mutex_);
-        readers.swap(readers_);
+        readers.reserve(readers_.size());
+        for (auto& [id, reader] : readers_) {
+            readers.push_back(std::move(reader));
+        }
+        readers_.clear();
+        finished_readers_.clear();
     }
     for (std::thread& reader : readers) {
         reader.join();

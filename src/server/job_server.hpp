@@ -53,8 +53,11 @@ namespace cafqa::server {
 /** Daemon configuration. */
 struct ServerOptions
 {
-    /** Non-empty: listen on this Unix-domain socket path (stale paths
-     *  are unlinked; the path is removed again on shutdown). */
+    /** Non-empty: listen on this Unix-domain socket path (the path is
+     *  removed again on shutdown). A pre-existing path is only
+     *  unlinked when it is a *stale* socket — a non-socket file or a
+     *  socket another live server answers on makes `start()` throw
+     *  instead of silently hijacking it. */
     std::string unix_path;
     /** TCP listen address when `unix_path` is empty. Port 0 binds an
      *  ephemeral port; read it back with `JobServer::port()`. */
@@ -70,6 +73,12 @@ struct ServerOptions
      *  rationale as `BatchOptions::run_threads`: the workers already
      *  fan jobs out side by side). */
     std::size_t run_threads = 1;
+    /** Per-write send timeout. A client that stops reading (full
+     *  socket buffer) for longer than this is dropped so a worker
+     *  blocked in its `respond` cannot stall job processing for other
+     *  clients or wedge drain shutdown. 0 disables the bound (writes
+     *  may then block indefinitely on a stalled peer). */
+    std::size_t send_timeout_ms = 10'000;
     /** Process-wide shared evaluation cache. `enabled` here means
      *  "give the server one cross-job cache"; capacity/shards bound its
      *  residency. Disabled, each job falls back to whatever its own
@@ -126,8 +135,10 @@ class JobServer
 
         ~Connection();
 
-        /** Write `line` + '\n' whole; a failed write marks the
-         *  connection closed and later sends discard silently. */
+        /** Write `line` + '\n' whole; a failed or timed-out write
+         *  (stalled peer past `ServerOptions::send_timeout_ms`) marks
+         *  the connection closed — later sends discard silently and
+         *  the reader is kicked loose so the connection reaps. */
         void send(const std::string& line);
 
         /** `send` body for a caller already holding `write_mutex`
@@ -152,6 +163,11 @@ class JobServer
 
     void unregister_job(const std::string& id);
 
+    /** Join reader threads whose loops have finished (their ids sit in
+     *  `finished_readers_`), so short-lived connections don't leak
+     *  joinable handles for the daemon's lifetime. */
+    void reap_finished_readers();
+
     ServerOptions options_;
     int listen_fd_ = -1;
     int wake_pipe_[2] = {-1, -1};
@@ -167,7 +183,11 @@ class JobServer
     std::mutex connections_mutex_;
     std::unordered_map<std::uint64_t, std::shared_ptr<Connection>>
         connections_;
-    std::vector<std::thread> readers_;
+    /** Live reader threads by connection id; a reader announces its
+     *  exit in `finished_readers_` and is joined opportunistically by
+     *  the accept loop (finally by `wait()`). */
+    std::unordered_map<std::uint64_t, std::thread> readers_;
+    std::vector<std::uint64_t> finished_readers_;
     std::uint64_t next_connection_id_ = 1;
 
     /** Active (queued or in-flight) job id -> cancel token. */

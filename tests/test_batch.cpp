@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
 #include <map>
+#include <memory>
 #include <set>
 #include <thread>
 
@@ -393,6 +396,30 @@ TEST(BatchRunner, RequestStopCancelsInFlightRunsCooperatively)
         // start") — also a valid outcome.
         EXPECT_NE(records[0].error.find("cancelled"), std::string::npos);
     }
+}
+
+TEST(BatchRunner, CancelWithTBoostRequestedKeepsCliffordBest)
+{
+    // Regression: a cancel during the Clifford stage skips run_t_boost.
+    // Reading the record's best_objective must then fall back to the
+    // Clifford result instead of throwing "run_t_boost() has not been
+    // called" — which used to surface as a non-cancelled error record,
+    // breaking the cancellation contract for specs with max-t > 0.
+    RunContext context;
+    context.cancel = std::make_shared<std::atomic<bool>>(true);
+    const RunSpec spec = RunSpec::parse(
+        "problem=maxcut:ring-6 warmup=4 iterations=4 max-t=2 tune=4");
+    const RunRecord record = execute_run_spec(spec, context);
+    EXPECT_TRUE(record.ok) << record.error;
+    EXPECT_TRUE(record.cancelled);
+    EXPECT_EQ(record.stop_reason, "cancelled");
+    // The stages after the cancel never started...
+    EXPECT_EQ(record.t_gates, 0u);
+    EXPECT_FALSE(record.tuned_value.has_value());
+    // ...and the Clifford best made it into the record.
+    EXPECT_TRUE(std::isfinite(record.best_objective));
+    EXPECT_NE(record.to_json().find("\"cancelled\":true"),
+              std::string::npos);
 }
 
 } // namespace

@@ -7,7 +7,14 @@
  */
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <map>
 #include <thread>
 #include <vector>
@@ -324,6 +331,38 @@ TEST(JobServerEndToEnd, CancelMidRunKeepsBestSoFar)
     server.wait();
 }
 
+TEST(JobServerEndToEnd, CancelMidRunWithTBoostRequestedStaysClean)
+{
+    ServerOptions options;
+    options.workers = 1;
+    JobServer server(options);
+    server.start();
+
+    auto client = BlockingClient::connect_tcp("127.0.0.1", server.port());
+    // max-t > 0 and the cancel lands in the (huge-budget) Clifford
+    // stage, so the t-boost stage never runs — the record must still be
+    // a best-so-far cancelled one, not a "run_t_boost() has not been
+    // called" error record.
+    client.send_line(submit_line(
+        "boosted", RunSpec::parse("problem=maxcut:ring-8 search=anneal "
+                                  "warmup=50000 iterations=2000000 "
+                                  "max-t=2 tune=8")));
+    read_until(client, "started", "boosted");
+    client.send_line(cancel_line("boosted"));
+    read_until(client, "cancelled", "boosted");
+    const Event result = read_until(client, "result", "boosted");
+    EXPECT_NE(result.record_json.find("\"ok\":true"), std::string::npos)
+        << result.record_json;
+    EXPECT_NE(result.record_json.find("\"cancelled\":true"),
+              std::string::npos);
+    EXPECT_EQ(result.record_json.find("has not been called"),
+              std::string::npos)
+        << result.record_json;
+
+    server.shutdown(true);
+    server.wait();
+}
+
 TEST(JobServerEndToEnd, QueueFullRejectsWithReason)
 {
     ServerOptions options;
@@ -464,6 +503,87 @@ TEST(JobServerEndToEnd, UnixDomainSocketServes)
     EXPECT_NE(result.record_json.find("\"ok\":true"), std::string::npos);
     server.shutdown(true);
     server.wait();
+}
+
+TEST(JobServerEndToEnd, StalledClientCannotWedgeDrainShutdown)
+{
+    ServerOptions options;
+    options.workers = 1;
+    options.unix_path = "/tmp/cafqa_test_stall.sock";
+    options.send_timeout_ms = 200;
+    JobServer server(options);
+    server.start();
+
+    // A client that floods stats requests and never reads a byte: the
+    // responses fill the fixed-size unix-socket buffers and the
+    // reader's send stalls. The send timeout must drop the stalled
+    // connection instead of blocking in it forever...
+    auto client = BlockingClient::connect_unix(options.unix_path);
+    try {
+        for (int i = 0; i < 4000; ++i) {
+            client.send_line(stats_line());
+        }
+    } catch (const std::exception&) {
+        // The server already dropped the stalled connection mid-flood —
+        // exactly the intended outcome; proceed to the shutdown check.
+    }
+    // ...so drain shutdown can still say bye and join every thread.
+    // Without the timeout this wait() never returns.
+    server.shutdown(true);
+    server.wait();
+}
+
+TEST(JobServerEndToEnd, UnixPathRefusalAndStaleRecovery)
+{
+    const std::string path = "/tmp/cafqa_test_guard.sock";
+    std::remove(path.c_str());
+
+    // A pre-existing non-socket file is never unlinked.
+    {
+        std::ofstream(path) << "precious";
+        ServerOptions options;
+        options.unix_path = path;
+        JobServer server(options);
+        EXPECT_THROW(server.start(), std::runtime_error);
+        std::ifstream check(path);
+        std::string content;
+        check >> content;
+        EXPECT_EQ(content, "precious");
+        std::remove(path.c_str());
+    }
+
+    // A socket another live server answers on is not hijacked.
+    {
+        ServerOptions options;
+        options.unix_path = path;
+        JobServer live(options);
+        live.start();
+        JobServer second(options);
+        EXPECT_THROW(second.start(), std::runtime_error);
+        live.shutdown(true);
+        live.wait(); // unlinks the path on teardown
+    }
+
+    // A stale socket left behind by a crash is cleared and reused.
+    {
+        const int stale = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(stale, 0);
+        sockaddr_un address{};
+        address.sun_family = AF_UNIX;
+        std::strncpy(address.sun_path, path.c_str(),
+                     sizeof(address.sun_path) - 1);
+        ASSERT_EQ(::bind(stale,
+                         reinterpret_cast<const sockaddr*>(&address),
+                         sizeof(address)),
+                  0);
+        ::close(stale); // bound but nobody listening: a stale path
+        ServerOptions options;
+        options.unix_path = path;
+        JobServer server(options);
+        server.start();
+        server.shutdown(true);
+        server.wait();
+    }
 }
 
 } // namespace
