@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Perf-regression gate for the benches' machine-readable JSON: compare
+ * a fresh run against an archived baseline and exit non-zero when a
+ * gated metric regressed past its tolerance band.
+ *
+ * Usage:
+ *   bench_check <current.json> --check <baseline.json> [--tolerance X]
+ *
+ * Works on any bench JSON in this tree (BENCH_stabilizer.json,
+ * BENCH_server_load.json, BENCH_portfolio.json, ...): the file is
+ * walked recursively and every numeric leaf becomes a dotted path
+ * ("eval[2].packed_us"). Gating is by leaf name:
+ *
+ *   *_us / *_ms   timing — regression when current > baseline * tol
+ *   throughput_*  rate   — regression when current < baseline / tol
+ *   energy        value  — drift when |cur - base| > 1e-6 * |base|
+ *   anything else informational, skipped
+ *
+ * A gated metric present in the baseline but missing from the current
+ * run also fails (a silently dropped measurement is a regression of
+ * the bench itself). The default tolerance (3x) is deliberately loose:
+ * shared CI runners jitter, and this gate exists to catch order-of-
+ * magnitude cliffs and correctness drift, not 10% noise.
+ */
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/text.hpp"
+
+namespace {
+
+using cafqa::JsonField;
+using cafqa::parse_flat_json_object;
+
+[[noreturn]] void
+fail(const std::string& message)
+{
+    std::cerr << "bench_check: " << message << '\n'
+              << "usage: bench_check <current.json> --check"
+                 " <baseline.json> [--tolerance X]\n";
+    std::exit(2);
+}
+
+std::string
+read_file(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        fail("cannot open '" + path + "'");
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Split a JSON array's raw text into its top-level element slices. */
+std::vector<std::string>
+split_array(const std::string& text)
+{
+    std::vector<std::string> elements;
+    std::size_t depth = 0;
+    bool in_string = false;
+    std::size_t begin = 1; // past '['
+    for (std::size_t i = 1; i + 1 <= text.size(); ++i) {
+        const char c = text[i];
+        if (in_string) {
+            if (c == '\\') {
+                ++i;
+            } else if (c == '"') {
+                in_string = false;
+            }
+            continue;
+        }
+        if (c == '"') {
+            in_string = true;
+        } else if (c == '{' || c == '[') {
+            ++depth;
+        } else if (c == '}' || c == ']') {
+            if (depth == 0 && c == ']') {
+                const std::string last = text.substr(begin, i - begin);
+                if (last.find_first_not_of(" \t\n\r") !=
+                    std::string::npos) {
+                    elements.push_back(last);
+                }
+                break;
+            }
+            --depth;
+        } else if (c == ',' && depth == 0) {
+            elements.push_back(text.substr(begin, i - begin));
+            begin = i + 1;
+        }
+    }
+    return elements;
+}
+
+std::string
+trimmed(const std::string& text)
+{
+    const std::size_t begin = text.find_first_not_of(" \t\n\r");
+    if (begin == std::string::npos) {
+        return "";
+    }
+    const std::size_t end = text.find_last_not_of(" \t\n\r");
+    return text.substr(begin, end - begin + 1);
+}
+
+/** Every numeric leaf in the (possibly nested) JSON value, keyed by
+ *  its dotted path. Strings, booleans and nulls are skipped. */
+void
+collect_leaves(const std::string& path, const std::string& raw_value,
+               bool is_string, std::map<std::string, double>& out)
+{
+    const std::string value = trimmed(raw_value);
+    if (is_string || value.empty() || value == "true" ||
+        value == "false" || value == "null") {
+        return;
+    }
+    if (value[0] == '{') {
+        for (const JsonField& field : parse_flat_json_object(value)) {
+            collect_leaves(path.empty() ? field.name
+                                        : path + "." + field.name,
+                           field.value, field.is_string, out);
+        }
+        return;
+    }
+    if (value[0] == '[') {
+        const std::vector<std::string> elements = split_array(value);
+        for (std::size_t i = 0; i < elements.size(); ++i) {
+            // An element that is itself a quoted string is skipped by
+            // the scalar branch below (it fails strtod cleanly).
+            collect_leaves(path + "[" + std::to_string(i) + "]",
+                           elements[i], /*is_string=*/false, out);
+        }
+        return;
+    }
+    if (value[0] == '"') {
+        return;
+    }
+    char* end = nullptr;
+    const double number = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() + value.size() && std::isfinite(number)) {
+        out[path] = number;
+    }
+}
+
+std::map<std::string, double>
+numeric_leaves(const std::string& json)
+{
+    std::map<std::string, double> leaves;
+    collect_leaves("", json, /*is_string=*/false, leaves);
+    return leaves;
+}
+
+std::string
+leaf_name(const std::string& path)
+{
+    const std::size_t dot = path.rfind('.');
+    std::string name = dot == std::string::npos ? path
+                                                : path.substr(dot + 1);
+    const std::size_t bracket = name.find('[');
+    if (bracket != std::string::npos) {
+        name = name.substr(0, bracket);
+    }
+    return name;
+}
+
+bool
+ends_with(const std::string& text, const std::string& suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+enum class Gate { Timing, Throughput, Energy, Skip };
+
+Gate
+classify(const std::string& path)
+{
+    const std::string name = leaf_name(path);
+    if (name == "energy") {
+        return Gate::Energy;
+    }
+    if (name.rfind("throughput", 0) == 0) {
+        return Gate::Throughput;
+    }
+    if (ends_with(name, "_us") || ends_with(name, "_ms")) {
+        return Gate::Timing;
+    }
+    return Gate::Skip;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string current_path;
+    std::string baseline_path;
+    double tolerance = 3.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                fail(arg + " requires a value");
+            }
+            return argv[++i];
+        };
+        if (arg == "--check") {
+            baseline_path = next();
+        } else if (arg == "--tolerance") {
+            char* end = nullptr;
+            tolerance = std::strtod(next(), &end);
+            if (*end != '\0' || !(tolerance > 1.0)) {
+                fail("--tolerance expects a number > 1");
+            }
+        } else if (!arg.empty() && arg[0] == '-') {
+            fail("unknown option '" + arg + "'");
+        } else if (current_path.empty()) {
+            current_path = arg;
+        } else {
+            fail("unexpected argument '" + arg + "'");
+        }
+    }
+    if (current_path.empty() || baseline_path.empty()) {
+        fail("both a current file and --check <baseline.json> are "
+             "required");
+    }
+
+    std::map<std::string, double> current;
+    std::map<std::string, double> baseline;
+    try {
+        current = numeric_leaves(read_file(current_path));
+        baseline = numeric_leaves(read_file(baseline_path));
+    } catch (const std::exception& error) {
+        fail(error.what());
+    }
+
+    std::size_t gated = 0;
+    std::size_t regressions = 0;
+    for (const auto& [path, base] : baseline) {
+        const Gate gate = classify(path);
+        if (gate == Gate::Skip) {
+            continue;
+        }
+        ++gated;
+        const auto it = current.find(path);
+        if (it == current.end()) {
+            ++regressions;
+            std::cout << "FAIL " << path << ": in baseline ("
+                      << base << ") but missing from "
+                      << current_path << '\n';
+            continue;
+        }
+        const double now = it->second;
+        bool bad = false;
+        std::string band;
+        switch (gate) {
+          case Gate::Timing:
+            bad = now > base * tolerance;
+            band = "limit " + std::to_string(base * tolerance);
+            break;
+          case Gate::Throughput:
+            bad = now < base / tolerance;
+            band = "floor " + std::to_string(base / tolerance);
+            break;
+          case Gate::Energy:
+            bad = std::abs(now - base) >
+                  1e-6 * std::max(1.0, std::abs(base));
+            band = "drift > 1e-6";
+            break;
+          case Gate::Skip:
+            break;
+        }
+        if (bad) {
+            ++regressions;
+            std::cout << "FAIL " << path << ": baseline " << base
+                      << ", current " << now << " (" << band << ")\n";
+        }
+    }
+
+    std::cout << "bench_check: " << gated << " gated metrics, "
+              << regressions << " regression"
+              << (regressions == 1 ? "" : "s") << " (tolerance "
+              << tolerance << "x) against " << baseline_path << '\n';
+    return regressions == 0 ? 0 : 1;
+}

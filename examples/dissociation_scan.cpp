@@ -8,6 +8,7 @@
  *   dissociation_scan [molecule] [num_points]
  *   dissociation_scan [--spec "field=value ..."] [--molecule NAME]
  *                     [--points N] [--min-bond A] [--max-bond A]
+ *                     [--cold]
  *
  * The scan configuration is a RunSpec (`core/run_spec.hpp`): pass
  * `--spec "problem=molecule:H6 warmup=300 iterations=400 seed=3"` to
@@ -15,6 +16,13 @@
  * sweep; the spec's seed is advanced by one per grid point. The bond
  * grid defaults to the molecule's Table-1 range and is overridable
  * with --min-bond/--max-bond/--points.
+ *
+ * By default each bond length warm-starts from its left neighbor's
+ * best Clifford assignment (`BatchRunner`'s warm-start hook — the
+ * paper's initialization story applied recursively along the curve),
+ * which cuts evaluations-to-chemical-accuracy versus independent
+ * searches; pass --cold to re-search every point from scratch and
+ * compare the EvalsToAcc column.
  */
 #include <cstdlib>
 #include <iostream>
@@ -37,7 +45,8 @@ fail(const std::string& message)
               << "usage: dissociation_scan [molecule] [num_points]\n"
                  "       dissociation_scan [--spec SPEC]"
                  " [--molecule NAME] [--points N]\n"
-                 "                         [--min-bond A] [--max-bond A]\n";
+                 "                         [--min-bond A] [--max-bond A]"
+                 " [--cold]\n";
     std::exit(1);
 }
 
@@ -81,6 +90,7 @@ main(int argc, char** argv)
     int points = 6;
     double min_bond = 0.0;
     double max_bond = 0.0;
+    bool cold = false;
 
     try {
         int positional = 0;
@@ -102,6 +112,8 @@ main(int argc, char** argv)
                 min_bond = parse_length(arg, next());
             } else if (arg == "--max-bond") {
                 max_bond = parse_length(arg, next());
+            } else if (arg == "--cold") {
+                cold = true;
             } else if (!arg.empty() && arg[0] == '-') {
                 fail("unknown option '" + arg + "'");
             } else if (positional == 0) {
@@ -146,8 +158,10 @@ main(int argc, char** argv)
 
         Table table(molecule + " dissociation");
         table.set_header({"Bond(A)", "HF(Ha)", "CAFQA(Ha)", "Exact(Ha)",
-                          "CorrRecovered(%)"});
+                          "CorrRecovered(%)", "EvalsToAcc"});
 
+        std::vector<RunSpec> point_specs;
+        std::vector<double> bonds;
         for (int i = 0; i < points; ++i) {
             const double bond =
                 min_bond + (max_bond - min_bond) * i / (points - 1);
@@ -161,7 +175,47 @@ main(int argc, char** argv)
             RunSpec point = spec;
             point.problem = key.to_string();
             point.seed = spec.seed + static_cast<std::uint64_t>(i);
-            const RunRecord record = execute_run_spec(point);
+            point_specs.push_back(std::move(point));
+            bonds.push_back(bond);
+        }
+
+        // Sequential scan (concurrency 1) so each point can hand its
+        // best Clifford assignment to its right neighbor through the
+        // runner's warm-start hook — unless --cold asked for
+        // independent searches.
+        BatchOptions batch_options;
+        batch_options.concurrency = 1;
+        BatchRunner runner(batch_options);
+        if (!cold) {
+            runner.set_warm_start(
+                [](std::size_t index, const RunSpec&,
+                   const std::vector<RunRecord>& records)
+                    -> std::vector<int> {
+                    if (index == 0 || !records[index - 1].ok) {
+                        return {};
+                    }
+                    return records[index - 1].best_steps;
+                });
+        }
+        const std::vector<RunRecord> records = runner.run(point_specs);
+
+        std::size_t total_evals = 0;
+        std::size_t accuracy_hits = 0;
+        std::size_t accuracy_evals = 0;
+        for (int i = 0; i < points; ++i) {
+            const RunRecord& record = records[static_cast<std::size_t>(i)];
+            const double bond = bonds[static_cast<std::size_t>(i)];
+            if (!record.ok) {
+                fail("point " + std::to_string(i) + " failed: " +
+                     record.error);
+            }
+            total_evals += record.evaluations;
+            std::string to_accuracy = "-";
+            if (record.evals_to_accuracy.has_value()) {
+                to_accuracy = std::to_string(*record.evals_to_accuracy);
+                ++accuracy_hits;
+                accuracy_evals += *record.evals_to_accuracy;
+            }
 
             const double hf = record.reference_energy.value_or(0.0);
             // No exact reference above the Lanczos size limit: report
@@ -179,9 +233,20 @@ main(int argc, char** argv)
             }
             table.add_row({Table::num(bond, 2), Table::num(hf, 5),
                            Table::num(record.cafqa_energy, 5), exact,
-                           recovered});
+                           recovered, to_accuracy});
         }
         table.print(std::cout);
+        std::cout << "\nWarm start: " << (cold ? "off" : "on")
+                  << "; total search evaluations: " << total_evals;
+        if (accuracy_hits > 0) {
+            std::cout << "; mean evals-to-chemical-accuracy: "
+                      << Table::num(static_cast<double>(accuracy_evals) /
+                                        static_cast<double>(accuracy_hits),
+                                    1)
+                      << " over " << accuracy_hits << "/" << points
+                      << " points";
+        }
+        std::cout << " (compare --cold vs default)\n";
     } catch (const std::exception& error) {
         std::cerr << "error: " << error.what() << '\n';
         return 1;

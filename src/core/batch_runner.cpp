@@ -61,6 +61,21 @@ RunRecord::to_json() const
             field("exact_energy", json_number(*exact_energy));
         }
         field("evals_to_best", std::to_string(evaluations_to_best));
+        field("evaluations", std::to_string(evaluations));
+        if (evals_to_accuracy.has_value()) {
+            field("evals_to_accuracy",
+                  std::to_string(*evals_to_accuracy));
+        }
+        if (!best_steps.empty()) {
+            std::string steps;
+            for (const int step : best_steps) {
+                if (!steps.empty()) {
+                    steps += ',';
+                }
+                steps += std::to_string(step);
+            }
+            field("best_steps", "[" + steps + "]");
+        }
         field("t_gates", std::to_string(t_gates));
         field("stop_reason", json_quote(stop_reason));
         if (!tune_stop_reason.empty()) {
@@ -157,12 +172,29 @@ execute_run_spec(const RunSpec& spec, const problems::Problem& problem,
                                 ? pipeline.t_boost_result().best_objective
                                 : pipeline.clifford_result().best_objective;
     record.cafqa_energy = pipeline.best_energy();
+    record.best_steps = pipeline.best_steps();
+    record.evaluations = pipeline.clifford_result().history.size();
     record.evaluations_to_best =
         pipeline.clifford_result().evaluations_to_best;
     record.stop_reason =
         to_string(pipeline.clifford_result().stop_reason);
     if (spec.exact && !is_cancelled()) {
         record.exact_energy = problem.exact_energy();
+    }
+    if (record.exact_energy.has_value()) {
+        // Evals-to-chemical-accuracy, read off the recorded best trace
+        // after the fact (the search itself is untouched). The trace
+        // holds the penalized objective >= the bare energy, so this is
+        // a conservative count.
+        const double threshold = *record.exact_energy + 1.6e-3;
+        const std::vector<double>& trace =
+            pipeline.clifford_result().best_trace;
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            if (trace[i] <= threshold) {
+                record.evals_to_accuracy = i + 1;
+                break;
+            }
+        }
     }
     record.cancelled = is_cancelled();
     record.ok = true;
@@ -186,6 +218,12 @@ void
 BatchRunner::set_observer(BatchObserver observer)
 {
     observer_ = std::move(observer);
+}
+
+void
+BatchRunner::set_warm_start(WarmStartHook hook)
+{
+    warm_start_ = std::move(hook);
 }
 
 void
@@ -241,6 +279,13 @@ BatchRunner::run(const std::vector<RunSpec>& specs)
             // count never changes results — evaluation batching is
             // trajectory-preserving.
             spec.threads = options_.run_threads;
+        }
+        if (warm_start_) {
+            const std::vector<int> steps =
+                warm_start_(index, specs[index], records);
+            if (!steps.empty()) {
+                spec.warm_start = steps;
+            }
         }
         RunContext context;
         context.cancel = stop;

@@ -68,7 +68,18 @@ struct RunRecord
      *  count, couplings, ...). */
     std::vector<std::pair<std::string, double>> metrics;
 
+    /** Best discrete assignment (quarter-turn steps) — the payload a
+     *  later run can warm-start from (`RunSpec::warm_start`). */
+    std::vector<int> best_steps;
+    /** Recorded evaluations of the discrete search stage. */
+    std::size_t evaluations = 0;
     std::size_t evaluations_to_best = 0;
+    /** 1-based evaluation index where the search objective first came
+     *  within chemical accuracy (1.6e-3 Ha) of the exact energy;
+     *  unset when `exact` is off or accuracy was never reached.
+     *  Computed post-hoc from the best trace — it never changes the
+     *  search itself. */
+    std::optional<std::size_t> evals_to_accuracy;
     std::size_t t_gates = 0;
     /** Stop reason of the discrete search stage. */
     std::string stop_reason;
@@ -149,6 +160,21 @@ struct BatchOptions
 using BatchObserver = std::function<void(
     std::size_t run_index, const RunSpec& spec, const PipelineEvent&)>;
 
+/**
+ * Warm-start provider, consulted as each run is about to start: a
+ * nonempty return is injected as that run's `RunSpec::warm_start`
+ * (the reported record keeps the spec as submitted). This is the
+ * cross-run transfer hook — e.g. seed each run from a neighboring
+ * run's `RunRecord::best_steps`. `records` is the in-progress result
+ * array (`ok` is false for runs that have not finished). Chained
+ * hand-offs (run i seeds run i+1) need `concurrency == 1`, which runs
+ * the specs in index order — with more workers, reading a peer's
+ * record races with its writer and finish order is timing-dependent.
+ */
+using WarmStartHook = std::function<std::vector<int>(
+    std::size_t run_index, const RunSpec& spec,
+    const std::vector<RunRecord>& records)>;
+
 /** Executes many RunSpecs concurrently with per-run isolation. */
 class BatchRunner
 {
@@ -157,6 +183,9 @@ class BatchRunner
 
     /** Install (or clear) the fan-in observer. */
     void set_observer(BatchObserver observer);
+
+    /** Install (or clear) the cross-run warm-start provider. */
+    void set_warm_start(WarmStartHook hook);
 
     /**
      * Execute every spec (order of the result matches the input). A
@@ -186,6 +215,7 @@ class BatchRunner
   private:
     BatchOptions options_;
     BatchObserver observer_;
+    WarmStartHook warm_start_;
     /** Shared with every in-flight run's stopping criteria. */
     std::shared_ptr<std::atomic<bool>> stop_;
 };

@@ -128,6 +128,18 @@ CafqaPipeline::discrete_search(DiscreteBackend& backend,
     context.progress = [&](std::size_t evaluation, double best) {
         emit(PipelineEvent::Kind::Progress, stage, evaluation, best);
     };
+    context.objective_factory = [this, &backend]() -> DiscreteObjective {
+        // One clone()d backend per minted objective: concurrent
+        // strategies (portfolio arms) evaluate independently while a
+        // memoizing backend's clones share the sharded cache, keeping
+        // the race cache-cooperative.
+        std::shared_ptr<DiscreteBackend> clone = backend.clone_discrete();
+        return [this, clone](const std::vector<int>& steps) {
+            clone->prepare(steps);
+            return config_.objective.combine(
+                clone->expectations(observables_));
+        };
+    };
 
     const auto optimizer = make_discrete_optimizer(optimizer_config);
     return optimizer->minimize(objective_fn, space, criteria, context);

@@ -18,9 +18,10 @@ fail_field(const std::string& name, const std::string& why)
     CAFQA_REQUIRE(false,
                   "run spec field \"" + name + "\" " + why +
                       " (accepted fields: problem, label, warmup, "
-                      "iterations, seed, search, hf-seed, max-t, tune, "
-                      "tune-backend, tuner, budget, target-energy, "
-                      "threads, cache, cache-capacity, exact)");
+                      "iterations, seed, search, hf-seed, warm-start, "
+                      "max-t, tune, tune-backend, tuner, budget, "
+                      "target-energy, threads, cache, cache-capacity, "
+                      "exact)");
 }
 
 std::uint64_t
@@ -75,6 +76,49 @@ parse_text_value(const std::string& name, const std::string& value)
     return value;
 }
 
+/** Comma-separated quarter-turn steps ("1,3,0,2"), each 0..3. */
+std::vector<int>
+parse_steps_value(const std::string& name, const std::string& text)
+{
+    const auto bad = [&](const std::string& token) {
+        fail_field(name, "expects comma-separated quarter-turn steps, "
+                         "each an integer in 0..3 (e.g. "
+                         "\"1,3,0,2\"), got \"" + token + "\" in \"" +
+                         text + "\"");
+    };
+    std::vector<int> steps;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        const std::size_t end = text.find(',', begin);
+        const std::string token = text.substr(
+            begin, end == std::string::npos ? end : end - begin);
+        const auto value = parse_integer_token(token);
+        if (!value || *value < 0 || *value > 3) {
+            bad(token);
+        }
+        steps.push_back(static_cast<int>(*value));
+        if (end == std::string::npos) {
+            break;
+        }
+        begin = end + 1;
+    }
+    return steps;
+}
+
+/** Render steps back into the serialized comma form. */
+std::string
+format_steps(const std::vector<int>& steps)
+{
+    std::string out;
+    for (const int step : steps) {
+        if (!out.empty()) {
+            out += ',';
+        }
+        out += std::to_string(step);
+    }
+    return out;
+}
+
 /** Apply one `name=value` assignment (shared by both input forms). */
 void
 assign_field(RunSpec& spec, const std::string& name,
@@ -96,6 +140,8 @@ assign_field(RunSpec& spec, const std::string& name,
         spec.search = parse_text_value(name, value);
     } else if (name == "hf-seed") {
         spec.hf_seed = parse_flag_value(name, value);
+    } else if (name == "warm-start" || name == "warm_start") {
+        spec.warm_start = parse_steps_value("warm-start", value);
     } else if (name == "max-t") {
         spec.max_t = static_cast<std::size_t>(
             parse_count_value(name, value, 0));
@@ -166,6 +212,9 @@ emit_fields(const RunSpec& spec, EmitText&& text, EmitNumber&& number,
     }
     if (spec.hf_seed != defaults.hf_seed) {
         flag("hf-seed", spec.hf_seed);
+    }
+    if (!spec.warm_start.empty()) {
+        text("warm-start", format_steps(spec.warm_start));
     }
     if (spec.max_t != defaults.max_t) {
         number("max-t", std::to_string(spec.max_t));
@@ -359,6 +408,18 @@ make_pipeline_config(const RunSpec& spec,
     }
     if (spec.hf_seed) {
         config.search.seed_steps = problem.seed_steps;
+    }
+    if (!spec.warm_start.empty()) {
+        CAFQA_REQUIRE(
+            spec.warm_start.size() == problem.ansatz.num_params(),
+            "run spec field \"warm-start\" has " +
+                std::to_string(spec.warm_start.size()) +
+                " steps but problem \"" + problem.key + "\" has " +
+                std::to_string(problem.ansatz.num_params()) +
+                " ansatz parameters");
+        // Warm start rides after the HF point: both are prior-injected
+        // seeds, evaluated before the strategy's own exploration.
+        config.search.seed_steps.push_back(spec.warm_start);
     }
     return config;
 }

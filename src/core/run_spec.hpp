@@ -49,6 +49,13 @@ struct RunSpec
     /** Prior-inject the problem's seed steps (the HF point for
      *  molecules). */
     bool hf_seed = true;
+    /** Cross-run warm start: a Clifford assignment (quarter-turn steps,
+     *  one 0..3 value per ansatz parameter) evaluated before the
+     *  search's own exploration — typically a neighboring run's
+     *  best_steps. Serialized as comma-separated steps
+     *  (`warm-start=1,3,0,2`; `warm_start` is accepted as an alias).
+     *  Empty = off. Composes with `hf_seed` (both are seeded). */
+    std::vector<int> warm_start;
 
     // ---- Optional stages. ----
     /** Greedy Clifford+kT rounds (0 = off). */

@@ -174,6 +174,12 @@ struct SearchContext
      *  warm-up, random search); the trajectory must stay identical to
      *  the serial path, only the fan-out changes. */
     DiscreteBatchEvaluator batch;
+    /** Mints an independent, thread-safe equivalent of the objective
+     *  (the pipeline returns one wrapping a `clone()`d backend, so
+     *  clones share the memoizing cache). Lets concurrent strategies
+     *  (`search/portfolio.hpp`) evaluate in parallel; without it they
+     *  serialize calls to the plain objective. */
+    std::function<DiscreteObjective()> objective_factory;
 };
 
 /** Root of the optimizer hierarchy (see the registry for keys). */

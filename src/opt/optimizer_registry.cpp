@@ -2,6 +2,7 @@
 
 #include <map>
 #include <mutex>
+#include <string_view>
 
 #include "common/error.hpp"
 
@@ -45,6 +46,13 @@ registry()
             }
             return std::make_unique<RandomSearchOptimizer>(options);
         };
+        factories["tempering"] = [](const OptimizerConfig& config) {
+            TemperingOptions options = config.tempering;
+            if (config.seed != 0) {
+                options.seed = config.seed;
+            }
+            return std::make_unique<ParallelTempering>(options);
+        };
         factories["exhaustive"] = [](const OptimizerConfig&) {
             return std::make_unique<ExhaustiveOptimizer>();
         };
@@ -63,6 +71,68 @@ registry()
     }();
     (void)built_ins_registered;
     return instance;
+}
+
+constexpr std::string_view kPortfolioPrefix = "portfolio:";
+
+/** Build a `PortfolioSearch` from a "portfolio:<k1+k2+...>" key: one
+ *  arm per '+'-separated discrete kind, arm i seeded `seed + i` (when
+ *  a seed override is set) so a one-arm portfolio matches the bare
+ *  optimizer bit for bit. */
+std::unique_ptr<Optimizer>
+make_portfolio_optimizer(const OptimizerConfig& config)
+{
+    const std::string spec =
+        config.kind.substr(kPortfolioPrefix.size());
+    std::vector<std::string> kinds;
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        const std::size_t end = spec.find('+', begin);
+        kinds.push_back(spec.substr(
+            begin, end == std::string::npos ? end : end - begin));
+        if (end == std::string::npos) {
+            break;
+        }
+        begin = end + 1;
+    }
+    const auto discrete_kinds = [] {
+        std::string all;
+        for (const std::string& kind : registered_discrete_optimizers()) {
+            all += all.empty() ? kind : ", " + kind;
+        }
+        return all;
+    };
+    for (const std::string& kind : kinds) {
+        CAFQA_REQUIRE(!kind.empty(),
+                      "empty portfolio arm in \"" + config.kind +
+                          "\": expected \"portfolio:<kind1+kind2+...>\" "
+                          "over discrete kinds (" +
+                          discrete_kinds() + "), e.g. "
+                          "\"portfolio:anneal+bayes+random\"");
+        CAFQA_REQUIRE(kind.rfind(kPortfolioPrefix, 0) != 0,
+                      "portfolio arm \"" + kind +
+                          "\" in \"" + config.kind +
+                          "\": portfolios cannot nest");
+    }
+    std::vector<PortfolioArm> arms;
+    arms.reserve(kinds.size());
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        OptimizerConfig arm_config = config;
+        arm_config.kind = kinds[i];
+        if (config.seed != 0) {
+            arm_config.seed = config.seed + i;
+        }
+        try {
+            arms.push_back(PortfolioArm{
+                kinds[i], make_discrete_optimizer(arm_config)});
+        } catch (const std::exception& error) {
+            CAFQA_REQUIRE(false, "portfolio arm \"" + kinds[i] +
+                                     "\" in \"" + config.kind +
+                                     "\": " + error.what());
+        }
+    }
+    return std::make_unique<PortfolioSearch>(
+        std::move(arms), config.portfolio, config.kind);
 }
 
 template <typename Interface>
@@ -138,6 +208,9 @@ registered_continuous_optimizers()
 std::unique_ptr<Optimizer>
 make_optimizer(const OptimizerConfig& config)
 {
+    if (config.kind.rfind(kPortfolioPrefix, 0) == 0) {
+        return make_portfolio_optimizer(config);
+    }
     OptimizerFactory factory;
     {
         Registry& r = registry();
@@ -148,8 +221,11 @@ make_optimizer(const OptimizerConfig& config)
             for (const auto& [kind, unused] : r.factories) {
                 all += all.empty() ? kind : ", " + kind;
             }
-            CAFQA_REQUIRE(false, "unknown optimizer kind \"" + config.kind +
-                                     "\" (registered: " + all + ")");
+            CAFQA_REQUIRE(false,
+                          "unknown optimizer kind \"" + config.kind +
+                              "\" (registered: " + all +
+                              "; discrete kinds also compose as "
+                              "\"portfolio:<kind1+kind2+...>\")");
         }
         factory = it->second;
     }

@@ -11,11 +11,19 @@
  * | "bayes"       | BayesOptimizer              | discrete   | bayes       |
  * | "anneal"      | SimulatedAnnealingOptimizer | discrete   | anneal      |
  * | "random"      | RandomSearchOptimizer       | discrete   | random      |
+ * | "tempering"   | ParallelTempering           | discrete   | tempering   |
  * | "exhaustive"  | ExhaustiveOptimizer         | discrete   | -           |
  * | "nelder-mead" | NelderMeadOptimizer         | continuous | nelder_mead |
  * | "spsa"        | SpsaOptimizer               | continuous | spsa        |
  *
- * Additional kinds (CMA-ES, portfolio schedulers, ...) can be registered
+ * The prefix key `"portfolio:<k1+k2+...>"` (e.g.
+ * `"portfolio:anneal+bayes+random"`) composes any registered discrete
+ * kinds into a `PortfolioSearch` race — arm i gets seed `seed + i`, so
+ * a one-arm portfolio is bit-identical to the bare optimizer. The
+ * stopping budget is per arm (each arm runs its solo trajectory), so
+ * a k-arm portfolio may spend up to k times `max_evaluations`.
+ *
+ * Additional kinds (CMA-ES, custom schedulers, ...) can be registered
  * at runtime with `register_optimizer`; `CafqaPipeline`, the CLI and the
  * ablation bench resolve strategies exclusively through this factory, so
  * a new kind is immediately usable everywhere.
@@ -33,6 +41,8 @@
 #include "opt/search_baselines.hpp"
 #include "opt/simulated_annealing.hpp"
 #include "opt/spsa.hpp"
+#include "search/parallel_tempering.hpp"
+#include "search/portfolio.hpp"
 
 namespace cafqa {
 
@@ -47,8 +57,11 @@ struct OptimizerConfig
     BayesOptOptions bayes;
     AnnealingOptions anneal;
     RandomSearchOptions random;
+    TemperingOptions tempering;
     NelderMeadOptions nelder_mead;
     SpsaOptions spsa;
+    /** Orchestration knobs for "portfolio:..." kinds. */
+    PortfolioOptions portfolio;
 };
 
 /** Default config for `kind` (convenience for field initializers). */

@@ -278,6 +278,119 @@ TEST(ErrorContracts, UnknownRegistryKeysListTheRegisteredOnes)
     }
 }
 
+TEST(ErrorContracts, PortfolioKeysRejectBadArms)
+{
+    // An empty arm list must explain the key grammar and name the
+    // discrete kinds a portfolio can race.
+    try {
+        make_optimizer(optimizer_config("portfolio:"));
+        FAIL() << "empty portfolio accepted";
+    } catch (const std::invalid_argument& error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("portfolio:<kind1+kind2+...>"),
+                  std::string::npos)
+            << message;
+        EXPECT_NE(message.find("portfolio:anneal+bayes+random"),
+                  std::string::npos)
+            << message;
+        for (const char* kind : {"anneal", "bayes", "random",
+                                 "tempering"}) {
+            EXPECT_NE(message.find(kind), std::string::npos)
+                << "missing \"" << kind << "\" in: " << message;
+        }
+    }
+    // A dangling separator is an empty arm, not a silent skip.
+    EXPECT_THROW(make_optimizer(optimizer_config("portfolio:anneal+")),
+                 std::invalid_argument);
+
+    // A typo'd arm names itself, the full key, and the registry's
+    // kinds (the inner make_discrete_optimizer error is preserved).
+    try {
+        make_optimizer(optimizer_config("portfolio:anneal+nope"));
+        FAIL() << "unknown portfolio arm accepted";
+    } catch (const std::invalid_argument& error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("portfolio arm \"nope\""),
+                  std::string::npos)
+            << message;
+        EXPECT_NE(message.find("portfolio:anneal+nope"),
+                  std::string::npos)
+            << message;
+        EXPECT_NE(message.find("registered:"), std::string::npos)
+            << message;
+    }
+
+    // Continuous kinds exist in the registry but cannot race in a
+    // discrete portfolio.
+    try {
+        make_optimizer(optimizer_config("portfolio:anneal+spsa"));
+        FAIL() << "continuous portfolio arm accepted";
+    } catch (const std::invalid_argument& error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("portfolio arm \"spsa\""),
+                  std::string::npos)
+            << message;
+    }
+
+    // Portfolios do not nest.
+    try {
+        make_optimizer(
+            optimizer_config("portfolio:anneal+portfolio:random"));
+        FAIL() << "nested portfolio accepted";
+    } catch (const std::invalid_argument& error) {
+        EXPECT_NE(std::string(error.what()).find("cannot nest"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(ErrorContracts, WarmStartFieldRejectsMalformedSteps)
+{
+    // Every malformed token fails the parse with the field grammar.
+    EXPECT_THROW(RunSpec::parse("problem=a warm-start=1,9"),
+                 std::invalid_argument);
+    EXPECT_THROW(RunSpec::parse("problem=a warm-start=x"),
+                 std::invalid_argument);
+    EXPECT_THROW(RunSpec::parse("problem=a warm-start="),
+                 std::invalid_argument);
+    EXPECT_THROW(RunSpec::parse("problem=a warm-start=1,,2"),
+                 std::invalid_argument);
+    EXPECT_THROW(RunSpec::parse("problem=a warm-start=-1"),
+                 std::invalid_argument);
+    try {
+        RunSpec::parse("problem=a warm-start=1,9");
+        FAIL() << "out-of-range step accepted";
+    } catch (const std::invalid_argument& error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("warm-start"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("quarter-turn steps"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("\"9\""), std::string::npos) << message;
+    }
+    // The underscore alias routes through the same guard.
+    EXPECT_THROW(RunSpec::parse("problem=a warm_start=4"),
+                 std::invalid_argument);
+
+    // A well-formed value of the wrong length for the problem is
+    // rejected when the pipeline config is built, naming both counts.
+    RunSpec spec = RunSpec::parse(
+        "problem=maxcut:ring-6 warm-start=1,2 warmup=5 iterations=5");
+    const problems::Problem problem =
+        problems::make_problem(spec.problem);
+    try {
+        make_pipeline_config(spec, problem);
+        FAIL() << "wrong-length warm start accepted";
+    } catch (const std::invalid_argument& error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("warm-start"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("2 steps"), std::string::npos) << message;
+        EXPECT_NE(message.find("ansatz parameters"), std::string::npos)
+            << message;
+    }
+}
+
 TEST(ErrorContracts, CacheGuards)
 {
     Circuit ansatz(2);

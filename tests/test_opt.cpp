@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <map>
@@ -539,6 +540,40 @@ TEST_P(DiscreteOptimizerContract, DeterministicUnderFixedSeed)
     EXPECT_EQ(a.evaluations, b.evaluations);
 }
 
+TEST_P(DiscreteOptimizerContract, CancelTokenStopsMidRunWithBestSoFar)
+{
+    // The cancellation contract every strategy must honor: a token
+    // raised mid-run (here by the objective itself, at its 9th call)
+    // stops the search at the next recorded evaluation with
+    // StopReason::Cancelled and the best point found so far intact.
+    const auto optimizer =
+        make_discrete_optimizer(contract_config(GetParam()));
+    const auto cancel = std::make_shared<std::atomic<bool>>(false);
+    std::size_t calls = 0;
+    const auto objective = [&](const std::vector<int>& config) {
+        if (++calls == 9) {
+            cancel->store(true, std::memory_order_relaxed);
+        }
+        return planted_objective(config);
+    };
+    StoppingCriteria criteria;
+    criteria.max_evaluations = 300;
+    criteria.cancel = cancel;
+    const OptimizeOutcome r =
+        optimizer->minimize(objective, planted_space(), criteria);
+    EXPECT_EQ(r.stop_reason, StopReason::Cancelled);
+    // The cancel is observed when the 9th call's value is recorded
+    // (block-evaluating strategies may call the objective further
+    // ahead, but never record past the token).
+    ASSERT_EQ(r.history.size(), 9u);
+    expect_trace_consistent(r);
+    ASSERT_EQ(r.best_config.size(), 3u);
+    EXPECT_DOUBLE_EQ(planted_objective(r.best_config), r.best_value);
+    EXPECT_DOUBLE_EQ(
+        *std::min_element(r.history.begin(), r.history.end()),
+        r.best_value);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Registry, DiscreteOptimizerContract,
     ::testing::ValuesIn(registered_discrete_optimizers()),
@@ -614,6 +649,36 @@ TEST_P(ContinuousOptimizerContract, DeterministicUnderFixedSeed)
         bowl_objective, {3.0, -2.0, 1.0});
     EXPECT_EQ(a.history, b.history);
     EXPECT_EQ(a.best_x, b.best_x);
+}
+
+TEST_P(ContinuousOptimizerContract, CancelTokenStopsMidRunWithBestSoFar)
+{
+    const auto optimizer =
+        make_continuous_optimizer(contract_config(GetParam()));
+    const auto cancel = std::make_shared<std::atomic<bool>>(false);
+    std::size_t calls = 0;
+    const auto objective = [&](const std::vector<double>& x) {
+        if (++calls == 9) {
+            cancel->store(true, std::memory_order_relaxed);
+        }
+        return bowl_objective(x);
+    };
+    StoppingCriteria criteria;
+    criteria.max_evaluations = 200;
+    criteria.cancel = cancel;
+    const OptimizeOutcome r =
+        optimizer->minimize(objective, {3.0, -2.0, 1.0}, criteria);
+    EXPECT_EQ(r.stop_reason, StopReason::Cancelled);
+    ASSERT_FALSE(r.history.empty());
+    // Unrecorded probe calls (SPSA's gradient probes) do not check the
+    // token, so the stop lands at the next *recorded* evaluation — a
+    // couple of calls past the 9th, never a full run.
+    EXPECT_LE(r.history.size(), 12u);
+    expect_trace_consistent(r);
+    ASSERT_EQ(r.best_x.size(), 3u);
+    EXPECT_DOUBLE_EQ(
+        *std::min_element(r.history.begin(), r.history.end()),
+        r.best_value);
 }
 
 INSTANTIATE_TEST_SUITE_P(
