@@ -22,6 +22,13 @@
  * the bench itself). The default tolerance (3x) is deliberately loose:
  * shared CI runners jitter, and this gate exists to catch order-of-
  * magnitude cliffs and correctness drift, not 10% noise.
+ *
+ * Exit codes (distinct so CI can tell "perf regressed" from "the gate
+ * itself is broken"; pinned by the `bench_check_exit_codes` ctest):
+ *   0  every gated metric within tolerance
+ *   1  at least one gated regression
+ *   2  bad arguments (usage error)
+ *   3  missing or unreadable input file (current or baseline)
  */
 #include <cctype>
 #include <cmath>
@@ -55,7 +62,11 @@ read_file(const std::string& path)
 {
     std::ifstream in(path);
     if (!in) {
-        fail("cannot open '" + path + "'");
+        // Exit 3, not 2: a vanished baseline artifact is an
+        // infrastructure problem, not a usage error, and CI reacts
+        // differently (re-seed the baseline vs fix the invocation).
+        std::cerr << "bench_check: cannot open '" << path << "'\n";
+        std::exit(3);
     }
     std::stringstream buffer;
     buffer << in.rdbuf();

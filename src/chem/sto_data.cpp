@@ -1,7 +1,8 @@
 #include "chem/sto_data.hpp"
 
 #include <map>
-#include <mutex>
+
+#include "common/thread_safety.hpp"
 
 #include "chem/sto_fit.hpp"
 #include "common/error.hpp"
@@ -194,8 +195,8 @@ const AtomBasis&
 sto3g_atom_basis(int atomic_number)
 {
     static std::map<int, AtomBasis> cache;
-    static std::mutex mutex;
-    std::lock_guard<std::mutex> lock(mutex);
+    static Mutex mutex;
+    MutexLock lock(mutex);
 
     const auto hit = cache.find(atomic_number);
     if (hit != cache.end()) {

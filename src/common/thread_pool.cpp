@@ -20,7 +20,15 @@ ThreadPool::ThreadPool(std::size_t threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
+        // Shutdown audit: a pool may only be destroyed between jobs.
+        // `parallel_for` is synchronous, so in correct usage `job_` is
+        // always null here; if a caller races destruction against a
+        // running job, abort loudly instead of silently dropping the
+        // indices in [next_index_, job_count_).
+        CAFQA_ASSERT(job_ == nullptr,
+                     "ThreadPool destroyed while a parallel_for is in "
+                     "flight (tasks would be dropped)");
         stopping_ = true;
     }
     work_ready_.notify_all();
@@ -34,12 +42,17 @@ ThreadPool::worker_loop(std::size_t worker)
 {
     std::uint64_t seen_generation = 0;
     for (;;) {
-        std::unique_lock lock(mutex_);
-        work_ready_.wait(lock, [&] {
-            return stopping_ || (job_ != nullptr &&
-                                 generation_ != seen_generation);
-        });
+        MutexLock lock(mutex_);
+        while (!stopping_ &&
+               (job_ == nullptr || generation_ == seen_generation)) {
+            work_ready_.wait(lock);
+        }
         if (stopping_) {
+            // Shutdown audit, worker side: the stop flag is only set
+            // with no job posted (see the destructor), so a worker can
+            // never exit while unclaimed indices remain.
+            CAFQA_ASSERT(job_ == nullptr || next_index_ >= job_count_,
+                         "ThreadPool worker stopping with tasks pending");
             return;
         }
         seen_generation = generation_;
@@ -81,8 +94,8 @@ ThreadPool::parallel_for(
         }
         return;
     }
-    std::lock_guard caller_lock(caller_mutex_);
-    std::unique_lock lock(mutex_);
+    MutexLock caller_lock(caller_mutex_);
+    MutexLock lock(mutex_);
     CAFQA_ASSERT(job_ == nullptr, "parallel_for re-entered from a job");
     job_ = &fn;
     job_count_ = count;
@@ -90,10 +103,10 @@ ThreadPool::parallel_for(
     first_error_ = nullptr;
     ++generation_;
     work_ready_.notify_all();
-    work_done_.wait(lock, [&] {
-        return active_workers_ == 0 &&
-               (next_index_ >= job_count_ || first_error_);
-    });
+    while (!(active_workers_ == 0 &&
+             (next_index_ >= job_count_ || first_error_))) {
+        work_done_.wait(lock);
+    }
     job_ = nullptr;
     if (first_error_) {
         std::exception_ptr error = first_error_;

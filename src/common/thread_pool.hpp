@@ -8,12 +8,14 @@
 #ifndef CAFQA_COMMON_THREAD_POOL_HPP
 #define CAFQA_COMMON_THREAD_POOL_HPP
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_safety.hpp"
 
 namespace cafqa {
 
@@ -23,6 +25,12 @@ class ThreadPool
   public:
     /** @param threads  worker count; 0 picks the hardware concurrency. */
     explicit ThreadPool(std::size_t threads = 0);
+
+    /**
+     * Joins the workers. Must not run while a `parallel_for` is in
+     * flight on another thread — asserted: shutdown never drops a task
+     * silently, a pool with unfinished work aborts loudly instead.
+     */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
@@ -45,30 +53,32 @@ class ThreadPool
      */
     void parallel_for(std::size_t count,
                       const std::function<void(std::size_t worker,
-                                               std::size_t index)>& fn);
+                                               std::size_t index)>& fn)
+        CAFQA_EXCLUDES(mutex_);
 
     /** Process-wide default pool, sized to the hardware. */
     static ThreadPool& shared();
 
   private:
-    void worker_loop(std::size_t worker);
+    void worker_loop(std::size_t worker) CAFQA_EXCLUDES(mutex_);
 
     std::vector<std::thread> workers_;
     /** Serializes concurrent parallel_for callers (held for the whole
-     *  job). */
-    std::mutex caller_mutex_;
-    std::mutex mutex_;
-    std::condition_variable work_ready_;
-    std::condition_variable work_done_;
+     *  job, and ordered strictly before `mutex_`). */
+    Mutex caller_mutex_;
+    Mutex mutex_;
+    CondVar work_ready_;
+    CondVar work_done_;
 
-    // Current job state (all guarded by mutex_).
-    const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
-    std::size_t job_count_ = 0;
-    std::size_t next_index_ = 0;
-    std::size_t active_workers_ = 0;
-    std::uint64_t generation_ = 0;
-    std::exception_ptr first_error_;
-    bool stopping_ = false;
+    // Current job state.
+    const std::function<void(std::size_t, std::size_t)>* job_
+        CAFQA_GUARDED_BY(mutex_) = nullptr;
+    std::size_t job_count_ CAFQA_GUARDED_BY(mutex_) = 0;
+    std::size_t next_index_ CAFQA_GUARDED_BY(mutex_) = 0;
+    std::size_t active_workers_ CAFQA_GUARDED_BY(mutex_) = 0;
+    std::uint64_t generation_ CAFQA_GUARDED_BY(mutex_) = 0;
+    std::exception_ptr first_error_ CAFQA_GUARDED_BY(mutex_);
+    bool stopping_ CAFQA_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace cafqa

@@ -1,7 +1,8 @@
 #include "core/backend_registry.hpp"
 
 #include <map>
-#include <mutex>
+
+#include "common/thread_safety.hpp"
 
 #include <bit>
 
@@ -16,8 +17,9 @@ namespace {
 
 struct Registry
 {
-    std::mutex mutex;
-    std::map<std::string, BackendFactory> factories;
+    Mutex mutex;
+    std::map<std::string, BackendFactory> factories
+        CAFQA_GUARDED_BY(mutex);
 };
 
 /** The process-wide registry, with the built-in kinds pre-registered.
@@ -28,6 +30,7 @@ registry()
 {
     static Registry instance;
     static const bool built_ins_registered = [] {
+        MutexLock lock(instance.mutex);
         auto& factories = instance.factories;
         factories["clifford"] = [](const BackendConfig& config) {
             return std::make_unique<CliffordEvaluator>(config.ansatz);
@@ -101,7 +104,7 @@ register_backend(const std::string& kind, BackendFactory factory)
     CAFQA_REQUIRE(!kind.empty(), "backend kind must be non-empty");
     CAFQA_REQUIRE(factory != nullptr, "backend factory must be callable");
     Registry& r = registry();
-    std::lock_guard lock(r.mutex);
+    MutexLock lock(r.mutex);
     r.factories[kind] = std::move(factory);
 }
 
@@ -110,7 +113,7 @@ backend_registered(const std::string& kind)
 {
     {
         Registry& r = registry();
-        std::lock_guard lock(r.mutex);
+        MutexLock lock(r.mutex);
         if (r.factories.count(kind) != 0) {
             return true;
         }
@@ -123,7 +126,7 @@ std::vector<std::string>
 registered_backends()
 {
     Registry& r = registry();
-    std::lock_guard lock(r.mutex);
+    MutexLock lock(r.mutex);
     std::vector<std::string> kinds;
     kinds.reserve(r.factories.size());
     for (const auto& [kind, factory] : r.factories) {
@@ -138,7 +141,7 @@ make_backend(const BackendConfig& config)
     BackendFactory factory;
     {
         Registry& r = registry();
-        std::lock_guard lock(r.mutex);
+        MutexLock lock(r.mutex);
         const auto it = r.factories.find(config.kind);
         if (it != r.factories.end()) {
             factory = it->second;
@@ -157,7 +160,7 @@ make_backend(const BackendConfig& config)
         std::string all;
         {
             Registry& r = registry();
-            std::lock_guard lock(r.mutex);
+            MutexLock lock(r.mutex);
             for (const auto& [kind, unused] : r.factories) {
                 all += all.empty() ? kind : ", " + kind;
             }

@@ -2,7 +2,8 @@
 
 #include <chrono>
 #include <cmath>
-#include <mutex>
+
+#include "common/thread_safety.hpp"
 
 #include "common/error.hpp"
 #include "common/text.hpp"
@@ -267,7 +268,7 @@ BatchRunner::run(const std::vector<RunSpec>& specs)
     // batches without racing this one.
     const std::shared_ptr<std::atomic<bool>> stop = stop_;
 
-    std::mutex observer_mutex;
+    Mutex observer_mutex;
     pool.parallel_for(specs.size(), [&](std::size_t worker,
                                         std::size_t index) {
         (void)worker;
@@ -291,7 +292,7 @@ BatchRunner::run(const std::vector<RunSpec>& specs)
         context.cancel = stop;
         if (observer_) {
             context.observer = [&, index](const PipelineEvent& event) {
-                std::lock_guard lock(observer_mutex);
+                MutexLock lock(observer_mutex);
                 observer_(index, specs[index], event);
             };
         }

@@ -35,12 +35,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "core/backend.hpp"
 
 namespace cafqa {
@@ -155,17 +155,17 @@ class EvaluationCache
 
     struct Shard
     {
-        mutable std::mutex mutex;
+        mutable Mutex mutex;
         /** Front = most recently used. */
-        std::list<Entry> lru;
+        std::list<Entry> lru CAFQA_GUARDED_BY(mutex);
         /** Hash -> LRU slot; a multimap so (unlikely) hash collisions
          *  between distinct keys stay individually addressable. */
         std::unordered_multimap<std::size_t, std::list<Entry>::iterator>
-            index;
-        std::size_t hits = 0;
-        std::size_t misses = 0;
-        std::size_t evictions = 0;
-        std::size_t bytes = 0;
+            index CAFQA_GUARDED_BY(mutex);
+        std::size_t hits CAFQA_GUARDED_BY(mutex) = 0;
+        std::size_t misses CAFQA_GUARDED_BY(mutex) = 0;
+        std::size_t evictions CAFQA_GUARDED_BY(mutex) = 0;
+        std::size_t bytes CAFQA_GUARDED_BY(mutex) = 0;
     };
 
     CacheOptions options_;

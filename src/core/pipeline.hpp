@@ -22,6 +22,16 @@
  * thread pool with per-worker backend clones. Observers receive
  * begin/progress/end events per stage, which is how the bench harness
  * collects its traces.
+ *
+ * Concurrency contract: a `CafqaPipeline` is THREAD-CONFINED — drive
+ * it from one thread. It deliberately owns no mutex of its own (the
+ * `lint_invariants` naked-mutex rule would flag one anyway): all of
+ * its parallelism lives behind `ThreadPool::parallel_for`, whose
+ * internals carry clang thread-safety annotations
+ * (`common/thread_safety.hpp`), and observer callbacks fire on the
+ * calling thread in deterministic order. Run CONCURRENT pipelines by
+ * giving each its own object — the shared registries and the shared()
+ * pool they touch are internally synchronized.
  */
 #ifndef CAFQA_CORE_PIPELINE_HPP
 #define CAFQA_CORE_PIPELINE_HPP

@@ -1,7 +1,8 @@
 #include "opt/optimizer_registry.hpp"
 
 #include <map>
-#include <mutex>
+
+#include "common/thread_safety.hpp"
 #include <string_view>
 
 #include "common/error.hpp"
@@ -12,8 +13,9 @@ namespace {
 
 struct Registry
 {
-    std::mutex mutex;
-    std::map<std::string, OptimizerFactory> factories;
+    Mutex mutex;
+    std::map<std::string, OptimizerFactory> factories
+        CAFQA_GUARDED_BY(mutex);
 };
 
 /** The process-wide registry, with the built-in kinds pre-registered.
@@ -24,6 +26,7 @@ registry()
 {
     static Registry instance;
     static const bool built_ins_registered = [] {
+        MutexLock lock(instance.mutex);
         auto& factories = instance.factories;
         factories["bayes"] = [](const OptimizerConfig& config) {
             BayesOptOptions options = config.bayes;
@@ -168,7 +171,7 @@ register_optimizer(const std::string& kind, OptimizerFactory factory)
     CAFQA_REQUIRE(!kind.empty(), "optimizer kind must be non-empty");
     CAFQA_REQUIRE(factory != nullptr, "optimizer factory must be callable");
     Registry& r = registry();
-    std::lock_guard lock(r.mutex);
+    MutexLock lock(r.mutex);
     r.factories[kind] = std::move(factory);
 }
 
@@ -176,7 +179,7 @@ bool
 optimizer_registered(const std::string& kind)
 {
     Registry& r = registry();
-    std::lock_guard lock(r.mutex);
+    MutexLock lock(r.mutex);
     return r.factories.count(kind) != 0;
 }
 
@@ -184,7 +187,7 @@ std::vector<std::string>
 registered_optimizers()
 {
     Registry& r = registry();
-    std::lock_guard lock(r.mutex);
+    MutexLock lock(r.mutex);
     std::vector<std::string> kinds;
     kinds.reserve(r.factories.size());
     for (const auto& [kind, factory] : r.factories) {
@@ -214,7 +217,7 @@ make_optimizer(const OptimizerConfig& config)
     OptimizerFactory factory;
     {
         Registry& r = registry();
-        std::lock_guard lock(r.mutex);
+        MutexLock lock(r.mutex);
         const auto it = r.factories.find(config.kind);
         if (it == r.factories.end()) {
             std::string all;

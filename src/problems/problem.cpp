@@ -5,7 +5,8 @@
 #include <cmath>
 #include <cstdlib>
 #include <map>
-#include <mutex>
+
+#include "common/thread_safety.hpp"
 
 #include "circuit/efficient_su2.hpp"
 #include "common/error.hpp"
@@ -475,8 +476,9 @@ struct FamilyEntry
 
 struct Registry
 {
-    std::mutex mutex;
-    std::map<std::string, FamilyEntry> families;
+    Mutex mutex;
+    std::map<std::string, FamilyEntry> families
+        CAFQA_GUARDED_BY(mutex);
 };
 
 /** The process-wide registry, with the built-in families
@@ -487,6 +489,7 @@ registry()
 {
     static Registry instance;
     static const bool built_ins_registered = [] {
+        MutexLock lock(instance.mutex);
         auto& families = instance.families;
         families["molecule"] = {
             make_molecule_problem,
@@ -622,7 +625,7 @@ register_problem_family(const std::string& family, ProblemFactory factory,
     CAFQA_REQUIRE(factory != nullptr,
                   "problem factory must be callable");
     Registry& r = registry();
-    std::lock_guard lock(r.mutex);
+    MutexLock lock(r.mutex);
     r.families[family] = {std::move(factory), std::move(description),
                           std::move(sample_key)};
 }
@@ -631,7 +634,7 @@ bool
 problem_family_registered(const std::string& family)
 {
     Registry& r = registry();
-    std::lock_guard lock(r.mutex);
+    MutexLock lock(r.mutex);
     return r.families.count(family) != 0;
 }
 
@@ -639,7 +642,7 @@ std::vector<std::string>
 registered_problem_families()
 {
     Registry& r = registry();
-    std::lock_guard lock(r.mutex);
+    MutexLock lock(r.mutex);
     std::vector<std::string> families;
     families.reserve(r.families.size());
     for (const auto& [family, entry] : r.families) {
@@ -652,7 +655,7 @@ std::vector<ProblemFamilyInfo>
 problem_family_catalog()
 {
     Registry& r = registry();
-    std::lock_guard lock(r.mutex);
+    MutexLock lock(r.mutex);
     std::vector<ProblemFamilyInfo> catalog;
     catalog.reserve(r.families.size());
     for (const auto& [family, entry] : r.families) {
@@ -669,7 +672,7 @@ make_problem(const std::string& key)
     ProblemFactory factory;
     {
         Registry& r = registry();
-        std::lock_guard lock(r.mutex);
+        MutexLock lock(r.mutex);
         const auto it = r.families.find(parsed.family);
         if (it != r.families.end()) {
             factory = it->second.factory;
@@ -679,7 +682,7 @@ make_problem(const std::string& key)
         std::string all;
         {
             Registry& r = registry();
-            std::lock_guard lock(r.mutex);
+            MutexLock lock(r.mutex);
             for (const auto& [family, entry] : r.families) {
                 all += all.empty() ? family : ", " + family;
             }

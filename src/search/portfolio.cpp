@@ -1,12 +1,11 @@
 #include "search/portfolio.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <limits>
-#include <mutex>
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/thread_safety.hpp"
 
 namespace cafqa {
 
@@ -46,33 +45,38 @@ struct Control
         bool killed = false;
     };
 
-    std::mutex mutex;
-    std::condition_variable cv;
+    Mutex mutex;
+    CondVar cv;
     /** Serializes objective calls when no objective_factory is set. */
-    std::mutex eval_mutex;
+    Mutex eval_mutex;
 
-    std::vector<Arm> arms;
+    /** Per-arm slots: the vector itself is sized once before the arm
+     *  threads start, but every field of every slot is part of the
+     *  round-barrier invariant. */
+    std::vector<Arm> arms CAFQA_GUARDED_BY(mutex);
     /** Remaining shared evaluation pool (when capped): arms x the
      *  per-arm budget. */
-    std::size_t pool = 0;
-    bool pool_capped = false;
-    std::size_t round = 0;
-    std::size_t generation = 0;
-    bool external_cancel = false;
-    bool target_seen = false;
+    std::size_t pool CAFQA_GUARDED_BY(mutex) = 0;
+    bool pool_capped CAFQA_GUARDED_BY(mutex) = false;
+    std::size_t round CAFQA_GUARDED_BY(mutex) = 0;
+    std::size_t generation CAFQA_GUARDED_BY(mutex) = 0;
+    bool external_cancel CAFQA_GUARDED_BY(mutex) = false;
+    bool target_seen CAFQA_GUARDED_BY(mutex) = false;
 
+    // Set once before the arm threads start, read-only afterwards.
     PortfolioOptions options;
     std::shared_ptr<const std::atomic<bool>> parent_cancel;
     ProgressCallback progress;
-    std::size_t progress_evals = 0;
-    double progress_best = kInf;
 
-    bool live(std::size_t i) const
+    std::size_t progress_evals CAFQA_GUARDED_BY(mutex) = 0;
+    double progress_best CAFQA_GUARDED_BY(mutex) = kInf;
+
+    bool live(std::size_t i) const CAFQA_REQUIRES(mutex)
     {
         return !arms[i].finished && !arms[i].killed;
     }
 
-    void kill(std::size_t i)
+    void kill(std::size_t i) CAFQA_REQUIRES(mutex)
     {
         if (live(i)) {
             arms[i].killed = true;
@@ -86,7 +90,7 @@ struct Control
         }
     }
 
-    void kill_everyone()
+    void kill_everyone() CAFQA_REQUIRES(mutex)
     {
         for (std::size_t i = 0; i < arms.size(); ++i) {
             kill(i);
@@ -99,7 +103,7 @@ struct Control
      *  is parked with an empty allowance, either at the evaluation
      *  barrier or pending a restart grant. Killed arms (possibly mid
      *  final evaluation) do not hold the round open. */
-    bool round_closed() const
+    bool round_closed() const CAFQA_REQUIRES(mutex)
     {
         for (std::size_t i = 0; i < arms.size(); ++i) {
             const bool parked = (arms[i].waiting || arms[i].pending) &&
@@ -117,7 +121,7 @@ struct Control
      *  Runs under `mutex`, triggered by whichever arm closes the
      *  round — the decisions depend only on per-round state, never on
      *  thread timing. */
-    void complete_round()
+    void complete_round() CAFQA_REQUIRES(mutex)
     {
         ++round;
 
@@ -261,6 +265,9 @@ PortfolioSearch::minimize(const DiscreteObjective& objective,
 
     const std::size_t n = arms_.size();
     Control control;
+    // Uncontended (no arm thread exists yet), but the analysis wants
+    // every touch of the guarded round state under the lock.
+    MutexLock setup_lock(control.mutex);
     control.arms.resize(n);
     control.pool_capped = criteria.max_evaluations > 0;
     // max_evaluations is the PER-ARM budget (each arm's trajectory is
@@ -286,8 +293,13 @@ PortfolioSearch::minimize(const DiscreteObjective& objective,
             control.arms[i].allowance = options_.sync_evals;
         }
     }
+    setup_lock.unlock();
 
     std::vector<OptimizeOutcome> outcomes(n);
+    // lint:allow(raw-thread) the arms must run CONCURRENTLY (they
+    // synchronize at round barriers); ThreadPool::parallel_for runs
+    // indices in whatever order workers grab them and may serialize
+    // them on a small pool, which would deadlock the barrier.
     std::vector<std::thread> threads;
     threads.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -303,11 +315,14 @@ PortfolioSearch::minimize(const DiscreteObjective& objective,
             const DiscreteObjective* eval =
                 own ? &own : &objective;
 
-            Control::Arm& me = control.arms[i];
+            Control::Arm& me = [&control, i]() -> Control::Arm& {
+                MutexLock lock(control.mutex);
+                return control.arms[i];
+            }();
             DiscreteObjective gated =
                 [&](const std::vector<int>& config) {
                     {
-                        std::unique_lock lock(control.mutex);
+                        MutexLock lock(control.mutex);
                         if (control.parent_cancel &&
                             control.parent_cancel->load(
                                 std::memory_order_relaxed) &&
@@ -335,11 +350,11 @@ PortfolioSearch::minimize(const DiscreteObjective& objective,
                     if (own) {
                         value = (*eval)(config);
                     } else {
-                        std::lock_guard guard(control.eval_mutex);
+                        MutexLock guard(control.eval_mutex);
                         value = (*eval)(config);
                     }
                     {
-                        std::lock_guard lock(control.mutex);
+                        MutexLock lock(control.mutex);
                         if (value < me.best) {
                             me.best = value;
                             me.last_improve_round = control.round;
@@ -370,15 +385,17 @@ PortfolioSearch::minimize(const DiscreteObjective& objective,
                 try {
                     outcome = arms_[i].optimizer->minimize(
                         gated, space, arm_criteria, arm_context);
+                    // lint:allow(catch-swallow) the failure IS
+                    // recorded, as a finished empty arm: an arm
+                    // throwing mid-race must not strand its peers at
+                    // the barrier, and best_value = inf loses every
+                    // merge.
                 } catch (...) {
-                    // An arm throwing mid-race must not strand its
-                    // peers at the barrier; surface it as a finished,
-                    // empty arm.
                     outcome = OptimizeOutcome{};
                     outcome.best_value = kInf;
                 }
 
-                std::unique_lock lock(control.mutex);
+                MutexLock lock(control.mutex);
                 const StopReason reason = outcome.stop_reason;
                 const bool has_config = !outcome.best_config.empty();
                 attempts.push_back(std::move(outcome));
@@ -451,12 +468,16 @@ PortfolioSearch::minimize(const DiscreteObjective& objective,
             outcomes[i] = combine_attempts(std::move(attempts));
         });
     }
+    // lint:allow(raw-thread) joining the arm threads spawned above.
     for (std::thread& thread : threads) {
         thread.join();
     }
 
     // Merge: arm histories concatenated in arm index order (the
     // deterministic canonical order, independent of finish order).
+    // The joins above are the real synchronization; the lock (held to
+    // the end, uncontended) is for the analysis.
+    MutexLock merge_lock(control.mutex);
     report_ = Report{};
     OptimizeOutcome merged;
     std::size_t offset = 0;

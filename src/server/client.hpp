@@ -11,6 +11,14 @@
  *       const Event event = parse_event(*line);
  *       if (event.event == "result" && event.id == "j1") break;
  *   }
+ *
+ * Concurrency contract: a `BlockingClient` is THREAD-CONFINED — one
+ * thread owns the socket, there is no internal locking and nothing
+ * here for the thread-safety annotations to guard (the server side
+ * holds all shared state, under `cafqa::Mutex`). The load bench and
+ * tests that want concurrent traffic open one client per thread; the
+ * server's per-connection `write_mutex` keeps each response line
+ * intact regardless.
  */
 #ifndef CAFQA_SERVER_CLIENT_HPP
 #define CAFQA_SERVER_CLIENT_HPP

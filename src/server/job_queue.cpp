@@ -24,7 +24,7 @@ Admit
 JobQueue::push(Job job)
 {
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         if (closed_) {
             return Admit::Draining;
         }
@@ -76,14 +76,9 @@ JobQueue::advance_cursor_locked(std::size_t slot, bool exhausted)
     }
 }
 
-std::optional<Job>
-JobQueue::pop()
+Job
+JobQueue::pop_locked()
 {
-    std::unique_lock lock(mutex_);
-    ready_.wait(lock, [this] { return size_ > 0 || closed_; });
-    if (size_ == 0) {
-        return std::nullopt;
-    }
     const std::size_t slot = next_slot_locked();
     CAFQA_ASSERT(slot != std::string::npos,
                  "job queue size and rotation disagree");
@@ -95,11 +90,24 @@ JobQueue::pop()
     return job;
 }
 
+std::optional<Job>
+JobQueue::pop()
+{
+    MutexLock lock(mutex_);
+    while (size_ == 0 && !closed_) {
+        ready_.wait(lock);
+    }
+    if (size_ == 0) {
+        return std::nullopt;
+    }
+    return pop_locked();
+}
+
 void
 JobQueue::close()
 {
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         closed_ = true;
     }
     ready_.notify_all();
@@ -109,18 +117,11 @@ std::vector<Job>
 JobQueue::drain_now()
 {
     std::vector<Job> jobs;
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     // Fair order for the flush too, so cancelled-record order matches
     // what the workers would have run.
     while (size_ > 0) {
-        const std::size_t slot = next_slot_locked();
-        CAFQA_ASSERT(slot != std::string::npos,
-                     "job queue size and rotation disagree");
-        std::deque<Job>& fifo = clients_[rotation_[slot]];
-        jobs.push_back(std::move(fifo.front()));
-        fifo.pop_front();
-        --size_;
-        advance_cursor_locked(slot, fifo.empty());
+        jobs.push_back(pop_locked());
     }
     return jobs;
 }
@@ -128,14 +129,14 @@ JobQueue::drain_now()
 bool
 JobQueue::closed() const
 {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
 }
 
 std::size_t
 JobQueue::size() const
 {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return size_;
 }
 

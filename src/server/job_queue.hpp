@@ -20,17 +20,16 @@
 #define CAFQA_SERVER_JOB_QUEUE_HPP
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "core/run_spec.hpp"
 
 namespace cafqa::server {
@@ -89,24 +88,29 @@ class JobQueue
     std::size_t capacity() const { return capacity_; }
 
   private:
-    /** Pre: mutex held. The next client slot with work (from the
-     *  cursor); npos when idle. */
-    std::size_t next_slot_locked();
+    /** The next client slot with work (from the cursor); npos when
+     *  idle. */
+    std::size_t next_slot_locked() CAFQA_REQUIRES(mutex_);
 
-    /** Pre: mutex held. Move the cursor past `slot` after serving it,
-     *  retiring the client when its FIFO is exhausted. */
-    void advance_cursor_locked(std::size_t slot, bool exhausted);
+    /** Move the cursor past `slot` after serving it, retiring the
+     *  client when its FIFO is exhausted. */
+    void advance_cursor_locked(std::size_t slot, bool exhausted)
+        CAFQA_REQUIRES(mutex_);
+
+    /** Pop the fair-order head (pre: at least one job queued). */
+    Job pop_locked() CAFQA_REQUIRES(mutex_);
 
     std::size_t capacity_;
-    mutable std::mutex mutex_;
-    std::condition_variable ready_;
+    mutable Mutex mutex_;
+    CondVar ready_;
     /** Per-client FIFOs ("shards" of the fair schedule). */
-    std::unordered_map<std::string, std::deque<Job>> clients_;
+    std::unordered_map<std::string, std::deque<Job>> clients_
+        CAFQA_GUARDED_BY(mutex_);
     /** Round-robin rotation: client keys in first-seen order. */
-    std::vector<std::string> rotation_;
-    std::size_t cursor_ = 0;
-    std::size_t size_ = 0;
-    bool closed_ = false;
+    std::vector<std::string> rotation_ CAFQA_GUARDED_BY(mutex_);
+    std::size_t cursor_ CAFQA_GUARDED_BY(mutex_) = 0;
+    std::size_t size_ CAFQA_GUARDED_BY(mutex_) = 0;
+    bool closed_ CAFQA_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace cafqa::server

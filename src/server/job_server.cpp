@@ -83,7 +83,7 @@ JobServer::Connection::~Connection()
 void
 JobServer::Connection::send(const std::string& line)
 {
-    std::lock_guard lock(write_mutex);
+    MutexLock lock(write_mutex);
     send_locked(line);
 }
 
@@ -252,7 +252,7 @@ JobServer::accept_loop()
         auto connection = std::make_shared<Connection>();
         connection->fd = fd;
         {
-            std::lock_guard lock(connections_mutex_);
+            MutexLock lock(connections_mutex_);
             connection->id = next_connection_id_++;
             connections_[connection->id] = connection;
             readers_.emplace(
@@ -268,7 +268,7 @@ JobServer::reap_finished_readers()
 {
     std::vector<std::thread> finished;
     {
-        std::lock_guard lock(connections_mutex_);
+        MutexLock lock(connections_mutex_);
         finished.reserve(finished_readers_.size());
         for (const std::uint64_t id : finished_readers_) {
             const auto it = readers_.find(id);
@@ -316,7 +316,7 @@ JobServer::reader_loop(std::shared_ptr<Connection> connection)
         }
     }
     connection->open.store(false, std::memory_order_relaxed);
-    std::lock_guard lock(connections_mutex_);
+    MutexLock lock(connections_mutex_);
     connections_.erase(connection->id);
     // Announce exit LAST so whoever joins us (accept loop reap, or
     // wait()) only ever waits for this return statement.
@@ -344,8 +344,11 @@ JobServer::handle_line(const std::shared_ptr<Connection>& connection,
                 connection->send(event_rejected(id->value, error.what()));
                 return;
             }
+            // lint:allow(catch-swallow) best-effort probe: we only
+            // tried to parse enough of the bad request to reject its
+            // job id specifically; the error IS reported to the
+            // client on the very next line either way.
         } catch (...) {
-            // fall through to the request-level error
         }
         connection->send(event_error(error.what()));
         return;
@@ -357,7 +360,7 @@ JobServer::handle_line(const std::shared_ptr<Connection>& connection,
       case Op::Cancel: {
         std::shared_ptr<std::atomic<bool>> token;
         {
-            std::lock_guard lock(jobs_mutex_);
+            MutexLock lock(jobs_mutex_);
             const auto it = jobs_.find(request.id);
             if (it != jobs_.end()) {
                 token = it->second;
@@ -414,7 +417,7 @@ JobServer::handle_submit(const std::shared_ptr<Connection>& connection,
     // hits the wire before the worker — which may pop the job
     // immediately — can interleave its `started` event. (No deadlock:
     // the queue lock is never held while writing to a connection.)
-    std::lock_guard lock(connection->write_mutex);
+    MutexLock lock(connection->write_mutex);
     bool fresh_id;
     Admit admit = Admit::Accepted;
     {
@@ -422,7 +425,7 @@ JobServer::handle_submit(const std::shared_ptr<Connection>& connection,
         // cancel must never find (and "cancel") a job the queue then
         // rejects — the client would see `cancelled` followed by
         // `rejected` for an id that never existed.
-        std::lock_guard jobs_lock(jobs_mutex_);
+        MutexLock jobs_lock(jobs_mutex_);
         fresh_id = jobs_.try_emplace(id, token).second;
         if (fresh_id) {
             admit = queue_.push(std::move(job));
@@ -505,7 +508,7 @@ JobServer::flush_cancelled(Job& job)
 void
 JobServer::unregister_job(const std::string& id)
 {
-    std::lock_guard lock(jobs_mutex_);
+    MutexLock lock(jobs_mutex_);
     jobs_.erase(id);
 }
 
@@ -517,7 +520,7 @@ JobServer::shutdown(bool drain)
         return; // first call wins
     }
     {
-        std::lock_guard lock(shutdown_mutex_);
+        MutexLock lock(shutdown_mutex_);
         drain_ = drain;
     }
     queue_.close();
@@ -526,7 +529,9 @@ JobServer::shutdown(bool drain)
         // evaluation, queued jobs flush cancelled records right here
         // (a worker stuck in a long run must not delay them).
         {
-            std::lock_guard lock(jobs_mutex_);
+            MutexLock lock(jobs_mutex_);
+            // lint:allow(unordered-iter) raising every cancel token;
+            // order-insensitive, nothing is serialized here.
             for (auto& [id, token] : jobs_) {
                 token->store(true, std::memory_order_relaxed);
             }
@@ -545,11 +550,12 @@ void
 JobServer::wait()
 {
     {
-        std::unique_lock lock(shutdown_mutex_);
-        shutdown_cv_.wait(
-            lock, [this] { return shutdown_requested_.load(); });
+        MutexLock lock(shutdown_mutex_);
+        while (!shutdown_requested_.load()) {
+            shutdown_cv_.wait(lock);
+        }
     }
-    std::lock_guard teardown(teardown_mutex_);
+    MutexLock teardown(teardown_mutex_);
     if (finished_) {
         return;
     }
@@ -569,13 +575,16 @@ JobServer::wait()
     // Every record is out; say bye and wake the readers.
     bool drain;
     {
-        std::lock_guard lock(shutdown_mutex_);
+        MutexLock lock(shutdown_mutex_);
         drain = drain_;
     }
     std::vector<std::shared_ptr<Connection>> snapshot;
     {
-        std::lock_guard lock(connections_mutex_);
+        MutexLock lock(connections_mutex_);
         snapshot.reserve(connections_.size());
+        // lint:allow(unordered-iter) bye goes to every connection;
+        // each client only observes its own socket, so cross-client
+        // order cannot leak into any output.
         for (const auto& [id, connection] : connections_) {
             snapshot.push_back(connection);
         }
@@ -587,8 +596,10 @@ JobServer::wait()
     }
     std::vector<std::thread> readers;
     {
-        std::lock_guard lock(connections_mutex_);
+        MutexLock lock(connections_mutex_);
         readers.reserve(readers_.size());
+        // lint:allow(unordered-iter) collecting handles to join;
+        // join order is immaterial and produces no output.
         for (auto& [id, reader] : readers_) {
             readers.push_back(std::move(reader));
         }
@@ -599,7 +610,7 @@ JobServer::wait()
         reader.join();
     }
     {
-        std::lock_guard lock(connections_mutex_);
+        MutexLock lock(connections_mutex_);
         connections_.clear();
     }
     finished_ = true;

@@ -35,15 +35,14 @@
 #define CAFQA_SERVER_JOB_SERVER_HPP
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "core/caching_backend.hpp"
 #include "server/job_queue.hpp"
 #include "server/protocol.hpp"
@@ -130,7 +129,7 @@ class JobServer
     {
         int fd = -1;
         std::uint64_t id = 0;
-        std::mutex write_mutex;
+        Mutex write_mutex;
         std::atomic<bool> open{true};
 
         ~Connection();
@@ -139,12 +138,13 @@ class JobServer
          *  (stalled peer past `ServerOptions::send_timeout_ms`) marks
          *  the connection closed — later sends discard silently and
          *  the reader is kicked loose so the connection reaps. */
-        void send(const std::string& line);
+        void send(const std::string& line) CAFQA_EXCLUDES(write_mutex);
 
         /** `send` body for a caller already holding `write_mutex`
          *  (used to order `accepted` ahead of the worker's
          *  `started`). */
-        void send_locked(const std::string& line);
+        void send_locked(const std::string& line)
+            CAFQA_REQUIRES(write_mutex);
     };
 
     void accept_loop();
@@ -180,21 +180,24 @@ class JobServer
     std::thread accept_thread_;
     std::vector<std::thread> workers_;
 
-    std::mutex connections_mutex_;
+    Mutex connections_mutex_;
     std::unordered_map<std::uint64_t, std::shared_ptr<Connection>>
-        connections_;
+        connections_ CAFQA_GUARDED_BY(connections_mutex_);
     /** Live reader threads by connection id; a reader announces its
      *  exit in `finished_readers_` and is joined opportunistically by
      *  the accept loop (finally by `wait()`). */
-    std::unordered_map<std::uint64_t, std::thread> readers_;
-    std::vector<std::uint64_t> finished_readers_;
-    std::uint64_t next_connection_id_ = 1;
+    std::unordered_map<std::uint64_t, std::thread> readers_
+        CAFQA_GUARDED_BY(connections_mutex_);
+    std::vector<std::uint64_t> finished_readers_
+        CAFQA_GUARDED_BY(connections_mutex_);
+    std::uint64_t next_connection_id_
+        CAFQA_GUARDED_BY(connections_mutex_) = 1;
 
     /** Active (queued or in-flight) job id -> cancel token. */
-    std::mutex jobs_mutex_;
+    Mutex jobs_mutex_;
     std::unordered_map<std::string,
                        std::shared_ptr<std::atomic<bool>>>
-        jobs_;
+        jobs_ CAFQA_GUARDED_BY(jobs_mutex_);
     std::atomic<std::uint64_t> next_job_id_{1};
 
     std::atomic<std::uint64_t> submitted_{0};
@@ -202,13 +205,13 @@ class JobServer
     std::atomic<std::uint64_t> cancelled_{0};
     std::atomic<std::uint64_t> rejected_{0};
 
-    std::mutex shutdown_mutex_;
-    std::condition_variable shutdown_cv_;
+    Mutex shutdown_mutex_;
+    CondVar shutdown_cv_;
     std::atomic<bool> shutdown_requested_{false};
-    bool drain_ = true;
+    bool drain_ CAFQA_GUARDED_BY(shutdown_mutex_) = true;
     /** Serializes teardown so concurrent `wait` calls are safe. */
-    std::mutex teardown_mutex_;
-    bool finished_ = false;
+    Mutex teardown_mutex_;
+    bool finished_ CAFQA_GUARDED_BY(teardown_mutex_) = false;
 };
 
 } // namespace cafqa::server

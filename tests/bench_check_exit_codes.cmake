@@ -1,0 +1,45 @@
+# Pins bench_check's documented exit-code contract (see
+# bench/bench_check.cpp):
+#   0 clean   1 regression   2 bad arguments   3 missing input
+# Run via ctest:
+#   cmake -DBENCH_CHECK=<exe> -DWORK_DIR=<dir> -P bench_check_exit_codes.cmake
+
+if(NOT BENCH_CHECK OR NOT WORK_DIR)
+  message(FATAL_ERROR "BENCH_CHECK and WORK_DIR are required")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+file(WRITE ${WORK_DIR}/baseline.json
+     "{\"pack_us\": 10.0, \"throughput_jobs\": 100.0}\n")
+file(WRITE ${WORK_DIR}/same.json
+     "{\"pack_us\": 11.0, \"throughput_jobs\": 95.0}\n")
+file(WRITE ${WORK_DIR}/slow.json
+     "{\"pack_us\": 500.0, \"throughput_jobs\": 95.0}\n")
+
+function(expect_exit code)
+  execute_process(COMMAND ${BENCH_CHECK} ${ARGN}
+                  RESULT_VARIABLE result
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT result EQUAL ${code})
+    message(FATAL_ERROR
+            "bench_check ${ARGN}: expected exit ${code}, got "
+            "'${result}'\nstdout: ${out}\nstderr: ${err}")
+  endif()
+endfunction()
+
+# 0: within tolerance.
+expect_exit(0 ${WORK_DIR}/same.json --check ${WORK_DIR}/baseline.json)
+# 1: timing regression past the band.
+expect_exit(1 ${WORK_DIR}/slow.json --check ${WORK_DIR}/baseline.json)
+# 2: usage errors - no baseline, unknown flag, bad tolerance.
+expect_exit(2 ${WORK_DIR}/same.json)
+expect_exit(2 ${WORK_DIR}/same.json --check ${WORK_DIR}/baseline.json
+            --bogus)
+expect_exit(2 ${WORK_DIR}/same.json --check ${WORK_DIR}/baseline.json
+            --tolerance 0.5)
+# 3: missing input file (either side).
+expect_exit(3 ${WORK_DIR}/absent.json --check ${WORK_DIR}/baseline.json)
+expect_exit(3 ${WORK_DIR}/same.json --check ${WORK_DIR}/absent.json)
+
+message(STATUS "bench_check exit-code contract holds")

@@ -1,0 +1,524 @@
+#include "lint/linter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace cafqa::lint {
+namespace {
+
+bool
+is_ident(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/**
+ * Replace comment bodies and string/char literal contents (delimiters
+ * included) with spaces, preserving newlines so offsets keep mapping
+ * to the original lines. Handles //, block comments, escapes, digit
+ * separators (1'000) and R"delim(...)delim" raw strings.
+ */
+std::string
+blank_comments_and_strings(const std::string& text)
+{
+    std::string out = text;
+    enum class State { Code, Line, Block, Str, Chr, Raw };
+    State state = State::Code;
+    std::string raw_close; // ")delim\"" that ends the raw string
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const char c = out[i];
+        const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+        switch (state) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::Line;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::Block;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '"') {
+                const bool raw = i > 0 && out[i - 1] == 'R' &&
+                                 (i < 2 || !is_ident(out[i - 2]));
+                if (raw) {
+                    raw_close = ")";
+                    for (std::size_t j = i + 1;
+                         j < out.size() && out[j] != '('; ++j) {
+                        raw_close += out[j];
+                    }
+                    raw_close += '"';
+                    state = State::Raw;
+                } else {
+                    state = State::Str;
+                }
+                out[i] = ' ';
+            } else if (c == '\'') {
+                // A quote straight after an identifier/digit character
+                // is a digit separator (1'000), not a char literal.
+                if (i == 0 || !is_ident(out[i - 1])) {
+                    state = State::Chr;
+                }
+                out[i] = ' ';
+            }
+            break;
+          case State::Line:
+            if (c == '\n') {
+                state = State::Code;
+            } else {
+                out[i] = ' ';
+            }
+            break;
+          case State::Block:
+            if (c == '*' && next == '/') {
+                out[i] = out[i + 1] = ' ';
+                ++i;
+                state = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case State::Str:
+          case State::Chr:
+            if (c == '\\') {
+                out[i] = ' ';
+                if (next != '\0' && next != '\n') {
+                    out[i + 1] = ' ';
+                    ++i;
+                }
+            } else if ((state == State::Str && c == '"') ||
+                       (state == State::Chr && c == '\'')) {
+                out[i] = ' ';
+                state = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case State::Raw:
+            if (c == raw_close[0] &&
+                out.compare(i, raw_close.size(), raw_close) == 0) {
+                for (std::size_t j = 0; j < raw_close.size(); ++j) {
+                    out[i + j] = ' ';
+                }
+                i += raw_close.size() - 1;
+                state = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+split_lines(const std::string& text)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t end = text.find('\n', start);
+        if (end == std::string::npos) {
+            lines.push_back(text.substr(start));
+            break;
+        }
+        lines.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return lines;
+}
+
+/** 1-based line number of `offset` in `text`. */
+std::size_t
+line_of(const std::string& text, std::size_t offset)
+{
+    return 1 + static_cast<std::size_t>(
+                   std::count(text.begin(),
+                              text.begin() +
+                                  static_cast<std::ptrdiff_t>(
+                                      std::min(offset, text.size())),
+                              '\n'));
+}
+
+std::string
+trim(const std::string& s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+        ++b;
+    }
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+        --e;
+    }
+    return s.substr(b, e - b);
+}
+
+bool
+path_contains(const std::string& path, const std::string& piece)
+{
+    return path.find(piece) != std::string::npos;
+}
+
+struct Allow
+{
+    std::string rule;
+    bool used = false;
+};
+
+/**
+ * Parse `// lint:allow(<rule>) <reason>` directives from the RAW text
+ * (they live inside comments, which the sanitizer blanks). A
+ * malformed directive becomes a `bad-allow` finding immediately.
+ */
+std::map<std::size_t, std::vector<Allow>>
+collect_allows(const std::string& path,
+               const std::vector<std::string>& raw_lines,
+               std::vector<Finding>& findings)
+{
+    static const std::string kTag = "lint:allow(";
+    const std::set<std::string> known(rule_names().begin(),
+                                      rule_names().end());
+    std::map<std::size_t, std::vector<Allow>> allows;
+    for (std::size_t n = 0; n < raw_lines.size(); ++n) {
+        const std::string& line = raw_lines[n];
+        std::size_t pos = 0;
+        while ((pos = line.find(kTag, pos)) != std::string::npos) {
+            const std::size_t open = pos + kTag.size();
+            const std::size_t close = line.find(')', open);
+            pos = open;
+            if (close == std::string::npos) {
+                findings.push_back({path, n + 1, "bad-allow",
+                                    "unterminated lint:allow directive"});
+                continue;
+            }
+            const std::string rule = trim(line.substr(open, close - open));
+            const std::string reason = trim(line.substr(close + 1));
+            if (known.count(rule) == 0) {
+                findings.push_back({path, n + 1, "bad-allow",
+                                    "lint:allow names unknown rule '" +
+                                        rule + "'"});
+                continue;
+            }
+            if (reason.empty()) {
+                findings.push_back(
+                    {path, n + 1, "bad-allow",
+                     "lint:allow(" + rule +
+                         ") needs a reason after the closing paren"});
+                continue;
+            }
+            allows[n + 1].push_back({rule, false});
+        }
+    }
+    return allows;
+}
+
+void
+check_line_rules(const std::string& path,
+                 const std::vector<std::string>& lines,
+                 std::vector<Finding>& findings)
+{
+    static const std::regex rng_re(
+        R"(\b(srand|rand)\s*\(|\brandom_device\b)");
+    static const std::regex thread_re(R"(\bstd\s*::\s*j?thread\b)");
+    static const std::regex mutex_re(
+        R"(\bstd\s*::\s*((recursive_|timed_|recursive_timed_|shared_|shared_timed_)?mutex|condition_variable(_any)?)\b)");
+
+    const bool thread_exempt = path_contains(path, "common/thread_pool.") ||
+                               path_contains(path, "server/");
+    const bool mutex_exempt = path_contains(path, "thread_safety.hpp");
+
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+        const std::string& line = lines[n];
+        if (std::regex_search(line, rng_re)) {
+            findings.push_back(
+                {path, n + 1, "unseeded-rng",
+                 "rand()/srand()/std::random_device bypass the seeded "
+                 "RNG plumbing; use cafqa's Rng so runs replay"});
+        }
+        if (!thread_exempt && std::regex_search(line, thread_re)) {
+            findings.push_back(
+                {path, n + 1, "raw-thread",
+                 "raw std::thread outside thread_pool/server; use "
+                 "ThreadPool so shutdown and error plumbing apply"});
+        }
+        if (!mutex_exempt && std::regex_search(line, mutex_re)) {
+            findings.push_back(
+                {path, n + 1, "naked-mutex",
+                 "naked std::mutex/condition_variable; use the "
+                 "annotated cafqa::Mutex/CondVar wrappers "
+                 "(common/thread_safety.hpp) so -Wthread-safety "
+                 "sees the lock"});
+        }
+    }
+}
+
+/**
+ * Names declared with an unordered container type. Heuristic: find
+ * `unordered_map<...>` (and set/multi variants), angle-match to the
+ * closing `>`, and take the identifier that follows (skipping
+ * whitespace) as the declared variable. Declarations split across
+ * lines and trailing attribute macros both work; `using` aliases are
+ * not chased (the alias name is not an identifier-after-`>`).
+ */
+std::set<std::string>
+unordered_names_in_code(const std::string& code)
+{
+    static const std::regex decl_re(
+        R"(\bunordered_(map|set|multimap|multiset)\s*<)");
+    std::set<std::string> names;
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), decl_re);
+         it != std::sregex_iterator(); ++it) {
+        std::size_t i =
+            static_cast<std::size_t>(it->position() + it->length());
+        int depth = 1;
+        while (i < code.size() && depth > 0) {
+            if (code[i] == '<') {
+                ++depth;
+            } else if (code[i] == '>' && code[i - 1] != '-') {
+                --depth;
+            }
+            ++i;
+        }
+        while (i < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[i]))) {
+            ++i;
+        }
+        std::string name;
+        while (i < code.size() && is_ident(code[i])) {
+            name += code[i++];
+        }
+        if (!name.empty() &&
+            !std::isdigit(static_cast<unsigned char>(name[0]))) {
+            names.insert(name);
+        }
+    }
+    return names;
+}
+
+void
+check_unordered_iteration(const std::string& path, const std::string& code,
+                          const std::set<std::string>& cross_file_unordered,
+                          std::vector<Finding>& findings)
+{
+    std::set<std::string> names = unordered_names_in_code(code);
+    // Cross-file names exist for the header-declares / cpp-iterates
+    // split, which only concerns class members — so only take the
+    // member-style ones (trailing '_'). Unsuffixed locals like `seen`
+    // would otherwise collide across unrelated files.
+    for (const std::string& name : cross_file_unordered) {
+        if (!name.empty() && name.back() == '_') {
+            names.insert(name);
+        }
+    }
+    if (names.empty()) {
+        return;
+    }
+    static const std::regex for_re(R"(\bfor\s*\()");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), for_re);
+         it != std::sregex_iterator(); ++it) {
+        const std::size_t open =
+            static_cast<std::size_t>(it->position() + it->length()) - 1;
+        // Find the range-for ':' at paren depth 1 (":" but not "::").
+        int depth = 0;
+        std::size_t colon = std::string::npos;
+        std::size_t close = std::string::npos;
+        for (std::size_t i = open; i < code.size(); ++i) {
+            const char c = code[i];
+            if (c == '(' || c == '[' || c == '{') {
+                ++depth;
+            } else if (c == ')' || c == ']' || c == '}') {
+                --depth;
+                if (depth == 0) {
+                    close = i;
+                    break;
+                }
+            } else if (c == ':' && depth == 1 &&
+                       (i + 1 >= code.size() || code[i + 1] != ':') &&
+                       (i == 0 || code[i - 1] != ':')) {
+                if (colon == std::string::npos) {
+                    colon = i;
+                }
+            }
+        }
+        if (colon == std::string::npos || close == std::string::npos) {
+            continue; // classic for loop (or unparsable)
+        }
+        const std::string range =
+            code.substr(colon + 1, close - colon - 1);
+        // The identifier actually iterated is the last one in the
+        // range expression (`jobs_`, `r.factories`, `this->index_`).
+        std::string last;
+        std::string current;
+        for (const char c : range) {
+            if (is_ident(c)) {
+                current += c;
+            } else {
+                if (!current.empty()) {
+                    last = current;
+                }
+                current.clear();
+            }
+        }
+        if (!current.empty()) {
+            last = current;
+        }
+        if (!last.empty() && names.count(last) > 0) {
+            findings.push_back(
+                {path, line_of(code, static_cast<std::size_t>(it->position())),
+                 "unordered-iter",
+                 "range-for over unordered container '" + last +
+                     "'; iteration order is unspecified, so loops that "
+                     "feed serialization or output are nondeterministic "
+                     "- iterate a sorted view instead"});
+        }
+    }
+}
+
+void
+check_catch_swallow(const std::string& path, const std::string& code,
+                    std::vector<Finding>& findings)
+{
+    static const std::regex catch_re(R"(\bcatch\s*\(\s*\.\.\.\s*\)\s*\{)");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), catch_re);
+         it != std::sregex_iterator(); ++it) {
+        const std::size_t brace =
+            static_cast<std::size_t>(it->position() + it->length()) - 1;
+        int depth = 0;
+        std::size_t end = code.size();
+        for (std::size_t i = brace; i < code.size(); ++i) {
+            if (code[i] == '{') {
+                ++depth;
+            } else if (code[i] == '}') {
+                if (--depth == 0) {
+                    end = i;
+                    break;
+                }
+            }
+        }
+        const std::string body = code.substr(brace + 1, end - brace - 1);
+        static const std::regex handled_re(
+            R"(\bthrow\b|current_exception)");
+        if (!std::regex_search(body, handled_re)) {
+            findings.push_back(
+                {path, line_of(code, static_cast<std::size_t>(it->position())),
+                 "catch-swallow",
+                 "catch (...) neither rethrows nor records the error "
+                 "(no throw/current_exception in the handler); "
+                 "swallowed exceptions hide worker crashes"});
+        }
+    }
+}
+
+} // namespace
+
+const std::vector<std::string>&
+rule_names()
+{
+    static const std::vector<std::string> kRules = {
+        "unseeded-rng", "raw-thread",    "unordered-iter",
+        "naked-mutex",  "catch-swallow",
+    };
+    return kRules;
+}
+
+std::set<std::string>
+unordered_container_names(const std::string& text)
+{
+    return unordered_names_in_code(blank_comments_and_strings(text));
+}
+
+FileReport
+lint_source(const std::string& display_path, const std::string& text,
+            const std::set<std::string>& cross_file_unordered)
+{
+    FileReport report;
+    const std::vector<std::string> raw_lines = split_lines(text);
+    auto allows = collect_allows(display_path, raw_lines, report.findings);
+
+    const std::string code = blank_comments_and_strings(text);
+    const std::vector<std::string> code_lines = split_lines(code);
+
+    std::vector<Finding> candidates;
+    check_line_rules(display_path, code_lines, candidates);
+    check_unordered_iteration(display_path, code, cross_file_unordered,
+                              candidates);
+    check_catch_swallow(display_path, code, candidates);
+
+    // Resolve each allow to the line it suppresses: a trailing allow
+    // (code before the comment) covers its own line; an allow on a
+    // comment-only line covers the next line that has code, so a
+    // reason may wrap over several comment lines.
+    const auto blank = [&code_lines](std::size_t line) {
+        return line > code_lines.size() ||
+               trim(code_lines[line - 1]).empty();
+    };
+    std::map<std::size_t, std::vector<Allow>> targeted;
+    for (auto& [line, allow_list] : allows) {
+        std::size_t target = line;
+        if (blank(target)) {
+            do {
+                ++target;
+            } while (target <= code_lines.size() && blank(target));
+        }
+        auto& bucket = targeted[target];
+        bucket.insert(bucket.end(), allow_list.begin(), allow_list.end());
+    }
+
+    for (Finding& finding : candidates) {
+        bool suppressed = false;
+        auto it = targeted.find(finding.line);
+        if (it != targeted.end()) {
+            for (Allow& allow : it->second) {
+                if (allow.rule == finding.rule) {
+                    allow.used = true;
+                    suppressed = true;
+                    break;
+                }
+            }
+        }
+        if (suppressed) {
+            ++report.allows_used;
+        } else {
+            report.findings.push_back(std::move(finding));
+        }
+    }
+    std::sort(report.findings.begin(), report.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  return a.line < b.line ||
+                         (a.line == b.line && a.rule < b.rule);
+              });
+    return report;
+}
+
+FileReport
+lint_file(const std::string& path,
+          const std::set<std::string>& cross_file_unordered)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        FileReport report;
+        report.findings.push_back(
+            {path, 0, "io-error", "cannot open file"});
+        return report;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return lint_source(path, buffer.str(), cross_file_unordered);
+}
+
+std::map<std::string, std::size_t>
+rule_hits(const std::vector<Finding>& findings)
+{
+    std::map<std::string, std::size_t> hits;
+    for (const Finding& finding : findings) {
+        ++hits[finding.rule];
+    }
+    return hits;
+}
+
+} // namespace cafqa::lint

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Project-invariant linter for the CAFQA tree (`lint_invariants`).
+ *
+ * The repo has a handful of concurrency/determinism invariants that
+ * the compiler cannot enforce and that review keeps re-litigating.
+ * This linter makes them mechanical. Rules:
+ *
+ *   unseeded-rng    No `rand()`, `srand()` or `std::random_device`.
+ *                   All randomness must flow through the seeded RNG
+ *                   plumbing (`common/rng.hpp`) so runs replay.
+ *   raw-thread      No raw `std::thread` outside the two sanctioned
+ *                   homes (`common/thread_pool.*`, `src/server/`).
+ *                   Everything else goes through `ThreadPool`.
+ *   unordered-iter  No range-for over a variable declared as a
+ *                   `std::unordered_{map,set,multimap,multiset}` —
+ *                   iteration order is unspecified, so such loops
+ *                   feeding serialization or output make results
+ *                   nondeterministic across libstdc++ versions.
+ *   naked-mutex     No `std::mutex` / `std::condition_variable`
+ *                   outside `common/thread_safety.hpp`. Use the
+ *                   annotated `cafqa::Mutex` / `cafqa::CondVar`
+ *                   wrappers so clang -Wthread-safety sees the locks.
+ *   catch-swallow   No `catch (...)` that neither rethrows (`throw`)
+ *                   nor records the error (`current_exception`).
+ *                   Silent swallowing hides worker crashes.
+ *
+ * Suppression: a violating line (or the line directly above it) may
+ * carry `// lint:allow(<rule>) <reason>`. The reason is mandatory —
+ * an allow without one, or naming an unknown rule, is itself reported
+ * (rule `bad-allow`) and cannot be suppressed.
+ *
+ * The matching is lexical (comments and string/char literals are
+ * blanked first), deliberately simple and deterministic; `lint:allow`
+ * is the escape hatch for the rare justified exception.
+ */
+#ifndef CAFQA_TOOLS_LINT_LINTER_HPP
+#define CAFQA_TOOLS_LINT_LINTER_HPP
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cafqa::lint {
+
+/** One rule violation (or malformed suppression). */
+struct Finding
+{
+    std::string file;
+    std::size_t line = 0; // 1-based
+    std::string rule;
+    std::string message;
+};
+
+/** Result of linting one file / source buffer. */
+struct FileReport
+{
+    std::vector<Finding> findings;
+    /** Suppressions that matched a finding (honoured allows). */
+    std::size_t allows_used = 0;
+};
+
+/** The enforced rule names (excludes the meta rule `bad-allow`). */
+const std::vector<std::string>& rule_names();
+
+/**
+ * Names declared with an unordered container type in `text`. The
+ * `unordered-iter` rule needs these ACROSS files: members are
+ * declared unordered in a header but iterated in the matching .cpp,
+ * so the driver collects the union over the whole tree first and
+ * passes it back in via `cross_file_unordered`.
+ */
+std::set<std::string> unordered_container_names(const std::string& text);
+
+/** Lint an in-memory buffer. `display_path` labels findings and
+ *  drives the path-based exemptions (thread_safety.hpp, thread_pool,
+ *  server/). */
+FileReport lint_source(const std::string& display_path,
+                       const std::string& text,
+                       const std::set<std::string>& cross_file_unordered = {});
+
+/** Lint a file on disk. Unreadable file -> one finding with rule
+ *  "io-error". */
+FileReport lint_file(const std::string& path,
+                     const std::set<std::string>& cross_file_unordered = {});
+
+/** Aggregate per-rule hit counts (the CI summary table). */
+std::map<std::string, std::size_t>
+rule_hits(const std::vector<Finding>& findings);
+
+} // namespace cafqa::lint
+
+#endif // CAFQA_TOOLS_LINT_LINTER_HPP

@@ -1,0 +1,9 @@
+// Fixture: malformed suppressions must trip `bad-allow` (and the
+// reason-less one must NOT suppress the underlying finding).
+#include <mutex>
+
+struct Widget
+{
+    std::mutex mutex; // lint:allow(naked-mutex)
+    std::mutex other; // lint:allow(not-a-real-rule) because reasons
+};

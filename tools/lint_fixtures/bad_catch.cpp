@@ -1,0 +1,17 @@
+// Fixture: a catch-all that neither rethrows nor records must trip
+// `catch-swallow`.
+void risky();
+
+void f()
+{
+    try {
+        risky();
+    } catch (...) {
+    }
+    try {
+        risky();
+    } catch (...) {
+        int unused = 0;
+        (void)unused;
+    }
+}

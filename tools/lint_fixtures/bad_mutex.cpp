@@ -1,0 +1,10 @@
+// Fixture: naked standard mutex primitives must trip `naked-mutex`.
+#include <condition_variable>
+#include <mutex>
+
+struct Widget
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::shared_mutex cache_mutex;
+};

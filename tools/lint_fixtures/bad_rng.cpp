@@ -1,0 +1,10 @@
+// Fixture: every line here must trip `unseeded-rng`.
+#include <cstdlib>
+#include <random>
+
+int f()
+{
+    std::random_device device;
+    srand(device());
+    return rand() % 7;
+}

@@ -1,0 +1,9 @@
+// Fixture: raw std::thread outside thread_pool/server must trip
+// `raw-thread`.
+#include <thread>
+
+void f()
+{
+    std::thread worker([] {});
+    worker.join();
+}

@@ -1,0 +1,26 @@
+// Fixture: range-for over an unordered container must trip
+// `unordered-iter` — including members declared across lines with a
+// trailing attribute macro, and via a struct qualifier.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#define FAKE_GUARDED_BY(x)
+
+struct State
+{
+    std::unordered_map<std::string, int>
+        counters FAKE_GUARDED_BY(mutex_);
+    std::unordered_set<int> ids;
+};
+
+void dump(const State& state)
+{
+    for (const auto& [name, value] : state.counters) {
+        std::printf("%s=%d\n", name.c_str(), value);
+    }
+    for (int id : state.ids) {
+        std::printf("%d\n", id);
+    }
+}

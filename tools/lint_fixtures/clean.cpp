@@ -1,0 +1,57 @@
+// Fixture: must lint clean. Exercises the escape hatch (allow WITH a
+// reason), handled catch-alls, ordered-map iteration, and rule tokens
+// hidden inside comments and string literals.
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+struct Bridge
+{
+    // lint:allow(naked-mutex) interop shim: hands the raw handle to a
+    // C library that expects a std::mutex.
+    std::mutex raw_handle;
+};
+
+// Comment mentioning std::thread and rand() must not trip anything.
+const char* kDoc = "call rand() via std::thread under std::mutex";
+
+struct Totals
+{
+    std::unordered_map<std::string, int> by_name;
+    std::map<std::string, int> sorted;
+};
+
+int sum(const Totals& totals)
+{
+    int total = 0;
+    // Ordered map: fine to iterate.
+    for (const auto& [name, value] : totals.sorted) {
+        (void)name;
+        total += value;
+    }
+    // lint:allow(unordered-iter) order-insensitive fold: addition is
+    // commutative, nothing is serialized.
+    for (const auto& [name, value] : totals.by_name) {
+        (void)name;
+        total += value;
+    }
+    return total;
+}
+
+void guarded()
+{
+    try {
+        std::printf("%d\n", 1);
+    } catch (...) {
+        throw;
+    }
+    try {
+        std::printf("%d\n", 2);
+    } catch (...) {
+        std::exception_ptr error = std::current_exception();
+        (void)error;
+    }
+}

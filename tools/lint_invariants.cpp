@@ -1,0 +1,139 @@
+/**
+ * @file
+ * `lint_invariants` — walk C++ sources and enforce the project
+ * invariants documented in tools/lint/linter.hpp.
+ *
+ *   lint_invariants [--list-rules] <file-or-directory>...
+ *
+ * Directories are walked recursively for .hpp/.h/.hh/.cpp/.cc/.cxx
+ * files (deterministic sorted order). Output: one `file:line: [rule]
+ * message` per finding, then a per-rule hit summary for CI logs.
+ *
+ * Exit codes:
+ *   0  clean (honoured `lint:allow` suppressions are fine)
+ *   1  at least one finding
+ *   2  usage error, nonexistent path, or unreadable file
+ */
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool
+lintable(const fs::path& path)
+{
+    static const std::vector<std::string> kExtensions = {
+        ".hpp", ".h", ".hh", ".cpp", ".cc", ".cxx"};
+    const std::string ext = path.extension().string();
+    return std::find(kExtensions.begin(), kExtensions.end(), ext) !=
+           kExtensions.end();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> files;
+    bool saw_path = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const std::string& rule : cafqa::lint::rule_names()) {
+                std::printf("%s\n", rule.c_str());
+            }
+            return 0;
+        }
+        if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: lint_invariants [--list-rules] <path>...\n");
+            return 0;
+        }
+        saw_path = true;
+        std::error_code ec;
+        if (fs::is_directory(arg, ec)) {
+            for (const auto& entry :
+                 fs::recursive_directory_iterator(arg)) {
+                if (entry.is_regular_file() && lintable(entry.path())) {
+                    files.push_back(entry.path().generic_string());
+                }
+            }
+        } else if (fs::is_regular_file(arg, ec)) {
+            files.push_back(arg);
+        } else {
+            std::fprintf(stderr, "lint_invariants: no such path: %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (!saw_path) {
+        std::fprintf(stderr,
+                     "usage: lint_invariants [--list-rules] <path>...\n");
+        return 2;
+    }
+    std::sort(files.begin(), files.end());
+
+    // Phase 1: unordered container names across the WHOLE tree, so a
+    // member declared unordered in a header is still caught when the
+    // matching .cpp iterates it.
+    std::set<std::string> unordered;
+    std::vector<std::string> contents(files.size());
+    std::vector<bool> readable(files.size(), false);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        std::ifstream in(files[i], std::ios::binary);
+        if (in) {
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            contents[i] = buffer.str();
+            readable[i] = true;
+            const auto names =
+                cafqa::lint::unordered_container_names(contents[i]);
+            unordered.insert(names.begin(), names.end());
+        }
+    }
+
+    // Phase 2: lint each file against the union.
+    std::vector<cafqa::lint::Finding> findings;
+    std::size_t allows_used = 0;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        cafqa::lint::FileReport report =
+            readable[i]
+                ? cafqa::lint::lint_source(files[i], contents[i],
+                                           unordered)
+                : cafqa::lint::lint_file(files[i], unordered);
+        allows_used += report.allows_used;
+        findings.insert(findings.end(), report.findings.begin(),
+                        report.findings.end());
+    }
+
+    bool io_error = false;
+    for (const auto& finding : findings) {
+        std::printf("%s:%zu: [%s] %s\n", finding.file.c_str(),
+                    finding.line, finding.rule.c_str(),
+                    finding.message.c_str());
+        io_error = io_error || finding.rule == "io-error";
+    }
+
+    // Rule-hit summary (one stable block CI can grep / publish).
+    std::printf("lint_invariants: %zu file(s), %zu finding(s), "
+                "%zu allow(s) honoured\n",
+                files.size(), findings.size(), allows_used);
+    for (const auto& [rule, hits] : cafqa::lint::rule_hits(findings)) {
+        std::printf("  %-16s %zu\n", rule.c_str(), hits);
+    }
+
+    if (io_error) {
+        return 2;
+    }
+    return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Negative-compile CONTROL: identical to guarded_by_violation.cpp
+ * except the guarded member is only touched with the lock held. This
+ * file MUST build under `-Wthread-safety -Werror=thread-safety-analysis`
+ * — if it does not, the check setup itself is broken (wrong flags,
+ * wrong include path) and the violation check would prove nothing.
+ */
+#include "common/thread_safety.hpp"
+
+namespace {
+
+class Counter
+{
+  public:
+    void increment()
+    {
+        cafqa::MutexLock lock(mutex_);
+        ++value_;
+    }
+
+    int value()
+    {
+        cafqa::MutexLock lock(mutex_);
+        return value_;
+    }
+
+  private:
+    cafqa::Mutex mutex_;
+    int value_ CAFQA_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter counter;
+    counter.increment();
+    return counter.value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Negative-compile check: this file touches a CAFQA_GUARDED_BY member
+ * WITHOUT holding its mutex and therefore MUST FAIL to build under
+ * `-Wthread-safety -Werror=thread-safety-analysis`. CMake's
+ * try_compile asserts the failure at configure time (clang only); if
+ * this ever compiles, the annotation macros have stopped expanding to
+ * real attributes.
+ */
+#include "common/thread_safety.hpp"
+
+namespace {
+
+class Counter
+{
+  public:
+    // BUG (deliberate): writes the guarded member lock-free.
+    void increment() { ++value_; }
+
+  private:
+    cafqa::Mutex mutex_;
+    int value_ CAFQA_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter counter;
+    counter.increment();
+    return 0;
+}
