@@ -22,10 +22,11 @@
 #include <fstream>
 #include <iostream>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/thread_safety.hpp"
 
 #include "common/text.hpp"
 #include "core/batch_runner.hpp"
@@ -172,7 +173,9 @@ main(int argc, char** argv)
     std::map<std::string, std::string> record_of; // spec -> record json
     std::size_t accepted = 0;
     std::size_t failed = 0;
-    std::mutex merge_mutex;
+    cafqa::Mutex merge_mutex{"merge_mutex"};
+    // lint:allow(raw-thread) bench drainers must outpace the server's
+    // worker sends; the pool's serialized parallel_for cannot.
     std::vector<std::thread> drainers;
     drainers.reserve(num_clients);
     for (std::size_t c = 0; c < num_clients; ++c) {
@@ -206,7 +209,7 @@ main(int argc, char** argv)
                         event.record_json;
                 }
             }
-            std::lock_guard lock(merge_mutex);
+            cafqa::MutexLock lock(merge_mutex);
             latencies_ms.insert(latencies_ms.end(),
                                 local_latencies.begin(),
                                 local_latencies.end());
@@ -217,6 +220,7 @@ main(int argc, char** argv)
             failed += local_failed;
         });
     }
+    // lint:allow(raw-thread) joining the bench drainers above.
     for (std::thread& drainer : drainers) {
         drainer.join();
     }

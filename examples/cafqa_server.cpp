@@ -124,6 +124,8 @@ main(int argc, char** argv)
 
         // Drain on the first signal byte; a client `shutdown` op makes
         // wait() return on its own, so watch both in a helper thread.
+        // lint:allow(raw-thread) a signal watcher must block in read()
+        // independently of the pool; it is joined right below.
         std::thread signal_watcher([&server] {
             char byte;
             if (::read(signal_pipe[0], &byte, 1) == 1) {

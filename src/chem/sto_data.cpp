@@ -195,8 +195,8 @@ const AtomBasis&
 sto3g_atom_basis(int atomic_number)
 {
     static std::map<int, AtomBasis> cache;
-    static Mutex mutex;
-    MutexLock lock(mutex);
+    static Mutex sto_basis_mutex{"sto_basis_mutex"};
+    MutexLock lock(sto_basis_mutex);
 
     const auto hit = cache.find(atomic_number);
     if (hit != cache.end()) {

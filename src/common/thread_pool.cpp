@@ -20,7 +20,7 @@ ThreadPool::ThreadPool(std::size_t threads)
 ThreadPool::~ThreadPool()
 {
     {
-        MutexLock lock(mutex_);
+        MutexLock lock(pool_mutex_);
         // Shutdown audit: a pool may only be destroyed between jobs.
         // `parallel_for` is synchronous, so in correct usage `job_` is
         // always null here; if a caller races destruction against a
@@ -42,7 +42,7 @@ ThreadPool::worker_loop(std::size_t worker)
 {
     std::uint64_t seen_generation = 0;
     for (;;) {
-        MutexLock lock(mutex_);
+        MutexLock lock(pool_mutex_);
         while (!stopping_ &&
                (job_ == nullptr || generation_ == seen_generation)) {
             work_ready_.wait(lock);
@@ -56,13 +56,16 @@ ThreadPool::worker_loop(std::size_t worker)
             return;
         }
         seen_generation = generation_;
-        const auto* job = job_;
+        // Per-generation copy taken under the lock: the pointee is
+        // `CAFQA_PT_GUARDED_BY(pool_mutex_)`, so invocations run on the
+        // copy instead of dereferencing `job_` while unlocked.
+        const std::function<void(std::size_t, std::size_t)> job = *job_;
         ++active_workers_;
         while (next_index_ < job_count_ && !first_error_) {
             const std::size_t index = next_index_++;
             lock.unlock();
             try {
-                (*job)(worker, index);
+                job(worker, index);
             } catch (...) {
                 lock.lock();
                 if (!first_error_) {
@@ -95,7 +98,7 @@ ThreadPool::parallel_for(
         return;
     }
     MutexLock caller_lock(caller_mutex_);
-    MutexLock lock(mutex_);
+    MutexLock lock(pool_mutex_);
     CAFQA_ASSERT(job_ == nullptr, "parallel_for re-entered from a job");
     job_ = &fn;
     job_count_ = count;
@@ -105,6 +108,10 @@ ThreadPool::parallel_for(
     work_ready_.notify_all();
     while (!(active_workers_ == 0 &&
              (next_index_ >= job_count_ || first_error_))) {
+        // lint:allow(blocking-under-lock) caller_mutex_ exists to park
+        // concurrent parallel_for callers across exactly this wait;
+        // workers only ever take pool_mutex_, so holding caller_mutex_
+        // here cannot stall them.
         work_done_.wait(lock);
     }
     job_ = nullptr;

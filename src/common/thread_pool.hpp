@@ -54,31 +54,35 @@ class ThreadPool
     void parallel_for(std::size_t count,
                       const std::function<void(std::size_t worker,
                                                std::size_t index)>& fn)
-        CAFQA_EXCLUDES(mutex_);
+        CAFQA_EXCLUDES(pool_mutex_);
 
     /** Process-wide default pool, sized to the hardware. */
     static ThreadPool& shared();
 
   private:
-    void worker_loop(std::size_t worker) CAFQA_EXCLUDES(mutex_);
+    void worker_loop(std::size_t worker) CAFQA_EXCLUDES(pool_mutex_);
 
     std::vector<std::thread> workers_;
     /** Serializes concurrent parallel_for callers (held for the whole
-     *  job, and ordered strictly before `mutex_`). */
-    Mutex caller_mutex_;
-    Mutex mutex_;
+     *  job, and ordered strictly before `pool_mutex_`). */
+    Mutex caller_mutex_{"caller_mutex"};
+    Mutex pool_mutex_{"pool_mutex"};
     CondVar work_ready_;
     CondVar work_done_;
 
-    // Current job state.
+    // Current job state. The job pointer AND its pointee (the caller's
+    // `fn`, alive until `work_done_` fires) are only touched under the
+    // lock: workers take a per-generation copy instead of dereferencing
+    // while unlocked.
     const std::function<void(std::size_t, std::size_t)>* job_
-        CAFQA_GUARDED_BY(mutex_) = nullptr;
-    std::size_t job_count_ CAFQA_GUARDED_BY(mutex_) = 0;
-    std::size_t next_index_ CAFQA_GUARDED_BY(mutex_) = 0;
-    std::size_t active_workers_ CAFQA_GUARDED_BY(mutex_) = 0;
-    std::uint64_t generation_ CAFQA_GUARDED_BY(mutex_) = 0;
-    std::exception_ptr first_error_ CAFQA_GUARDED_BY(mutex_);
-    bool stopping_ CAFQA_GUARDED_BY(mutex_) = false;
+        CAFQA_GUARDED_BY(pool_mutex_) CAFQA_PT_GUARDED_BY(pool_mutex_) =
+            nullptr;
+    std::size_t job_count_ CAFQA_GUARDED_BY(pool_mutex_) = 0;
+    std::size_t next_index_ CAFQA_GUARDED_BY(pool_mutex_) = 0;
+    std::size_t active_workers_ CAFQA_GUARDED_BY(pool_mutex_) = 0;
+    std::uint64_t generation_ CAFQA_GUARDED_BY(pool_mutex_) = 0;
+    std::exception_ptr first_error_ CAFQA_GUARDED_BY(pool_mutex_);
+    bool stopping_ CAFQA_GUARDED_BY(pool_mutex_) = false;
 };
 
 } // namespace cafqa

@@ -28,6 +28,18 @@
  *    function (a `while (!pred) cv.wait(lock)` loop) instead of being
  *    passed as lambdas: the analysis is intraprocedural, so guarded
  *    reads inside a predicate lambda could not be proven.
+ *  - Every long-lived mutex carries a REGISTERED NAME (the string
+ *    passed to the constructor, equal to the declared identifier minus
+ *    any trailing underscore). The name feeds two layers of lock-order
+ *    enforcement: the static analyzer in `tools/lint` extracts the
+ *    acquisition graph per name and diffs it against the committed
+ *    manifest `tools/lint/lock_order.manifest`, and under the
+ *    `CAFQA_LOCK_ORDER_CHECK` CMake option every acquisition is
+ *    validated at runtime against the same manifest (compiled to a
+ *    static table) using a thread-local held-stack — an acquisition
+ *    whose (held, next) name pair has no manifest edge aborts with
+ *    both endpoints named. Unnamed mutexes (tests, benches) are
+ *    exempt from the runtime check.
  */
 #ifndef CAFQA_COMMON_THREAD_SAFETY_HPP
 #define CAFQA_COMMON_THREAD_SAFETY_HPP
@@ -87,25 +99,71 @@
 
 namespace cafqa {
 
+class Mutex;
+
+namespace detail {
+
+#if defined(CAFQA_LOCK_ORDER_CHECK)
+/** Aborts unless every currently-held registered name has a manifest
+ *  edge to `mutex`'s name. Called BEFORE blocking on the underlying
+ *  `std::mutex`, so a bad ordering aborts deterministically instead of
+ *  deadlocking when the schedule cooperates. */
+void lock_order_check(const Mutex& mutex) noexcept;
+/** Pushes `mutex` onto the calling thread's held-stack. */
+void lock_order_push(const Mutex& mutex) noexcept;
+/** Removes `mutex` from the calling thread's held-stack. */
+void lock_order_pop(const Mutex& mutex) noexcept;
+#else
+inline void lock_order_check(const Mutex&) noexcept {}
+inline void lock_order_push(const Mutex&) noexcept {}
+inline void lock_order_pop(const Mutex&) noexcept {}
+#endif
+
+} // namespace detail
+
 /**
  * `std::mutex` with the `capability` attribute. Satisfies Lockable, so
  * `std::lock_guard<Mutex>` and `std::unique_lock<Mutex>` still compile
  * — but prefer `MutexLock`, which the analysis understands.
+ *
+ * The optional constructor argument registers a lock-order name (see
+ * the file comment); pass the declared identifier minus any trailing
+ * underscore, as a string literal (the pointer is stored, not copied).
  */
 class CAFQA_CAPABILITY("mutex") Mutex
 {
   public:
     Mutex() = default;
+    explicit Mutex(const char* name) : name_(name) {}
     Mutex(const Mutex&) = delete;
     Mutex& operator=(const Mutex&) = delete;
 
-    void lock() CAFQA_ACQUIRE() { mutex_.lock(); }
-    void unlock() CAFQA_RELEASE() { mutex_.unlock(); }
-    bool try_lock() CAFQA_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+    void lock() CAFQA_ACQUIRE()
+    {
+        detail::lock_order_check(*this);
+        mutex_.lock();
+        detail::lock_order_push(*this);
+    }
+    void unlock() CAFQA_RELEASE()
+    {
+        detail::lock_order_pop(*this);
+        mutex_.unlock();
+    }
+    bool try_lock() CAFQA_TRY_ACQUIRE(true)
+    {
+        detail::lock_order_check(*this);
+        const bool acquired = mutex_.try_lock();
+        if (acquired) { detail::lock_order_push(*this); }
+        return acquired;
+    }
+
+    /** Registered lock-order name; nullptr when unregistered. */
+    const char* name() const noexcept { return name_; }
 
   private:
     friend class MutexLock;
     std::mutex mutex_;
+    const char* name_ = nullptr;
 };
 
 /**
@@ -118,26 +176,42 @@ class CAFQA_SCOPED_CAPABILITY MutexLock
 {
   public:
     explicit MutexLock(Mutex& mutex) CAFQA_ACQUIRE(mutex)
-        : lock_(mutex.mutex_)
+        : lock_(mutex.mutex_, std::defer_lock), mutex_(&mutex)
     {
+        detail::lock_order_check(mutex);
+        lock_.lock();
+        detail::lock_order_push(mutex);
     }
 
     /** Releases iff still held (`std::unique_lock` tracks ownership,
      *  and clang models scoped-capability destructors the same way). */
-    ~MutexLock() CAFQA_RELEASE() {}
+    ~MutexLock() CAFQA_RELEASE()
+    {
+        if (lock_.owns_lock()) { detail::lock_order_pop(*mutex_); }
+    }
 
     MutexLock(const MutexLock&) = delete;
     MutexLock& operator=(const MutexLock&) = delete;
 
     /** Drop the lock mid-scope (re-acquire with `lock()`). */
-    void unlock() CAFQA_RELEASE() { lock_.unlock(); }
+    void unlock() CAFQA_RELEASE()
+    {
+        detail::lock_order_pop(*mutex_);
+        lock_.unlock();
+    }
 
     /** Re-acquire after `unlock()`. */
-    void lock() CAFQA_ACQUIRE() { lock_.lock(); }
+    void lock() CAFQA_ACQUIRE()
+    {
+        detail::lock_order_check(*mutex_);
+        lock_.lock();
+        detail::lock_order_push(*mutex_);
+    }
 
   private:
     friend class CondVar;
     std::unique_lock<std::mutex> lock_;
+    Mutex* mutex_;
 };
 
 /**
@@ -152,6 +226,9 @@ class CondVar
     void notify_one() noexcept { cv_.notify_one(); }
     void notify_all() noexcept { cv_.notify_all(); }
 
+    /** The lock stays logically held across the call (the re-acquire
+     *  is not a new ordering event), so the lock-order held-stack is
+     *  deliberately left untouched. */
     void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
 
   private:

@@ -17,9 +17,9 @@ namespace {
 
 struct Registry
 {
-    Mutex mutex;
+    Mutex backend_registry_mutex{"backend_registry_mutex"};
     std::map<std::string, BackendFactory> factories
-        CAFQA_GUARDED_BY(mutex);
+        CAFQA_GUARDED_BY(backend_registry_mutex);
 };
 
 /** The process-wide registry, with the built-in kinds pre-registered.
@@ -30,7 +30,7 @@ registry()
 {
     static Registry instance;
     static const bool built_ins_registered = [] {
-        MutexLock lock(instance.mutex);
+        MutexLock lock(instance.backend_registry_mutex);
         auto& factories = instance.factories;
         factories["clifford"] = [](const BackendConfig& config) {
             return std::make_unique<CliffordEvaluator>(config.ansatz);
@@ -104,7 +104,7 @@ register_backend(const std::string& kind, BackendFactory factory)
     CAFQA_REQUIRE(!kind.empty(), "backend kind must be non-empty");
     CAFQA_REQUIRE(factory != nullptr, "backend factory must be callable");
     Registry& r = registry();
-    MutexLock lock(r.mutex);
+    MutexLock lock(r.backend_registry_mutex);
     r.factories[kind] = std::move(factory);
 }
 
@@ -113,7 +113,7 @@ backend_registered(const std::string& kind)
 {
     {
         Registry& r = registry();
-        MutexLock lock(r.mutex);
+        MutexLock lock(r.backend_registry_mutex);
         if (r.factories.count(kind) != 0) {
             return true;
         }
@@ -126,7 +126,7 @@ std::vector<std::string>
 registered_backends()
 {
     Registry& r = registry();
-    MutexLock lock(r.mutex);
+    MutexLock lock(r.backend_registry_mutex);
     std::vector<std::string> kinds;
     kinds.reserve(r.factories.size());
     for (const auto& [kind, factory] : r.factories) {
@@ -141,7 +141,7 @@ make_backend(const BackendConfig& config)
     BackendFactory factory;
     {
         Registry& r = registry();
-        MutexLock lock(r.mutex);
+        MutexLock lock(r.backend_registry_mutex);
         const auto it = r.factories.find(config.kind);
         if (it != r.factories.end()) {
             factory = it->second;
@@ -160,7 +160,7 @@ make_backend(const BackendConfig& config)
         std::string all;
         {
             Registry& r = registry();
-            MutexLock lock(r.mutex);
+            MutexLock lock(r.backend_registry_mutex);
             for (const auto& [kind, unused] : r.factories) {
                 all += all.empty() ? kind : ", " + kind;
             }

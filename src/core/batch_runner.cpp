@@ -268,7 +268,7 @@ BatchRunner::run(const std::vector<RunSpec>& specs)
     // batches without racing this one.
     const std::shared_ptr<std::atomic<bool>> stop = stop_;
 
-    Mutex observer_mutex;
+    Mutex observer_mutex{"observer_mutex"};
     pool.parallel_for(specs.size(), [&](std::size_t worker,
                                         std::size_t index) {
         (void)worker;

@@ -129,7 +129,7 @@ EvaluationCache::lookup(const Key& key)
 {
     const std::size_t hash = hash_key(key);
     Shard& shard = *shards_[hash % shards_.size()];
-    MutexLock lock(shard.mutex);
+    MutexLock lock(shard.shard_mutex);
     const auto [begin, end] = shard.index.equal_range(hash);
     for (auto it = begin; it != end; ++it) {
         if (it->second->key == key) {
@@ -149,7 +149,7 @@ EvaluationCache::insert(const Key& key, double value)
     Shard& shard = *shards_[hash % shards_.size()];
     const std::size_t entry_bytes =
         key.size() * sizeof(Key::value_type) + sizeof(double);
-    MutexLock lock(shard.mutex);
+    MutexLock lock(shard.shard_mutex);
     const auto [begin, end] = shard.index.equal_range(hash);
     for (auto it = begin; it != end; ++it) {
         if (it->second->key == key) {
@@ -184,7 +184,7 @@ EvaluationCache::stats() const
 {
     CacheStats total;
     for (const auto& shard : shards_) {
-        MutexLock lock(shard->mutex);
+        MutexLock lock(shard->shard_mutex);
         total.hits += shard->hits;
         total.misses += shard->misses;
         total.evictions += shard->evictions;

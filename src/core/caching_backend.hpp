@@ -155,22 +155,31 @@ class EvaluationCache
 
     struct Shard
     {
-        mutable Mutex mutex;
+        mutable Mutex shard_mutex{"shard_mutex"};
         /** Front = most recently used. */
-        std::list<Entry> lru CAFQA_GUARDED_BY(mutex);
+        std::list<Entry> lru CAFQA_GUARDED_BY(shard_mutex);
         /** Hash -> LRU slot; a multimap so (unlikely) hash collisions
-         *  between distinct keys stay individually addressable. */
+         *  between distinct keys stay individually addressable. The
+         *  stored iterators point into `lru`, itself guarded by
+         *  `shard_mutex`, so guarding the map transitively covers
+         *  every pointee (the pointer-indirect analogue of
+         *  `CAFQA_PT_GUARDED_BY`, which clang only accepts on raw and
+         *  smart pointers). */
         std::unordered_multimap<std::size_t, std::list<Entry>::iterator>
-            index CAFQA_GUARDED_BY(mutex);
-        std::size_t hits CAFQA_GUARDED_BY(mutex) = 0;
-        std::size_t misses CAFQA_GUARDED_BY(mutex) = 0;
-        std::size_t evictions CAFQA_GUARDED_BY(mutex) = 0;
-        std::size_t bytes CAFQA_GUARDED_BY(mutex) = 0;
+            index CAFQA_GUARDED_BY(shard_mutex);
+        std::size_t hits CAFQA_GUARDED_BY(shard_mutex) = 0;
+        std::size_t misses CAFQA_GUARDED_BY(shard_mutex) = 0;
+        std::size_t evictions CAFQA_GUARDED_BY(shard_mutex) = 0;
+        std::size_t bytes CAFQA_GUARDED_BY(shard_mutex) = 0;
     };
 
     CacheOptions options_;
     std::size_t capacity_ = 0;
     std::size_t per_shard_capacity_ = 0;
+    /** Sized once in the constructor, structurally immutable after —
+     *  no `CAFQA_PT_GUARDED_BY` applies because each pointee carries
+     *  its OWN capability (`Shard::shard_mutex`); all mutable shard
+     *  state is guarded field-by-field inside the Shard. */
     std::vector<std::unique_ptr<Shard>> shards_;
     std::atomic<std::size_t> preparations_{0};
 };

@@ -13,9 +13,9 @@ namespace {
 
 struct Registry
 {
-    Mutex mutex;
+    Mutex optimizer_registry_mutex{"optimizer_registry_mutex"};
     std::map<std::string, OptimizerFactory> factories
-        CAFQA_GUARDED_BY(mutex);
+        CAFQA_GUARDED_BY(optimizer_registry_mutex);
 };
 
 /** The process-wide registry, with the built-in kinds pre-registered.
@@ -26,7 +26,7 @@ registry()
 {
     static Registry instance;
     static const bool built_ins_registered = [] {
-        MutexLock lock(instance.mutex);
+        MutexLock lock(instance.optimizer_registry_mutex);
         auto& factories = instance.factories;
         factories["bayes"] = [](const OptimizerConfig& config) {
             BayesOptOptions options = config.bayes;
@@ -171,7 +171,7 @@ register_optimizer(const std::string& kind, OptimizerFactory factory)
     CAFQA_REQUIRE(!kind.empty(), "optimizer kind must be non-empty");
     CAFQA_REQUIRE(factory != nullptr, "optimizer factory must be callable");
     Registry& r = registry();
-    MutexLock lock(r.mutex);
+    MutexLock lock(r.optimizer_registry_mutex);
     r.factories[kind] = std::move(factory);
 }
 
@@ -179,7 +179,7 @@ bool
 optimizer_registered(const std::string& kind)
 {
     Registry& r = registry();
-    MutexLock lock(r.mutex);
+    MutexLock lock(r.optimizer_registry_mutex);
     return r.factories.count(kind) != 0;
 }
 
@@ -187,7 +187,7 @@ std::vector<std::string>
 registered_optimizers()
 {
     Registry& r = registry();
-    MutexLock lock(r.mutex);
+    MutexLock lock(r.optimizer_registry_mutex);
     std::vector<std::string> kinds;
     kinds.reserve(r.factories.size());
     for (const auto& [kind, factory] : r.factories) {
@@ -217,7 +217,7 @@ make_optimizer(const OptimizerConfig& config)
     OptimizerFactory factory;
     {
         Registry& r = registry();
-        MutexLock lock(r.mutex);
+        MutexLock lock(r.optimizer_registry_mutex);
         const auto it = r.factories.find(config.kind);
         if (it == r.factories.end()) {
             std::string all;

@@ -476,9 +476,9 @@ struct FamilyEntry
 
 struct Registry
 {
-    Mutex mutex;
+    Mutex problem_registry_mutex{"problem_registry_mutex"};
     std::map<std::string, FamilyEntry> families
-        CAFQA_GUARDED_BY(mutex);
+        CAFQA_GUARDED_BY(problem_registry_mutex);
 };
 
 /** The process-wide registry, with the built-in families
@@ -489,7 +489,7 @@ registry()
 {
     static Registry instance;
     static const bool built_ins_registered = [] {
-        MutexLock lock(instance.mutex);
+        MutexLock lock(instance.problem_registry_mutex);
         auto& families = instance.families;
         families["molecule"] = {
             make_molecule_problem,
@@ -625,7 +625,7 @@ register_problem_family(const std::string& family, ProblemFactory factory,
     CAFQA_REQUIRE(factory != nullptr,
                   "problem factory must be callable");
     Registry& r = registry();
-    MutexLock lock(r.mutex);
+    MutexLock lock(r.problem_registry_mutex);
     r.families[family] = {std::move(factory), std::move(description),
                           std::move(sample_key)};
 }
@@ -634,7 +634,7 @@ bool
 problem_family_registered(const std::string& family)
 {
     Registry& r = registry();
-    MutexLock lock(r.mutex);
+    MutexLock lock(r.problem_registry_mutex);
     return r.families.count(family) != 0;
 }
 
@@ -642,7 +642,7 @@ std::vector<std::string>
 registered_problem_families()
 {
     Registry& r = registry();
-    MutexLock lock(r.mutex);
+    MutexLock lock(r.problem_registry_mutex);
     std::vector<std::string> families;
     families.reserve(r.families.size());
     for (const auto& [family, entry] : r.families) {
@@ -655,7 +655,7 @@ std::vector<ProblemFamilyInfo>
 problem_family_catalog()
 {
     Registry& r = registry();
-    MutexLock lock(r.mutex);
+    MutexLock lock(r.problem_registry_mutex);
     std::vector<ProblemFamilyInfo> catalog;
     catalog.reserve(r.families.size());
     for (const auto& [family, entry] : r.families) {
@@ -672,7 +672,7 @@ make_problem(const std::string& key)
     ProblemFactory factory;
     {
         Registry& r = registry();
-        MutexLock lock(r.mutex);
+        MutexLock lock(r.problem_registry_mutex);
         const auto it = r.families.find(parsed.family);
         if (it != r.families.end()) {
             factory = it->second.factory;
@@ -682,7 +682,7 @@ make_problem(const std::string& key)
         std::string all;
         {
             Registry& r = registry();
-            MutexLock lock(r.mutex);
+            MutexLock lock(r.problem_registry_mutex);
             for (const auto& [family, entry] : r.families) {
                 all += all.empty() ? family : ", " + family;
             }

@@ -14,8 +14,8 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /** Orchestrator state shared by the arm threads. All fields are
- *  guarded by `mutex` except the per-arm kill tokens (atomics read by
- *  the arms' recorders). */
+ *  guarded by `control_mutex` except the per-arm kill tokens (atomics
+ *  read by the arms' recorders). */
 struct Control
 {
     struct Arm
@@ -45,38 +45,38 @@ struct Control
         bool killed = false;
     };
 
-    Mutex mutex;
+    Mutex control_mutex{"control_mutex"};
     CondVar cv;
     /** Serializes objective calls when no objective_factory is set. */
-    Mutex eval_mutex;
+    Mutex eval_mutex{"eval_mutex"};
 
     /** Per-arm slots: the vector itself is sized once before the arm
      *  threads start, but every field of every slot is part of the
      *  round-barrier invariant. */
-    std::vector<Arm> arms CAFQA_GUARDED_BY(mutex);
+    std::vector<Arm> arms CAFQA_GUARDED_BY(control_mutex);
     /** Remaining shared evaluation pool (when capped): arms x the
      *  per-arm budget. */
-    std::size_t pool CAFQA_GUARDED_BY(mutex) = 0;
-    bool pool_capped CAFQA_GUARDED_BY(mutex) = false;
-    std::size_t round CAFQA_GUARDED_BY(mutex) = 0;
-    std::size_t generation CAFQA_GUARDED_BY(mutex) = 0;
-    bool external_cancel CAFQA_GUARDED_BY(mutex) = false;
-    bool target_seen CAFQA_GUARDED_BY(mutex) = false;
+    std::size_t pool CAFQA_GUARDED_BY(control_mutex) = 0;
+    bool pool_capped CAFQA_GUARDED_BY(control_mutex) = false;
+    std::size_t round CAFQA_GUARDED_BY(control_mutex) = 0;
+    std::size_t generation CAFQA_GUARDED_BY(control_mutex) = 0;
+    bool external_cancel CAFQA_GUARDED_BY(control_mutex) = false;
+    bool target_seen CAFQA_GUARDED_BY(control_mutex) = false;
 
     // Set once before the arm threads start, read-only afterwards.
     PortfolioOptions options;
     std::shared_ptr<const std::atomic<bool>> parent_cancel;
     ProgressCallback progress;
 
-    std::size_t progress_evals CAFQA_GUARDED_BY(mutex) = 0;
-    double progress_best CAFQA_GUARDED_BY(mutex) = kInf;
+    std::size_t progress_evals CAFQA_GUARDED_BY(control_mutex) = 0;
+    double progress_best CAFQA_GUARDED_BY(control_mutex) = kInf;
 
-    bool live(std::size_t i) const CAFQA_REQUIRES(mutex)
+    bool live(std::size_t i) const CAFQA_REQUIRES(control_mutex)
     {
         return !arms[i].finished && !arms[i].killed;
     }
 
-    void kill(std::size_t i) CAFQA_REQUIRES(mutex)
+    void kill(std::size_t i) CAFQA_REQUIRES(control_mutex)
     {
         if (live(i)) {
             arms[i].killed = true;
@@ -90,7 +90,7 @@ struct Control
         }
     }
 
-    void kill_everyone() CAFQA_REQUIRES(mutex)
+    void kill_everyone() CAFQA_REQUIRES(control_mutex)
     {
         for (std::size_t i = 0; i < arms.size(); ++i) {
             kill(i);
@@ -103,7 +103,7 @@ struct Control
      *  is parked with an empty allowance, either at the evaluation
      *  barrier or pending a restart grant. Killed arms (possibly mid
      *  final evaluation) do not hold the round open. */
-    bool round_closed() const CAFQA_REQUIRES(mutex)
+    bool round_closed() const CAFQA_REQUIRES(control_mutex)
     {
         for (std::size_t i = 0; i < arms.size(); ++i) {
             const bool parked = (arms[i].waiting || arms[i].pending) &&
@@ -121,7 +121,7 @@ struct Control
      *  Runs under `mutex`, triggered by whichever arm closes the
      *  round — the decisions depend only on per-round state, never on
      *  thread timing. */
-    void complete_round() CAFQA_REQUIRES(mutex)
+    void complete_round() CAFQA_REQUIRES(control_mutex)
     {
         ++round;
 
@@ -267,7 +267,7 @@ PortfolioSearch::minimize(const DiscreteObjective& objective,
     Control control;
     // Uncontended (no arm thread exists yet), but the analysis wants
     // every touch of the guarded round state under the lock.
-    MutexLock setup_lock(control.mutex);
+    MutexLock setup_lock(control.control_mutex);
     control.arms.resize(n);
     control.pool_capped = criteria.max_evaluations > 0;
     // max_evaluations is the PER-ARM budget (each arm's trajectory is
@@ -315,14 +315,10 @@ PortfolioSearch::minimize(const DiscreteObjective& objective,
             const DiscreteObjective* eval =
                 own ? &own : &objective;
 
-            Control::Arm& me = [&control, i]() -> Control::Arm& {
-                MutexLock lock(control.mutex);
-                return control.arms[i];
-            }();
             DiscreteObjective gated =
                 [&](const std::vector<int>& config) {
                     {
-                        MutexLock lock(control.mutex);
+                        MutexLock lock(control.control_mutex);
                         if (control.parent_cancel &&
                             control.parent_cancel->load(
                                 std::memory_order_relaxed) &&
@@ -330,6 +326,7 @@ PortfolioSearch::minimize(const DiscreteObjective& objective,
                             control.external_cancel = true;
                             control.kill_everyone();
                         }
+                        Control::Arm& me = control.arms[i];
                         // A killed arm passes straight through: this
                         // one evaluation lets its recorder observe the
                         // raised token and stop with best-so-far.
@@ -354,7 +351,8 @@ PortfolioSearch::minimize(const DiscreteObjective& objective,
                         value = (*eval)(config);
                     }
                     {
-                        MutexLock lock(control.mutex);
+                        MutexLock lock(control.control_mutex);
+                        Control::Arm& me = control.arms[i];
                         if (value < me.best) {
                             me.best = value;
                             me.last_improve_round = control.round;
@@ -372,9 +370,15 @@ PortfolioSearch::minimize(const DiscreteObjective& objective,
 
             // The arm's cap is the caller's budget unchanged, so its
             // schedules (annealing's cooling span, Bayesian warm-up
-            // split) resolve exactly as they would solo.
+            // split) resolve exactly as they would solo. The kill
+            // token is copied out under the lock (the shared_ptr slot
+            // is guarded state; the atomic it points to is lock-free
+            // by design).
             StoppingCriteria arm_criteria = criteria;
-            arm_criteria.cancel = me.kill;
+            {
+                MutexLock lock(control.control_mutex);
+                arm_criteria.cancel = control.arms[i].kill;
+            }
 
             SearchContext arm_context;
             arm_context.seed_configs = context.seed_configs;
@@ -395,7 +399,8 @@ PortfolioSearch::minimize(const DiscreteObjective& objective,
                     outcome.best_value = kInf;
                 }
 
-                MutexLock lock(control.mutex);
+                MutexLock lock(control.control_mutex);
+                Control::Arm& me = control.arms[i];
                 const StopReason reason = outcome.stop_reason;
                 const bool has_config = !outcome.best_config.empty();
                 attempts.push_back(std::move(outcome));
@@ -477,7 +482,7 @@ PortfolioSearch::minimize(const DiscreteObjective& objective,
     // deterministic canonical order, independent of finish order).
     // The joins above are the real synchronization; the lock (held to
     // the end, uncontended) is for the analysis.
-    MutexLock merge_lock(control.mutex);
+    MutexLock merge_lock(control.control_mutex);
     report_ = Report{};
     OptimizeOutcome merged;
     std::size_t offset = 0;

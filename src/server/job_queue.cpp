@@ -24,7 +24,7 @@ Admit
 JobQueue::push(Job job)
 {
     {
-        MutexLock lock(mutex_);
+        MutexLock lock(queue_mutex_);
         if (closed_) {
             return Admit::Draining;
         }
@@ -93,7 +93,7 @@ JobQueue::pop_locked()
 std::optional<Job>
 JobQueue::pop()
 {
-    MutexLock lock(mutex_);
+    MutexLock lock(queue_mutex_);
     while (size_ == 0 && !closed_) {
         ready_.wait(lock);
     }
@@ -107,7 +107,7 @@ void
 JobQueue::close()
 {
     {
-        MutexLock lock(mutex_);
+        MutexLock lock(queue_mutex_);
         closed_ = true;
     }
     ready_.notify_all();
@@ -117,7 +117,7 @@ std::vector<Job>
 JobQueue::drain_now()
 {
     std::vector<Job> jobs;
-    MutexLock lock(mutex_);
+    MutexLock lock(queue_mutex_);
     // Fair order for the flush too, so cancelled-record order matches
     // what the workers would have run.
     while (size_ > 0) {
@@ -129,14 +129,14 @@ JobQueue::drain_now()
 bool
 JobQueue::closed() const
 {
-    MutexLock lock(mutex_);
+    MutexLock lock(queue_mutex_);
     return closed_;
 }
 
 std::size_t
 JobQueue::size() const
 {
-    MutexLock lock(mutex_);
+    MutexLock lock(queue_mutex_);
     return size_;
 }
 

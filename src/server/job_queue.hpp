@@ -90,27 +90,27 @@ class JobQueue
   private:
     /** The next client slot with work (from the cursor); npos when
      *  idle. */
-    std::size_t next_slot_locked() CAFQA_REQUIRES(mutex_);
+    std::size_t next_slot_locked() CAFQA_REQUIRES(queue_mutex_);
 
     /** Move the cursor past `slot` after serving it, retiring the
      *  client when its FIFO is exhausted. */
     void advance_cursor_locked(std::size_t slot, bool exhausted)
-        CAFQA_REQUIRES(mutex_);
+        CAFQA_REQUIRES(queue_mutex_);
 
     /** Pop the fair-order head (pre: at least one job queued). */
-    Job pop_locked() CAFQA_REQUIRES(mutex_);
+    Job pop_locked() CAFQA_REQUIRES(queue_mutex_);
 
     std::size_t capacity_;
-    mutable Mutex mutex_;
+    mutable Mutex queue_mutex_{"queue_mutex"};
     CondVar ready_;
     /** Per-client FIFOs ("shards" of the fair schedule). */
     std::unordered_map<std::string, std::deque<Job>> clients_
-        CAFQA_GUARDED_BY(mutex_);
+        CAFQA_GUARDED_BY(queue_mutex_);
     /** Round-robin rotation: client keys in first-seen order. */
-    std::vector<std::string> rotation_ CAFQA_GUARDED_BY(mutex_);
-    std::size_t cursor_ CAFQA_GUARDED_BY(mutex_) = 0;
-    std::size_t size_ CAFQA_GUARDED_BY(mutex_) = 0;
-    bool closed_ CAFQA_GUARDED_BY(mutex_) = false;
+    std::vector<std::string> rotation_ CAFQA_GUARDED_BY(queue_mutex_);
+    std::size_t cursor_ CAFQA_GUARDED_BY(queue_mutex_) = 0;
+    std::size_t size_ CAFQA_GUARDED_BY(queue_mutex_) = 0;
+    bool closed_ CAFQA_GUARDED_BY(queue_mutex_) = false;
 };
 
 } // namespace cafqa::server

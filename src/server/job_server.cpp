@@ -96,6 +96,10 @@ JobServer::Connection::send_locked(const std::string& line)
     const std::string framed = line + "\n";
     std::size_t sent = 0;
     while (sent < framed.size()) {
+        // lint:allow(blocking-under-lock) write_mutex IS the per-socket
+        // write serializer, so sending under it is the point; the
+        // socket carries SO_SNDTIMEO, bounding how long a stalled peer
+        // can hold the lock.
         const ssize_t n = ::send(fd, framed.data() + sent,
                                  framed.size() - sent, MSG_NOSIGNAL);
         if (n < 0) {
@@ -560,6 +564,9 @@ JobServer::wait()
         return;
     }
 
+    // lint:allow(blocking-under-lock) teardown_mutex_ serializes
+    // concurrent wait() callers across the whole teardown, including
+    // these joins; none of the joined threads ever takes it.
     accept_thread_.join();
     close_fd(listen_fd_);
     if (!options_.unix_path.empty()) {
@@ -569,6 +576,9 @@ JobServer::wait()
     // Workers exit once the (closed) queue is empty — in drain mode
     // that is after every queued job ran and streamed its record.
     for (std::thread& worker : workers_) {
+        // lint:allow(blocking-under-lock) under teardown_mutex_ by
+        // design (see the accept_thread_ join above); workers never
+        // take it.
         worker.join();
     }
 
@@ -607,6 +617,9 @@ JobServer::wait()
         finished_readers_.clear();
     }
     for (std::thread& reader : readers) {
+        // lint:allow(blocking-under-lock) under teardown_mutex_ by
+        // design (see the accept_thread_ join above); readers observe
+        // the closed socket and exit without taking it.
         reader.join();
     }
     {

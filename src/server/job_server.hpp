@@ -129,7 +129,7 @@ class JobServer
     {
         int fd = -1;
         std::uint64_t id = 0;
-        Mutex write_mutex;
+        Mutex write_mutex{"write_mutex"};
         std::atomic<bool> open{true};
 
         ~Connection();
@@ -180,7 +180,11 @@ class JobServer
     std::thread accept_thread_;
     std::vector<std::thread> workers_;
 
-    Mutex connections_mutex_;
+    Mutex connections_mutex_{"connections_mutex"};
+    /** The MAP is guarded; the pointed-to `Connection`s deliberately
+     *  carry no `CAFQA_PT_GUARDED_BY` — each one is internally
+     *  synchronized (its own `write_mutex` + atomic `open`) and is
+     *  used by workers long after `connections_mutex_` is dropped. */
     std::unordered_map<std::uint64_t, std::shared_ptr<Connection>>
         connections_ CAFQA_GUARDED_BY(connections_mutex_);
     /** Live reader threads by connection id; a reader announces its
@@ -193,8 +197,11 @@ class JobServer
     std::uint64_t next_connection_id_
         CAFQA_GUARDED_BY(connections_mutex_) = 1;
 
-    /** Active (queued or in-flight) job id -> cancel token. */
-    Mutex jobs_mutex_;
+    /** Active (queued or in-flight) job id -> cancel token. The MAP is
+     *  guarded; the tokens are atomics flipped/read lock-free by
+     *  cancel, workers, and stopping criteria, so no
+     *  `CAFQA_PT_GUARDED_BY` applies. */
+    Mutex jobs_mutex_{"jobs_mutex"};
     std::unordered_map<std::string,
                        std::shared_ptr<std::atomic<bool>>>
         jobs_ CAFQA_GUARDED_BY(jobs_mutex_);
@@ -205,12 +212,12 @@ class JobServer
     std::atomic<std::uint64_t> cancelled_{0};
     std::atomic<std::uint64_t> rejected_{0};
 
-    Mutex shutdown_mutex_;
+    Mutex shutdown_mutex_{"shutdown_mutex"};
     CondVar shutdown_cv_;
     std::atomic<bool> shutdown_requested_{false};
     bool drain_ CAFQA_GUARDED_BY(shutdown_mutex_) = true;
     /** Serializes teardown so concurrent `wait` calls are safe. */
-    Mutex teardown_mutex_;
+    Mutex teardown_mutex_{"teardown_mutex"};
     bool finished_ CAFQA_GUARDED_BY(teardown_mutex_) = false;
 };
 

@@ -1,0 +1,66 @@
+# Pins the lock-order analyzer's driver contract (see
+# tools/lint_invariants.cpp and tools/lint/lock_order.hpp):
+#   - the injected-inversion fixture pair exits 1 with BOTH cycle
+#     endpoints named with file:line evidence,
+#   - drift against a manifest (new edge + stale edge) exits 1,
+#   - --format=json / --format=github carry the findings,
+#   - an unknown option / malformed manifest exits 2.
+# Run via ctest:
+#   cmake -DLINT=<exe> -DFIXTURE_DIR=<lock_cycle dir> -P lock_order_exit_codes.cmake
+
+if(NOT LINT OR NOT FIXTURE_DIR)
+  message(FATAL_ERROR "LINT and FIXTURE_DIR are required")
+endif()
+
+function(run_lint out_var code)
+  execute_process(COMMAND ${LINT} ${ARGN}
+                  RESULT_VARIABLE result
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT result EQUAL ${code})
+    message(FATAL_ERROR
+            "lint_invariants ${ARGN}: expected exit ${code}, got "
+            "'${result}'\nstdout: ${out}\nstderr: ${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+function(expect_contains haystack needle what)
+  string(FIND "${haystack}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "${what}: expected to find '${needle}' in:\n${haystack}")
+  endif()
+endfunction()
+
+# Inversion: the ring fixtures form a cycle; both endpoints must be
+# named with their file:line evidence.
+run_lint(out 1 ${FIXTURE_DIR}/ring_a.cpp ${FIXTURE_DIR}/ring_b.cpp)
+expect_contains("${out}" "[lock-cycle]" "cycle rule")
+expect_contains("${out}" "\"alpha_mutex\" -> \"beta_mutex\" (${FIXTURE_DIR}/ring_a.cpp:" "first endpoint evidence")
+expect_contains("${out}" "\"beta_mutex\" -> \"alpha_mutex\" (${FIXTURE_DIR}/ring_b.cpp:" "second endpoint evidence")
+
+# Drift: ring_a alone against the fixture manifest has one new edge
+# and one stale manifest edge.
+run_lint(out 1 --lock-manifest=${FIXTURE_DIR}/drift.manifest
+         ${FIXTURE_DIR}/ring_a.cpp)
+expect_contains("${out}" "[lock-order-drift]" "drift rule")
+expect_contains("${out}" "is not in ${FIXTURE_DIR}/drift.manifest" "new edge")
+expect_contains("${out}" "stale" "stale edge")
+
+# Output formats carry the same findings.
+run_lint(out 1 --format=github ${FIXTURE_DIR}/ring_a.cpp
+         ${FIXTURE_DIR}/ring_b.cpp)
+expect_contains("${out}" "::error file=" "github format")
+expect_contains("${out}" "title=lock-cycle" "github rule title")
+run_lint(out 1 --format=json ${FIXTURE_DIR}/ring_a.cpp
+         ${FIXTURE_DIR}/ring_b.cpp)
+expect_contains("${out}" "\"rule\": \"lock-cycle\"" "json format")
+
+# Usage errors.
+run_lint(out 2 --bogus ${FIXTURE_DIR}/ring_a.cpp)
+run_lint(out 2 --format=yaml ${FIXTURE_DIR}/ring_a.cpp)
+run_lint(out 2 --lock-manifest=${FIXTURE_DIR}/does_not_exist.manifest
+         ${FIXTURE_DIR}/ring_a.cpp)
+# A source file is not a parseable manifest.
+run_lint(out 2 --lock-manifest=${FIXTURE_DIR}/ring_a.cpp
+         ${FIXTURE_DIR}/ring_a.cpp)

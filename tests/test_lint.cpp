@@ -7,12 +7,15 @@
  * (`lint_tree`); these tests pin the rules' behaviour instead.
  */
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "lint/linter.hpp"
+#include "lint/lock_order.hpp"
 
 namespace {
 
@@ -24,6 +27,15 @@ using cafqa::lint::lint_source;
 std::string fixture(const std::string& name)
 {
     return std::string(CAFQA_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+cafqa::lint::SourceFile read_fixture(const std::string& name)
+{
+    const std::string path = fixture(name);
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return {path, buffer.str()};
 }
 
 std::vector<std::string> rules_hit(const FileReport& report)
@@ -211,6 +223,240 @@ TEST(LintRules, ClassicForOverUnorderedIndexIsFine)
         "}\n");
     EXPECT_TRUE(report.findings.empty())
         << "indexed access and range-for over a vector are fine";
+}
+
+TEST(LintFixtures, WallClockInLogicFires)
+{
+    const FileReport report = lint_file(fixture("bad_wallclock.cpp"));
+    EXPECT_EQ(count_rule(report, "wall-clock-in-logic"), 1u);
+}
+
+TEST(LintRules, WallClockExemptInTelemetryAndBench)
+{
+    EXPECT_TRUE(lint_source("src/common/telemetry.cpp",
+                            "auto t = std::chrono::system_clock::now();\n")
+                    .findings.empty());
+    EXPECT_TRUE(lint_source("bench/server_load.cpp",
+                            "auto t = std::chrono::system_clock::now();\n")
+                    .findings.empty());
+}
+
+TEST(LintRules, HardwareConcurrencyQueryIsNotARawThread)
+{
+    const FileReport report = lint_source(
+        "src/core/widget.cpp",
+        "auto n = std::thread::hardware_concurrency();\n");
+    EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(LintRules, AllowMentionsOutsideLineCommentsAreNotDirectives)
+{
+    const FileReport report = lint_source(
+        "buf.cpp",
+        "/* docs may say lint:allow(<rule>) without tripping */\n"
+        "const char* s = \"lint:allow(nonsense\";\n");
+    EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(LockPass, CycleDetectedAcrossFiles)
+{
+    const auto graph = cafqa::lint::analyze_lock_order(
+        {read_fixture("lock_cycle/ring_a.cpp"),
+         read_fixture("lock_cycle/ring_b.cpp")});
+    ASSERT_EQ(graph.mutexes.size(), 2u);
+    ASSERT_EQ(graph.edges.size(), 2u);
+    const auto cycles = cafqa::lint::find_lock_cycles(graph, nullptr);
+    ASSERT_EQ(cycles.size(), 1u);
+    EXPECT_EQ(cycles[0].rule, "lock-cycle");
+    // Both endpoints of the inversion must be named with evidence.
+    EXPECT_NE(cycles[0].message.find("\"alpha_mutex\" -> \"beta_mutex\" "
+                                     "(" +
+                                     fixture("lock_cycle/ring_a.cpp")),
+              std::string::npos)
+        << cycles[0].message;
+    EXPECT_NE(cycles[0].message.find("\"beta_mutex\" -> \"alpha_mutex\" "
+                                     "(" +
+                                     fixture("lock_cycle/ring_b.cpp")),
+              std::string::npos)
+        << cycles[0].message;
+}
+
+TEST(LockPass, ManifestDriftBothWays)
+{
+    const auto graph = cafqa::lint::analyze_lock_order(
+        {read_fixture("lock_cycle/ring_a.cpp")});
+    const auto manifest_file = read_fixture("lock_cycle/drift.manifest");
+    cafqa::lint::LockManifest manifest;
+    std::string error;
+    ASSERT_TRUE(cafqa::lint::parse_lock_manifest(manifest_file.text,
+                                                 manifest, error))
+        << error;
+    const auto drift = cafqa::lint::check_lock_manifest(
+        graph, manifest, manifest_file.path);
+    ASSERT_EQ(drift.size(), 2u);
+    // One new (undeclared) edge, one stale manifest edge.
+    EXPECT_NE(drift[0].message.find("\"alpha_mutex\" -> \"beta_mutex\""),
+              std::string::npos);
+    EXPECT_NE(drift[1].message.find("stale"), std::string::npos);
+}
+
+TEST(LockPass, ManifestRoundTripIsClean)
+{
+    const auto graph = cafqa::lint::analyze_lock_order(
+        {read_fixture("lock_cycle/ring_a.cpp")});
+    const std::string rendered =
+        cafqa::lint::render_lock_manifest(graph, nullptr);
+    cafqa::lint::LockManifest manifest;
+    std::string error;
+    ASSERT_TRUE(cafqa::lint::parse_lock_manifest(rendered, manifest, error))
+        << error;
+    EXPECT_TRUE(cafqa::lint::check_lock_manifest(graph, manifest,
+                                                 "round.manifest")
+                    .empty());
+    EXPECT_EQ(manifest.mutexes.size(), 2u);
+    EXPECT_EQ(manifest.static_edges.size(), 1u);
+}
+
+TEST(LockPass, DynamicEdgesSurviveRegenerationAndFeedCycles)
+{
+    const auto graph = cafqa::lint::analyze_lock_order(
+        {read_fixture("lock_cycle/ring_a.cpp")});
+    cafqa::lint::LockManifest previous;
+    std::string error;
+    ASSERT_TRUE(cafqa::lint::parse_lock_manifest(
+        "mutex alpha_mutex\nmutex beta_mutex\n"
+        "dynamic beta_mutex -> alpha_mutex\n",
+        previous, error));
+    // Regeneration carries the dynamic edge forward...
+    const std::string rendered =
+        cafqa::lint::render_lock_manifest(graph, &previous);
+    EXPECT_NE(rendered.find("dynamic beta_mutex -> alpha_mutex"),
+              std::string::npos);
+    // ...and the cycle check sees discovered ∪ manifest edges.
+    const auto cycles = cafqa::lint::find_lock_cycles(graph, &previous);
+    ASSERT_EQ(cycles.size(), 1u);
+    EXPECT_NE(cycles[0].message.find("(manifest)"), std::string::npos);
+}
+
+TEST(LockPass, BlockingUnderLockFixture)
+{
+    const auto source = read_fixture("bad_blocking.cpp");
+    const auto graph = cafqa::lint::analyze_lock_order({source});
+    const auto it = graph.file_findings.find(source.path);
+    ASSERT_NE(it, graph.file_findings.end());
+    std::size_t blocking = 0;
+    for (const auto& finding : it->second) {
+        blocking += finding.rule == "blocking-under-lock" ? 1 : 0;
+    }
+    EXPECT_EQ(blocking, 2u) << "join under lock + wait on other mutex";
+}
+
+TEST(LockPass, FileFindingsAreSuppressibleViaLintAllow)
+{
+    const cafqa::lint::SourceFile source{
+        "src/core/widget.cpp",
+        "void f() {\n"
+        "  cafqa::MutexLock lock(state_mutex_);\n"
+        "  // lint:allow(blocking-under-lock) bounded by a timeout\n"
+        "  worker_.join();\n"
+        "}\n"
+        "cafqa::Mutex state_mutex_{\"state_mutex\"};\n"};
+    const auto graph = cafqa::lint::analyze_lock_order({source});
+    const auto it = graph.file_findings.find(source.path);
+    ASSERT_NE(it, graph.file_findings.end());
+    const FileReport report =
+        lint_source(source.path, source.text, {}, it->second);
+    EXPECT_TRUE(report.findings.empty());
+    EXPECT_EQ(report.allows_used, 1u);
+}
+
+TEST(LockPass, NamingConventionsEnforced)
+{
+    const cafqa::lint::SourceFile source{
+        "src/core/widget.cpp",
+        "cafqa::Mutex anon_mutex_;\n"
+        "cafqa::Mutex odd_mutex_{\"completely_else\"};\n"
+        "cafqa::Mutex twin_mutex_{\"twin_mutex\"};\n"
+        "cafqa::Mutex other_twin_{\"twin_mutex\"};\n"};
+    const auto graph = cafqa::lint::analyze_lock_order({source});
+    const auto it = graph.file_findings.find(source.path);
+    ASSERT_NE(it, graph.file_findings.end());
+    std::vector<std::string> rules;
+    for (const auto& finding : it->second) {
+        rules.push_back(finding.rule);
+    }
+    EXPECT_NE(std::find(rules.begin(), rules.end(), "unnamed-mutex"),
+              rules.end());
+    EXPECT_NE(std::find(rules.begin(), rules.end(), "mutex-name-mismatch"),
+              rules.end());
+    EXPECT_NE(std::find(rules.begin(), rules.end(), "duplicate-mutex"),
+              rules.end());
+}
+
+TEST(LockPass, RequiresSeedsInterproceduralEdges)
+{
+    // push() holds queue_mutex and calls push_locked(), whose
+    // CAFQA_REQUIRES seeds the held set; notify() then acquires
+    // cv_mutex inside push_locked, so the closure must produce
+    // queue_mutex -> cv_mutex.
+    const cafqa::lint::SourceFile source{
+        "src/core/widget.cpp",
+        "struct Q {\n"
+        "  void push() {\n"
+        "    cafqa::MutexLock lock(queue_mutex_);\n"
+        "    push_locked();\n"
+        "  }\n"
+        "  void push_locked() CAFQA_REQUIRES(queue_mutex_);\n"
+        "  cafqa::Mutex queue_mutex_{\"queue_mutex\"};\n"
+        "  cafqa::Mutex cv_mutex_{\"cv_mutex\"};\n"
+        "};\n"
+        "void Q::push_locked()\n"
+        "{\n"
+        "  cafqa::MutexLock lock(cv_mutex_);\n"
+        "}\n"};
+    const auto graph = cafqa::lint::analyze_lock_order({source});
+    bool found = false;
+    for (const auto& edge : graph.edges) {
+        found = found || (edge.from == "queue_mutex" &&
+                          edge.to == "cv_mutex");
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(LockPass, LambdaBodiesDoNotInheritHeldLocks)
+{
+    // The lambda runs later on another thread: the enclosing lock is
+    // NOT held around its body, so no state -> inner edge may appear.
+    const cafqa::lint::SourceFile source{
+        "src/core/widget.cpp",
+        "void f() {\n"
+        "  cafqa::MutexLock lock(state_mutex_);\n"
+        "  auto task = [] {\n"
+        "    cafqa::MutexLock inner(inner_mutex_);\n"
+        "  };\n"
+        "}\n"
+        "cafqa::Mutex state_mutex_{\"state_mutex\"};\n"
+        "cafqa::Mutex inner_mutex_{\"inner_mutex\"};\n"};
+    const auto graph = cafqa::lint::analyze_lock_order({source});
+    EXPECT_TRUE(graph.edges.empty());
+}
+
+TEST(LockPass, UnlockRelockDance)
+{
+    // Between unlock() and lock() the mutex is not held, so only the
+    // re-acquisition after lock() sees the second mutex... and the
+    // second acquisition while unlocked produces no edge.
+    const cafqa::lint::SourceFile source{
+        "src/core/widget.cpp",
+        "void f() {\n"
+        "  cafqa::MutexLock lock(a_mutex_);\n"
+        "  lock.unlock();\n"
+        "  cafqa::MutexLock other(b_mutex_);\n"
+        "}\n"
+        "cafqa::Mutex a_mutex_{\"a_mutex\"};\n"
+        "cafqa::Mutex b_mutex_{\"b_mutex\"};\n"};
+    const auto graph = cafqa::lint::analyze_lock_order({source});
+    EXPECT_TRUE(graph.edges.empty());
 }
 
 } // namespace

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Runtime lock-order validator tests (src/common/lock_order_check.cpp).
+ * Only meaningful in a `CAFQA_LOCK_ORDER_CHECK=ON` build — the
+ * `lock-order` CI lane; elsewhere the suite reduces to one skip.
+ *
+ * Mutex names are deliberately passed through `const char* const`
+ * variables: the static lock-order pass reads names from string
+ * literals in the declaration, so these locals stay invisible to it
+ * (no duplicate-name or drift findings from a test re-staging the
+ * production names) while the runtime validator sees the real names.
+ */
+#include <gtest/gtest.h>
+
+#include "common/thread_safety.hpp"
+
+namespace {
+
+#if defined(CAFQA_LOCK_ORDER_CHECK)
+
+using cafqa::Mutex;
+using cafqa::MutexLock;
+
+// Real manifest names: the committed manifest has jobs_mutex ->
+// queue_mutex (a worker inspects queue state while holding its job
+// bookkeeping) and no reverse edge.
+const char* const kQueue = "queue_mutex";
+const char* const kJobs = "jobs_mutex";
+
+TEST(LockOrderRuntime, ManifestOrderIsQuiet)
+{
+    Mutex jobs{kJobs};
+    Mutex queue{kQueue};
+    MutexLock outer(jobs);
+    MutexLock inner(queue);
+    SUCCEED();
+}
+
+TEST(LockOrderRuntime, InvertedAcquisitionAbortsWithEdgeNamed)
+{
+    // The inversion of the manifest edge must die deterministically,
+    // naming both endpoints, BEFORE blocking.
+    EXPECT_DEATH(
+        {
+            Mutex jobs{kJobs};
+            Mutex queue{kQueue};
+            MutexLock outer(queue);
+            MutexLock inner(jobs);
+        },
+        "cafqa lock-order violation: acquisition while holding: "
+        "\"queue_mutex\" -> \"jobs_mutex\" has no edge");
+}
+
+TEST(LockOrderRuntime, ManualLockPathIsCheckedToo)
+{
+    // Mutex::lock() (not just the MutexLock wrapper) goes through the
+    // same check.
+    EXPECT_DEATH(
+        {
+            Mutex jobs{kJobs};
+            Mutex queue{kQueue};
+            MutexLock outer(queue);
+            jobs.lock();
+        },
+        "\"queue_mutex\" -> \"jobs_mutex\"");
+}
+
+TEST(LockOrderRuntime, UnnamedMutexesSkipTheOrderingCheck)
+{
+    Mutex anonymous_a;
+    Mutex anonymous_b;
+    Mutex queue{kQueue};
+    MutexLock a(anonymous_a);
+    MutexLock q(queue);
+    MutexLock b(anonymous_b);
+    SUCCEED();
+}
+
+TEST(LockOrderRuntime, RelockOfHeldInstanceAborts)
+{
+    EXPECT_DEATH(
+        {
+            Mutex anonymous;
+            anonymous.lock();
+            anonymous.lock();
+        },
+        "relock of an already-held mutex instance");
+}
+
+TEST(LockOrderRuntime, ReleaseUnwindsTheHeldStack)
+{
+    Mutex jobs{kJobs};
+    Mutex queue{kQueue};
+    {
+        MutexLock outer(queue);
+    }
+    // queue_mutex is no longer held, so acquiring jobs_mutex is fine.
+    MutexLock inner(jobs);
+    SUCCEED();
+}
+
+TEST(LockOrderRuntime, UnlockRelockDanceIsTracked)
+{
+    Mutex jobs{kJobs};
+    Mutex queue{kQueue};
+    MutexLock outer(queue);
+    outer.unlock();
+    // Not held any more: no queue -> jobs edge is consulted.
+    MutexLock inner(jobs);
+    SUCCEED();
+}
+
+#else // !CAFQA_LOCK_ORDER_CHECK
+
+TEST(LockOrderRuntime, DisabledInThisBuild)
+{
+    GTEST_SKIP() << "configure with -DCAFQA_LOCK_ORDER_CHECK=ON to "
+                    "exercise the runtime lock-order validator";
+}
+
+#endif
+
+} // namespace

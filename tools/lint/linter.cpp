@@ -171,9 +171,9 @@ struct Allow
 };
 
 /**
- * Parse `// lint:allow(<rule>) <reason>` directives from the RAW text
- * (they live inside comments, which the sanitizer blanks). A
- * malformed directive becomes a `bad-allow` finding immediately.
+ * Parse `lint:allow(<rule>) <reason>` comment directives from the RAW
+ * text (they live inside line comments, which the sanitizer blanks).
+ * A malformed directive becomes a `bad-allow` finding immediately.
  */
 std::map<std::size_t, std::vector<Allow>>
 collect_allows(const std::string& path,
@@ -186,7 +186,14 @@ collect_allows(const std::string& path,
     std::map<std::size_t, std::vector<Allow>> allows;
     for (std::size_t n = 0; n < raw_lines.size(); ++n) {
         const std::string& line = raw_lines[n];
-        std::size_t pos = 0;
+        // Directives live in `//` comments only: a mention inside a
+        // string literal or a block-comment prose paragraph (the
+        // linter's own sources talk about the syntax) is not one.
+        const std::size_t comment = line.find("//");
+        if (comment == std::string::npos) {
+            continue;
+        }
+        std::size_t pos = comment;
         while ((pos = line.find(kTag, pos)) != std::string::npos) {
             const std::size_t open = pos + kTag.size();
             const std::size_t close = line.find(')', open);
@@ -224,13 +231,23 @@ check_line_rules(const std::string& path,
 {
     static const std::regex rng_re(
         R"(\b(srand|rand)\s*\(|\brandom_device\b)");
-    static const std::regex thread_re(R"(\bstd\s*::\s*j?thread\b)");
+    // The negative lookahead keeps `std::thread::hardware_concurrency()`
+    // (a query, not a spawn) out of the rule.
+    static const std::regex thread_re(R"(\bstd\s*::\s*j?thread\b(?!\s*::))");
     static const std::regex mutex_re(
         R"(\bstd\s*::\s*((recursive_|timed_|recursive_timed_|shared_|shared_timed_)?mutex|condition_variable(_any)?)\b)");
+    static const std::regex wall_clock_re(R"(\bsystem_clock\b)");
 
+    // tests/ spawn raw threads on purpose (contention and shutdown
+    // scenarios need unmanaged threads the pool would serialize).
     const bool thread_exempt = path_contains(path, "common/thread_pool.") ||
-                               path_contains(path, "server/");
+                               path_contains(path, "server/") ||
+                               path_contains(path, "tests/");
     const bool mutex_exempt = path_contains(path, "thread_safety.hpp");
+    // Wall-clock reads are fine where the point IS wall time: telemetry
+    // timestamps and benchmark harnesses.
+    const bool wall_clock_exempt = path_contains(path, "telemetry") ||
+                                   path_contains(path, "bench/");
 
     for (std::size_t n = 0; n < lines.size(); ++n) {
         const std::string& line = lines[n];
@@ -253,6 +270,13 @@ check_line_rules(const std::string& path,
                  "annotated cafqa::Mutex/CondVar wrappers "
                  "(common/thread_safety.hpp) so -Wthread-safety "
                  "sees the lock"});
+        }
+        if (!wall_clock_exempt && std::regex_search(line, wall_clock_re)) {
+            findings.push_back(
+                {path, n + 1, "wall-clock-in-logic",
+                 "system_clock in logic makes behaviour depend on wall "
+                 "time; use steady_clock for durations, or move "
+                 "timestamping into telemetry"});
         }
     }
 }
@@ -420,8 +444,11 @@ const std::vector<std::string>&
 rule_names()
 {
     static const std::vector<std::string> kRules = {
-        "unseeded-rng", "raw-thread",    "unordered-iter",
-        "naked-mutex",  "catch-swallow",
+        "unseeded-rng",        "raw-thread",
+        "unordered-iter",      "naked-mutex",
+        "catch-swallow",       "wall-clock-in-logic",
+        "blocking-under-lock", "unnamed-mutex",
+        "mutex-name-mismatch", "duplicate-mutex",
     };
     return kRules;
 }
@@ -434,7 +461,8 @@ unordered_container_names(const std::string& text)
 
 FileReport
 lint_source(const std::string& display_path, const std::string& text,
-            const std::set<std::string>& cross_file_unordered)
+            const std::set<std::string>& cross_file_unordered,
+            const std::vector<Finding>& extra_candidates)
 {
     FileReport report;
     const std::vector<std::string> raw_lines = split_lines(text);
@@ -443,7 +471,7 @@ lint_source(const std::string& display_path, const std::string& text,
     const std::string code = blank_comments_and_strings(text);
     const std::vector<std::string> code_lines = split_lines(code);
 
-    std::vector<Finding> candidates;
+    std::vector<Finding> candidates = extra_candidates;
     check_line_rules(display_path, code_lines, candidates);
     check_unordered_iteration(display_path, code, cross_file_unordered,
                               candidates);

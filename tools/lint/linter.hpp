@@ -24,9 +24,27 @@
  *   catch-swallow   No `catch (...)` that neither rethrows (`throw`)
  *                   nor records the error (`current_exception`).
  *                   Silent swallowing hides worker crashes.
+ *   wall-clock-in-logic
+ *                   No `system_clock` outside telemetry/bench paths —
+ *                   logic keyed to wall time is irreproducible; use
+ *                   steady_clock for durations.
+ *
+ * The lock-order pass (tools/lint/lock_order.hpp) contributes four
+ * more per-file rules, routed through the same `lint:allow` machinery
+ * via `lint_source`'s `extra_candidates` parameter:
+ *
+ *   blocking-under-lock   Socket I/O, `parallel_for`, `Pipeline::run`,
+ *                         sleeps, `join`, or `CondVar::wait` on a
+ *                         DIFFERENT mutex while a named mutex is held.
+ *   unnamed-mutex         `cafqa::Mutex` in src/ without a registered
+ *                         name (invisible to the order analysis).
+ *   mutex-name-mismatch   Registered name != identifier minus trailing
+ *                         underscores.
+ *   duplicate-mutex       Two declarations registering the same name.
  *
  * Suppression: a violating line (or the line directly above it) may
- * carry `// lint:allow(<rule>) <reason>`. The reason is mandatory —
+ * carry a `lint:allow(<rule>) <reason>` line comment. The reason is
+ * mandatory —
  * an allow without one, or naming an unknown rule, is itself reported
  * (rule `bad-allow`) and cannot be suppressed.
  *
@@ -76,10 +94,13 @@ std::set<std::string> unordered_container_names(const std::string& text);
 
 /** Lint an in-memory buffer. `display_path` labels findings and
  *  drives the path-based exemptions (thread_safety.hpp, thread_pool,
- *  server/). */
+ *  server/). `extra_candidates` are findings produced by other passes
+ *  (the lock-order pass) for THIS file, merged in before `lint:allow`
+ *  resolution so they are suppressible like native rules. */
 FileReport lint_source(const std::string& display_path,
                        const std::string& text,
-                       const std::set<std::string>& cross_file_unordered = {});
+                       const std::set<std::string>& cross_file_unordered = {},
+                       const std::vector<Finding>& extra_candidates = {});
 
 /** Lint a file on disk. Unreadable file -> one finding with rule
  *  "io-error". */

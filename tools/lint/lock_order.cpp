@@ -1,0 +1,1483 @@
+/**
+ * @file
+ * Implementation of the lock-order analysis pass. See lock_order.hpp
+ * for the contract. Deliberately lexical: the pass understands exactly
+ * the locking idioms this tree commits to (named `cafqa::Mutex`
+ * members, `MutexLock` scopes, `*_locked()` helpers carrying
+ * `CAFQA_REQUIRES`) and refuses to guess beyond them — anything it
+ * cannot see (acquisitions behind a `std::function` indirection) is
+ * covered by reviewed `dynamic` manifest edges instead.
+ */
+#include "lint/lock_order.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <regex>
+#include <sstream>
+
+namespace cafqa::lint {
+namespace {
+
+bool is_ident(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/**
+ * Blank comment bodies in both output copies, and string/char CONTENTS
+ * in `code` only (delimiters are kept in both so byte positions line
+ * up across the copies — mutex names are later read out of
+ * `with_strings` at positions found in `code`).
+ */
+void sanitize(const std::string& text, std::string& code,
+              std::string& with_strings)
+{
+    code = text;
+    with_strings = text;
+    enum class St { Normal, Line, Block, Str, Chr, Raw };
+    St st = St::Normal;
+    std::string raw_end;
+    auto blank_both = [&](std::size_t i) {
+        if (text[i] != '\n') { code[i] = ' '; with_strings[i] = ' '; }
+    };
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        switch (st) {
+        case St::Normal:
+            if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+                st = St::Line;
+                blank_both(i);
+            } else if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+                st = St::Block;
+                blank_both(i);
+            } else if (c == '"') {
+                if (i > 0 && text[i - 1] == 'R' &&
+                    (i < 2 || !is_ident(text[i - 2]))) {
+                    const std::size_t open = text.find('(', i + 1);
+                    if (open != std::string::npos) {
+                        raw_end = ")" + text.substr(i + 1, open - i - 1) + "\"";
+                        for (std::size_t j = i + 1; j <= open; ++j) {
+                            if (text[j] != '\n') { code[j] = ' '; }
+                        }
+                        i = open;
+                        st = St::Raw;
+                        break;
+                    }
+                }
+                st = St::Str;
+            } else if (c == '\'' && !(i > 0 && is_ident(text[i - 1]))) {
+                st = St::Chr; // ident guard skips digit separators (1'000)
+            }
+            break;
+        case St::Line:
+            if (c == '\n') { st = St::Normal; } else { blank_both(i); }
+            break;
+        case St::Block:
+            if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
+                blank_both(i);
+                blank_both(i + 1);
+                ++i;
+                st = St::Normal;
+            } else {
+                blank_both(i);
+            }
+            break;
+        case St::Str:
+            if (c == '\\' && i + 1 < text.size()) {
+                code[i] = ' ';
+                if (text[i + 1] != '\n') { code[i + 1] = ' '; }
+                ++i;
+            } else if (c == '"' || c == '\n') {
+                st = St::Normal;
+            } else {
+                code[i] = ' ';
+            }
+            break;
+        case St::Chr:
+            if (c == '\\' && i + 1 < text.size()) {
+                code[i] = ' ';
+                if (text[i + 1] != '\n') { code[i + 1] = ' '; }
+                ++i;
+            } else if (c == '\'' || c == '\n') {
+                st = St::Normal;
+            } else {
+                code[i] = ' ';
+            }
+            break;
+        case St::Raw:
+            if (text.compare(i, raw_end.size(), raw_end) == 0) {
+                for (std::size_t j = i; j < i + raw_end.size(); ++j) {
+                    code[j] = ' ';
+                }
+                i += raw_end.size() - 1;
+                st = St::Normal;
+            } else if (c != '\n') {
+                code[i] = ' ';
+            }
+            break;
+        }
+    }
+}
+
+/** Blank preprocessor directive lines (with `\` continuations) so
+ *  `#define`/`#if` bodies never reach the structure scan. */
+void blank_preprocessor(std::string& code)
+{
+    std::size_t i = 0;
+    while (i < code.size()) {
+        std::size_t ls = i;
+        std::size_t le = code.find('\n', ls);
+        if (le == std::string::npos) { le = code.size(); }
+        std::size_t p = ls;
+        while (p < le && (code[p] == ' ' || code[p] == '\t')) { ++p; }
+        if (p < le && code[p] == '#') {
+            for (;;) {
+                const bool cont = le > ls && code[le - 1] == '\\';
+                for (std::size_t j = ls; j < le; ++j) { code[j] = ' '; }
+                if (!cont || le >= code.size()) { break; }
+                ls = le + 1;
+                le = code.find('\n', ls);
+                if (le == std::string::npos) { le = code.size(); }
+            }
+        }
+        i = (le == code.size()) ? le : le + 1;
+    }
+}
+
+struct LineIndex
+{
+    std::vector<std::size_t> starts;
+    explicit LineIndex(const std::string& text)
+    {
+        starts.push_back(0);
+        for (std::size_t i = 0; i < text.size(); ++i) {
+            if (text[i] == '\n') { starts.push_back(i + 1); }
+        }
+    }
+    std::size_t line_of(std::size_t pos) const
+    {
+        return static_cast<std::size_t>(
+            std::upper_bound(starts.begin(), starts.end(), pos) -
+            starts.begin());
+    }
+};
+
+std::size_t match_brace(const std::string& code, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < code.size(); ++i) {
+        if (code[i] == '{') {
+            ++depth;
+        } else if (code[i] == '}') {
+            if (--depth == 0) { return i; }
+        }
+    }
+    return code.size();
+}
+
+std::size_t match_paren(const std::string& code, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < code.size(); ++i) {
+        if (code[i] == '(') {
+            ++depth;
+        } else if (code[i] == ')') {
+            if (--depth == 0) { return i; }
+        }
+    }
+    return code.size();
+}
+
+std::size_t skip_ws(const std::string& code, std::size_t i)
+{
+    while (i < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[i])) != 0) {
+        ++i;
+    }
+    return i;
+}
+
+/** Index of the last non-whitespace char strictly before `i`, or npos. */
+std::size_t prev_sig(const std::string& code, std::size_t i)
+{
+    while (i > 0) {
+        --i;
+        if (std::isspace(static_cast<unsigned char>(code[i])) == 0) {
+            return i;
+        }
+    }
+    return std::string::npos;
+}
+
+std::string last_ident_in(const std::string& expr)
+{
+    std::size_t end = expr.size();
+    while (end > 0 && !is_ident(expr[end - 1])) { --end; }
+    if (end == 0) { return {}; }
+    std::size_t begin = end;
+    while (begin > 0 && is_ident(expr[begin - 1])) { --begin; }
+    return expr.substr(begin, end - begin);
+}
+
+/** One function (or method) definition discovered by the structure
+ *  scan; `key` is "Class::name" or just "name" at namespace scope. */
+struct FunctionDef
+{
+    std::string cls;
+    std::string name;
+    std::string key;
+    std::string file;
+    std::size_t body_begin = 0; // position of '{'
+    std::size_t body_end = 0;   // position of matching '}'
+    std::size_t line = 0;
+};
+
+bool slice_class_name(const std::string& slice, std::string& name)
+{
+    std::size_t i = skip_ws(slice, 0);
+    if (slice.compare(i, 8, "template") == 0) {
+        i = skip_ws(slice, i + 8);
+        if (i < slice.size() && slice[i] == '<') {
+            int depth = 0;
+            for (; i < slice.size(); ++i) {
+                if (slice[i] == '<') { ++depth; }
+                if (slice[i] == '>' && --depth == 0) { ++i; break; }
+            }
+        }
+        i = skip_ws(slice, i);
+    }
+    static const std::regex re(R"(^(class|struct)\s+([A-Za-z_]\w*))");
+    std::smatch m;
+    const std::string rest = slice.substr(i);
+    if (!std::regex_search(rest, m, re)) { return false; }
+    name = m[2];
+    return true;
+}
+
+bool slice_function_name(const std::string& slice, std::string& qname)
+{
+    const std::size_t first_paren = slice.find('(');
+    if (first_paren == std::string::npos) { return false; }
+    int bal = 0;
+    for (const char c : slice) {
+        if (c == '(') { ++bal; }
+        if (c == ')') { --bal; }
+        if (bal < 0) { return false; }
+    }
+    if (bal != 0) { return false; }
+    // `= ...` before the first paren is an initializer, and `= [` a
+    // lambda assignment — neither declares a function.
+    const std::size_t eq = slice.find('=');
+    if (eq != std::string::npos && eq < first_paren) { return false; }
+    if (std::regex_search(slice, std::regex(R"(=\s*\[)"))) { return false; }
+    static const std::regex re(
+        R"(([A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)*)\s*\()");
+    std::smatch m;
+    if (!std::regex_search(slice, m, re)) { return false; }
+    qname = m[1];
+    qname.erase(std::remove_if(qname.begin(), qname.end(),
+                               [](unsigned char c) {
+                                   return std::isspace(c) != 0;
+                               }),
+                qname.end());
+    static const std::set<std::string> kw = {
+        "if",     "for",    "while",  "switch",        "catch",
+        "return", "do",     "sizeof", "static_assert", "decltype",
+        "throw",  "new",    "delete", "alignas",       "alignof",
+        "assert", "typeid", "defined"};
+    const std::size_t head_end = qname.find(':');
+    if (kw.count(qname.substr(0, head_end)) != 0) { return false; }
+    return true;
+}
+
+/** Structure scan: namespaces are transparent, class bodies are
+ *  entered (with the class name pushed as context), enum bodies and
+ *  non-function brace constructs are skipped, function bodies are
+ *  recorded and skipped (the body walker handles them later). */
+void scan_structure(const std::string& file, const std::string& code,
+                    const LineIndex& lines, std::vector<FunctionDef>& defs,
+                    std::set<std::string>& classes)
+{
+    static const std::regex re_enum(R"(\benum\b)");
+    static const std::regex re_namespace(R"(\bnamespace\b)");
+    struct ClassCtx
+    {
+        std::string name;
+        std::size_t end;
+    };
+    std::vector<ClassCtx> stack;
+    std::size_t boundary = 0;
+    std::size_t i = 0;
+    while (i < code.size()) {
+        while (!stack.empty() && stack.back().end <= i) { stack.pop_back(); }
+        const char c = code[i];
+        if (c == ';' || c == '}') {
+            boundary = i + 1;
+            ++i;
+            continue;
+        }
+        if (c != '{') {
+            ++i;
+            continue;
+        }
+        const std::string slice = code.substr(boundary, i - boundary);
+        const std::size_t close = match_brace(code, i);
+        if (std::regex_search(slice, re_enum)) {
+            boundary = close + 1;
+            i = close + 1;
+            continue;
+        }
+        std::string cname;
+        if (slice_class_name(slice, cname)) {
+            classes.insert(cname);
+            stack.push_back({cname, close});
+            boundary = i + 1;
+            ++i;
+            continue;
+        }
+        if (std::regex_search(slice, re_namespace)) {
+            boundary = i + 1;
+            ++i;
+            continue;
+        }
+        std::string qname;
+        if (slice_function_name(slice, qname)) {
+            FunctionDef def;
+            const std::size_t sep = qname.rfind("::");
+            if (sep != std::string::npos) {
+                def.name = qname.substr(sep + 2);
+                const std::string prefix = qname.substr(0, sep);
+                const std::size_t psep = prefix.rfind("::");
+                def.cls = (psep == std::string::npos)
+                              ? prefix
+                              : prefix.substr(psep + 2);
+            } else {
+                def.name = qname;
+                def.cls = stack.empty() ? std::string() : stack.back().name;
+            }
+            def.key = def.cls.empty() ? def.name : def.cls + "::" + def.name;
+            def.file = file;
+            def.body_begin = i;
+            def.body_end = close;
+            def.line = lines.line_of(i);
+            defs.push_back(def);
+            boundary = close + 1;
+            i = close + 1;
+            continue;
+        }
+        boundary = close + 1;
+        i = close + 1;
+    }
+}
+
+void add_finding(std::map<std::string, std::vector<Finding>>& sink,
+                 const std::string& file, std::size_t line,
+                 const std::string& rule, const std::string& message)
+{
+    Finding f;
+    f.file = file;
+    f.line = line;
+    f.rule = rule;
+    f.message = message;
+    sink[file].push_back(f);
+}
+
+/** `cafqa::Mutex` declarations in one file; registered names are read
+ *  from the string-preserving copy at the positions the string-blanked
+ *  copy located. */
+void scan_mutex_decls(const std::string& file, const std::string& code,
+                      const std::string& with_strings, const LineIndex& lines,
+                      std::vector<MutexDecl>& decls)
+{
+    static const std::regex re(R"(\bMutex\s+([A-Za-z_]\w*)\s*([;{=(]))");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), re);
+         it != std::sregex_iterator(); ++it) {
+        MutexDecl decl;
+        decl.ident = (*it)[1];
+        decl.file = file;
+        decl.line = lines.line_of(static_cast<std::size_t>(it->position(0)));
+        const char term = it->str(2)[0];
+        if (term == '{' || term == '(') {
+            const std::size_t open =
+                static_cast<std::size_t>(it->position(2));
+            const std::size_t close = (term == '{')
+                                          ? match_brace(code, open)
+                                          : match_paren(code, open);
+            const std::string init =
+                with_strings.substr(open, close > open ? close - open : 0);
+            static const std::regex re_lit("\"([^\"]*)\"");
+            std::smatch m;
+            if (std::regex_search(init, m, re_lit)) { decl.name = m[1]; }
+        }
+        decls.push_back(decl);
+    }
+}
+
+/** Expected registered name for a declared identifier: the identifier
+ *  with trailing underscores stripped. */
+std::string expected_name(const std::string& ident)
+{
+    std::size_t end = ident.size();
+    while (end > 0 && ident[end - 1] == '_') { --end; }
+    return ident.substr(0, end);
+}
+
+/** `CAFQA_REQUIRES(<mutexes>)` attributions: walks backwards over the
+ *  parameter list to the method name and records the required mutex
+ *  IDENTS per bare method name (resolved to registered names later). */
+void scan_requires(const std::string& code,
+                   std::map<std::string, std::set<std::string>>& by_method)
+{
+    static const std::regex re(R"(\bCAFQA_REQUIRES\s*\()");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), re);
+         it != std::sregex_iterator(); ++it) {
+        const std::size_t open = static_cast<std::size_t>(it->position(0)) +
+                                 it->str(0).size() - 1;
+        const std::size_t close = match_paren(code, open);
+        std::set<std::string> idents;
+        std::stringstream args(code.substr(open + 1, close - open - 1));
+        std::string arg;
+        while (std::getline(args, arg, ',')) {
+            const std::string ident = last_ident_in(arg);
+            if (!ident.empty()) { idents.insert(ident); }
+        }
+        // Walk back: [const|noexcept]* ')' <params> '(' <method name>.
+        std::size_t p = prev_sig(code, static_cast<std::size_t>(it->position(0)));
+        for (;;) {
+            if (p == std::string::npos) { break; }
+            if (is_ident(code[p])) {
+                std::size_t begin = p;
+                while (begin > 0 && is_ident(code[begin - 1])) { --begin; }
+                const std::string word = code.substr(begin, p - begin + 1);
+                if (word == "const" || word == "noexcept" ||
+                    word == "override" || word == "final") {
+                    p = prev_sig(code, begin);
+                    continue;
+                }
+                break; // unexpected token; give up on this attribute
+            }
+            if (code[p] == ')') {
+                int depth = 0;
+                std::size_t q = p + 1;
+                while (q > 0) {
+                    --q;
+                    if (code[q] == ')') { ++depth; }
+                    if (code[q] == '(' && --depth == 0) { break; }
+                }
+                p = prev_sig(code, q);
+                if (p != std::string::npos && is_ident(code[p])) {
+                    std::size_t begin = p;
+                    while (begin > 0 && is_ident(code[begin - 1])) { --begin; }
+                    const std::string name =
+                        code.substr(begin, p - begin + 1);
+                    by_method[name].insert(idents.begin(), idents.end());
+                }
+                break;
+            }
+            break;
+        }
+    }
+}
+
+/**
+ * Variable typing: for every known class token, the next identifier —
+ * across `>`, `&`, `*`, `const` and whitespace, so smart-pointer
+ * declarations type their pointee — is a variable of that class unless
+ * it opens a call. Conflicting global entries become ambiguous (erased).
+ */
+void scan_var_classes(const std::string& code,
+                      const std::set<std::string>& classes,
+                      std::map<std::string, std::string>& out,
+                      std::set<std::string>& ambiguous)
+{
+    std::size_t i = 0;
+    while (i < code.size()) {
+        if (!is_ident(code[i])) { ++i; continue; }
+        std::size_t end = i;
+        while (end < code.size() && is_ident(code[end])) { ++end; }
+        const std::string word = code.substr(i, end - i);
+        if (classes.count(word) == 0) { i = end; continue; }
+        std::size_t j = end;
+        for (;;) {
+            j = skip_ws(code, j);
+            if (j < code.size() &&
+                (code[j] == '>' || code[j] == '&' || code[j] == '*')) {
+                ++j;
+                continue;
+            }
+            if (code.compare(j, 5, "const") == 0 &&
+                (j + 5 >= code.size() || !is_ident(code[j + 5]))) {
+                j += 5;
+                continue;
+            }
+            break;
+        }
+        if (j < code.size() && is_ident(code[j]) &&
+            std::isdigit(static_cast<unsigned char>(code[j])) == 0) {
+            std::size_t vend = j;
+            while (vend < code.size() && is_ident(code[vend])) { ++vend; }
+            const std::string var = code.substr(j, vend - j);
+            const std::size_t after = skip_ws(code, vend);
+            if (!(after < code.size() && code[after] == '(')) {
+                auto it = out.find(var);
+                if (it == out.end()) {
+                    if (ambiguous.count(var) == 0) { out[var] = word; }
+                } else if (it->second != word) {
+                    out.erase(it);
+                    ambiguous.insert(var);
+                }
+            }
+        }
+        i = end;
+    }
+}
+
+/** Per-function summary for the interprocedural closure. */
+struct Summary
+{
+    std::set<std::string> direct; // registered names acquired directly
+    std::set<std::string> calls;  // resolved callee keys
+};
+
+/** A resolved call made while named mutexes were held. */
+struct CallSite
+{
+    std::string key;
+    std::vector<std::string> held;
+    std::string file;
+    std::size_t line = 0;
+};
+
+/** Methods whose bare names are too common for the unique-definition
+ *  fallback — calls through unknown receivers with these names are
+ *  assumed to be the standard library, not a tree-local definition. */
+const std::set<std::string>& stl_like_names()
+{
+    static const std::set<std::string> names = {
+        "size",    "empty",     "clear",   "begin",        "end",
+        "push_back", "pop_back", "front",  "back",         "erase",
+        "insert",  "find",      "count",   "at",           "reserve",
+        "resize",  "emplace",   "emplace_back", "load",    "store",
+        "reset",   "get",       "c_str",   "data",         "substr",
+        "append",  "join",      "detach",  "lock",         "unlock",
+        "try_lock", "wait",     "notify_one", "notify_all", "str",
+        "value",   "has_value", "swap",    "push",         "pop",
+        "top",     "first",     "second",  "run",          "stop",
+        "name",    "what",      "reset_error"};
+    return names;
+}
+
+const std::set<std::string>& walker_keywords()
+{
+    static const std::set<std::string> kw = {
+        "if",     "for",      "while",   "switch",   "return", "catch",
+        "sizeof", "new",      "delete",  "throw",    "else",   "do",
+        "case",   "break",    "continue", "const",   "auto",   "static",
+        "using",  "template", "typename", "decltype", "assert",
+        "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+        "static_assert", "alignof", "alignas", "noexcept", "co_await",
+        "CAFQA_ASSERT", "CAFQA_REQUIRES", "CAFQA_EXCLUDES"};
+    return kw;
+}
+
+struct HeldEntry
+{
+    std::string var;  // MutexLock variable ("" for REQUIRES seeds)
+    std::string name; // registered mutex name ("" if unresolvable)
+    int depth = 0;
+    bool active = true;
+};
+
+struct WalkCtx
+{
+    const std::string* code = nullptr;
+    const std::string* file = nullptr;
+    const LineIndex* lines = nullptr;
+    const std::map<std::string, std::string>* ident_to_name = nullptr;
+    const std::map<std::string, std::string>* vars_file = nullptr;
+    const std::map<std::string, std::string>* vars_global = nullptr;
+    const std::set<std::string>* vars_global_ambiguous = nullptr;
+    const std::set<std::string>* classes = nullptr;
+    const std::map<std::string, std::vector<std::string>>* keys_by_bare =
+        nullptr;
+    const std::set<std::string>* def_keys = nullptr;
+    std::vector<LockEdge>* edges = nullptr;
+    std::vector<CallSite>* call_sites = nullptr;
+    std::map<std::string, std::vector<Finding>>* findings = nullptr;
+};
+
+std::vector<std::string> active_names(const std::vector<HeldEntry>& held)
+{
+    std::vector<std::string> names;
+    for (const auto& entry : held) {
+        if (entry.active && !entry.name.empty() &&
+            std::find(names.begin(), names.end(), entry.name) ==
+                names.end()) {
+            names.push_back(entry.name);
+        }
+    }
+    return names;
+}
+
+void emit_edges(const WalkCtx& ctx, const std::vector<HeldEntry>& held,
+                const std::string& to, std::size_t pos)
+{
+    if (to.empty()) { return; }
+    for (const std::string& from : active_names(held)) {
+        LockEdge edge;
+        edge.from = from;
+        edge.to = to;
+        edge.file = *ctx.file;
+        edge.line = ctx.lines->line_of(pos);
+        ctx.edges->push_back(edge);
+    }
+}
+
+std::string join_names(const std::vector<std::string>& names)
+{
+    std::string out;
+    for (const auto& name : names) {
+        if (!out.empty()) { out += ", "; }
+        out += "\"" + name + "\"";
+    }
+    return out;
+}
+
+/**
+ * Walk one function body (or lambda body), tracking `MutexLock` scopes
+ * through braces and the unlock()/lock() dance, emitting direct
+ * acquisition edges, blocking-under-lock findings, and resolved call
+ * sites. `summary` is null for lambda bodies: a lambda's acquisitions
+ * are its own (it runs on whatever thread invokes it later), so they
+ * must not leak into the enclosing function's interprocedural summary.
+ */
+void walk_body(const WalkCtx& ctx, const FunctionDef& def, std::size_t begin,
+               std::size_t end, std::vector<HeldEntry> held, Summary* summary)
+{
+    const std::string& code = *ctx.code;
+    int depth = 0;
+    std::size_t i = begin + 1;
+    while (i < end) {
+        const char c = code[i];
+        if (c == '{') {
+            ++depth;
+            ++i;
+            continue;
+        }
+        if (c == '}') {
+            --depth;
+            held.erase(std::remove_if(held.begin(), held.end(),
+                                      [&](const HeldEntry& entry) {
+                                          return entry.depth > depth;
+                                      }),
+                       held.end());
+            ++i;
+            continue;
+        }
+        if (c == '[') {
+            if (i + 1 < end && code[i + 1] == '[') { // attribute
+                const std::size_t close = code.find("]]", i + 2);
+                i = (close == std::string::npos) ? end : close + 2;
+                continue;
+            }
+            const std::size_t prev = prev_sig(code, i);
+            const bool subscript =
+                prev != std::string::npos &&
+                (is_ident(code[prev]) || code[prev] == ')' ||
+                 code[prev] == ']' || code[prev] == '"');
+            if (subscript) {
+                ++i;
+                continue;
+            }
+            // Lambda introducer: match the capture list, skip the
+            // parameter list, then find the body.
+            int bdepth = 0;
+            std::size_t cb = i;
+            for (; cb < end; ++cb) {
+                if (code[cb] == '[') { ++bdepth; }
+                if (code[cb] == ']' && --bdepth == 0) { break; }
+            }
+            std::size_t j = skip_ws(code, cb + 1);
+            if (j < end && code[j] == '(') {
+                j = skip_ws(code, match_paren(code, j) + 1);
+            }
+            while (j < end && code[j] != '{' && code[j] != ';' &&
+                   code[j] != ',' && code[j] != ')') {
+                ++j;
+            }
+            if (j < end && code[j] == '{') {
+                const std::size_t lend = match_brace(code, j);
+                walk_body(ctx, def, j, lend, {}, nullptr);
+                i = lend + 1;
+            } else {
+                i = cb + 1;
+            }
+            continue;
+        }
+        if (!is_ident(c) || (i > 0 && is_ident(code[i - 1]))) {
+            ++i;
+            continue;
+        }
+        std::size_t wend = i;
+        while (wend < end && is_ident(code[wend])) { ++wend; }
+        const std::string word = code.substr(i, wend - i);
+        if (walker_keywords().count(word) != 0) {
+            i = wend;
+            continue;
+        }
+        if (word == "MutexLock") {
+            std::size_t j = skip_ws(code, wend);
+            std::size_t vend = j;
+            while (vend < end && is_ident(code[vend])) { ++vend; }
+            const std::string var = code.substr(j, vend - j);
+            j = skip_ws(code, vend);
+            if (!var.empty() && j < end && (code[j] == '(' || code[j] == '{')) {
+                const std::size_t close = (code[j] == '(')
+                                              ? match_paren(code, j)
+                                              : match_brace(code, j);
+                const std::string ident =
+                    last_ident_in(code.substr(j + 1, close - j - 1));
+                std::string name;
+                const auto it = ctx.ident_to_name->find(ident);
+                if (it != ctx.ident_to_name->end()) { name = it->second; }
+                emit_edges(ctx, held, name, i);
+                if (summary != nullptr && !name.empty()) {
+                    summary->direct.insert(name);
+                }
+                HeldEntry entry;
+                entry.var = var;
+                entry.name = name;
+                entry.depth = depth;
+                held.push_back(entry);
+                i = close + 1;
+                continue;
+            }
+            i = wend;
+            continue;
+        }
+        // Call candidate: ident followed by '('.
+        const std::size_t after = skip_ws(code, wend);
+        if (!(after < end && code[after] == '(')) {
+            i = wend;
+            continue;
+        }
+        // Receiver / qualifier.
+        std::string receiver;
+        std::string qualifier;
+        bool member_access = false;
+        bool global_qualified = false;
+        bool colon_qualified = false;
+        const std::size_t prev = prev_sig(code, i);
+        if (prev != std::string::npos) {
+            if (code[prev] == '.' ||
+                (code[prev] == '>' && prev > 0 && code[prev - 1] == '-')) {
+                member_access = true;
+                const std::size_t rpos =
+                    prev_sig(code, code[prev] == '.' ? prev : prev - 1);
+                if (rpos != std::string::npos && is_ident(code[rpos])) {
+                    std::size_t rbegin = rpos;
+                    while (rbegin > 0 && is_ident(code[rbegin - 1])) {
+                        --rbegin;
+                    }
+                    receiver = code.substr(rbegin, rpos - rbegin + 1);
+                }
+            } else if (code[prev] == ':' && prev > 0 &&
+                       code[prev - 1] == ':') {
+                colon_qualified = true;
+                const std::size_t qpos = prev_sig(code, prev - 1);
+                if (qpos != std::string::npos && is_ident(code[qpos])) {
+                    std::size_t qbegin = qpos;
+                    while (qbegin > 0 && is_ident(code[qbegin - 1])) {
+                        --qbegin;
+                    }
+                    qualifier = code.substr(qbegin, qpos - qbegin + 1);
+                } else {
+                    global_qualified = true;
+                }
+            }
+        }
+        const std::size_t line = ctx.lines->line_of(i);
+        // unlock()/lock() on a tracked MutexLock variable.
+        if (member_access && (word == "unlock" || word == "lock")) {
+            HeldEntry* tracked = nullptr;
+            for (auto rit = held.rbegin(); rit != held.rend(); ++rit) {
+                if (rit->var == receiver && !rit->var.empty()) {
+                    tracked = &*rit;
+                    break;
+                }
+            }
+            if (tracked != nullptr) {
+                if (word == "unlock") {
+                    tracked->active = false;
+                } else {
+                    tracked->active = false; // exclude self from held set
+                    emit_edges(ctx, held, tracked->name, i);
+                    tracked->active = true;
+                }
+                i = wend;
+                continue;
+            }
+        }
+        // CondVar::wait(lockvar[, pred]) — waiting on one mutex while
+        // holding another is the blocking-under-lock poster child.
+        if (word == "wait" && member_access) {
+            const std::size_t close = match_paren(code, after);
+            const std::string args = code.substr(after + 1, close - after - 1);
+            std::string first = args.substr(0, args.find(','));
+            std::size_t fb = 0;
+            std::size_t fe = first.size();
+            while (fb < fe && !is_ident(first[fb])) { ++fb; }
+            while (fe > fb && !is_ident(first[fe - 1])) { --fe; }
+            first = first.substr(fb, fe - fb);
+            const HeldEntry* lockvar = nullptr;
+            for (const auto& entry : held) {
+                if (!entry.var.empty() && entry.var == first) {
+                    lockvar = &entry;
+                    break;
+                }
+            }
+            if (lockvar != nullptr) {
+                std::vector<std::string> others;
+                for (const std::string& name : active_names(held)) {
+                    if (name != lockvar->name) { others.push_back(name); }
+                }
+                if (!others.empty()) {
+                    add_finding(*ctx.findings, *ctx.file, line,
+                                "blocking-under-lock",
+                                "CondVar::wait on \"" + lockvar->name +
+                                    "\" while also holding " +
+                                    join_names(others));
+                }
+                i = wend;
+                continue;
+            }
+        }
+        const std::vector<std::string> held_names = active_names(held);
+        // Known-blocking calls while a named mutex is held.
+        if (!held_names.empty()) {
+            static const std::set<std::string> socket_calls = {
+                "send", "recv", "accept", "connect", "poll"};
+            static const std::set<std::string> blocking_calls = {
+                "parallel_for", "execute_run_spec", "sleep_for",
+                "sleep_until", "join"};
+            if ((global_qualified && socket_calls.count(word) != 0) ||
+                (!member_access && !colon_qualified &&
+                 blocking_calls.count(word) != 0) ||
+                (member_access && blocking_calls.count(word) != 0)) {
+                add_finding(*ctx.findings, *ctx.file, line,
+                            "blocking-under-lock",
+                            "blocking call " +
+                                std::string(global_qualified ? "::" : "") +
+                                word + "() while holding " +
+                                join_names(held_names));
+            }
+        }
+        // Interprocedural resolution.
+        std::string key;
+        if (member_access) {
+            std::string cls;
+            if (!receiver.empty()) {
+                auto vit = ctx.vars_file->find(receiver);
+                if (vit != ctx.vars_file->end()) {
+                    cls = vit->second;
+                } else if (ctx.vars_global_ambiguous->count(receiver) == 0) {
+                    vit = ctx.vars_global->find(receiver);
+                    if (vit != ctx.vars_global->end()) { cls = vit->second; }
+                }
+            }
+            if (!cls.empty()) {
+                const std::string candidate = cls + "::" + word;
+                if (ctx.def_keys->count(candidate) != 0) { key = candidate; }
+                // Known receiver type with no matching definition:
+                // deliberately NOT falling back to unique-name lookup.
+            } else if (stl_like_names().count(word) == 0) {
+                const auto bit = ctx.keys_by_bare->find(word);
+                if (bit != ctx.keys_by_bare->end() &&
+                    bit->second.size() == 1) {
+                    key = bit->second.front();
+                }
+            }
+        } else if (colon_qualified) {
+            if (!global_qualified && ctx.classes->count(qualifier) != 0) {
+                const std::string candidate = qualifier + "::" + word;
+                if (ctx.def_keys->count(candidate) != 0) { key = candidate; }
+            }
+        } else {
+            if (!def.cls.empty() &&
+                ctx.def_keys->count(def.cls + "::" + word) != 0) {
+                key = def.cls + "::" + word;
+            } else if (ctx.def_keys->count(word) != 0) {
+                key = word;
+            } else if (stl_like_names().count(word) == 0) {
+                const auto bit = ctx.keys_by_bare->find(word);
+                if (bit != ctx.keys_by_bare->end() &&
+                    bit->second.size() == 1) {
+                    key = bit->second.front();
+                }
+            }
+        }
+        if (!key.empty() && key != def.key) {
+            if (key == "Pipeline::run" && !held_names.empty()) {
+                add_finding(*ctx.findings, *ctx.file, line,
+                            "blocking-under-lock",
+                            "Pipeline::run() while holding " +
+                                join_names(held_names));
+            }
+            if (summary != nullptr) { summary->calls.insert(key); }
+            if (!held_names.empty()) {
+                CallSite site;
+                site.key = key;
+                site.held = held_names;
+                site.file = *ctx.file;
+                site.line = line;
+                ctx.call_sites->push_back(site);
+            }
+        }
+        i = wend;
+    }
+}
+
+/** Per-file preprocessed state. */
+struct FileState
+{
+    const SourceFile* source = nullptr;
+    std::string code;         // strings + comments + preprocessor blanked
+    std::string with_strings; // comments blanked only
+    LineIndex lines{std::string()};
+    std::vector<FunctionDef> defs;
+    std::map<std::string, std::string> vars;
+};
+
+bool skip_file(const std::string& path)
+{
+    // The wrappers themselves (and the runtime validator) implement the
+    // idiom rather than using it.
+    return path.find("thread_safety.hpp") != std::string::npos ||
+           path.find("lock_order_check.cpp") != std::string::npos;
+}
+
+} // namespace
+
+LockGraph analyze_lock_order(const std::vector<SourceFile>& files)
+{
+    LockGraph graph;
+    std::vector<FileState> states;
+    states.reserve(files.size());
+    std::set<std::string> classes;
+    std::vector<FunctionDef> all_defs;
+    std::vector<MutexDecl> all_decls;
+    std::map<std::string, std::set<std::string>> requires_idents;
+
+    for (const SourceFile& source : files) {
+        if (skip_file(source.path)) { continue; }
+        FileState state;
+        state.source = &source;
+        sanitize(source.text, state.code, state.with_strings);
+        blank_preprocessor(state.code);
+        state.lines = LineIndex(source.text);
+        scan_structure(source.path, state.code, state.lines, state.defs,
+                       classes);
+        scan_mutex_decls(source.path, state.code, state.with_strings,
+                         state.lines, all_decls);
+        scan_requires(state.code, requires_idents);
+        all_defs.insert(all_defs.end(), state.defs.begin(), state.defs.end());
+        states.push_back(std::move(state));
+    }
+
+    // Mutex bookkeeping: registered-name conventions plus the
+    // ident -> name map used to resolve `MutexLock lk(<expr>)`.
+    std::map<std::string, std::string> ident_to_name;
+    std::set<std::string> ambiguous_idents;
+    std::map<std::string, const MutexDecl*> first_by_name;
+    for (const MutexDecl& decl : all_decls) {
+        if (decl.name.empty()) {
+            if (decl.file.find("src/") != std::string::npos) {
+                add_finding(graph.file_findings, decl.file, decl.line,
+                            "unnamed-mutex",
+                            "cafqa::Mutex '" + decl.ident +
+                                "' has no registered name; pass one so the "
+                                "lock-order analyzer and runtime validator "
+                                "can track it");
+            }
+            continue;
+        }
+        if (decl.name != expected_name(decl.ident)) {
+            add_finding(graph.file_findings, decl.file, decl.line,
+                        "mutex-name-mismatch",
+                        "mutex '" + decl.ident + "' registers name \"" +
+                            decl.name + "\"; convention is \"" +
+                            expected_name(decl.ident) +
+                            "\" (identifier minus trailing underscores)");
+        }
+        const auto named = first_by_name.find(decl.name);
+        if (named == first_by_name.end()) {
+            first_by_name[decl.name] = &decl;
+            graph.mutexes.push_back(decl);
+        } else {
+            add_finding(graph.file_findings, decl.file, decl.line,
+                        "duplicate-mutex",
+                        "registered mutex name \"" + decl.name +
+                            "\" already declared at " + named->second->file +
+                            ":" + std::to_string(named->second->line));
+        }
+        const auto ident_it = ident_to_name.find(decl.ident);
+        if (ident_it == ident_to_name.end()) {
+            if (ambiguous_idents.count(decl.ident) == 0) {
+                ident_to_name[decl.ident] = decl.name;
+            }
+        } else if (ident_it->second != decl.name) {
+            ident_to_name.erase(ident_it);
+            ambiguous_idents.insert(decl.ident);
+        }
+    }
+    std::sort(graph.mutexes.begin(), graph.mutexes.end(),
+              [](const MutexDecl& a, const MutexDecl& b) {
+                  return a.name < b.name;
+              });
+
+    // REQUIRES idents -> registered names.
+    std::map<std::string, std::set<std::string>> requires_names;
+    for (const auto& [method, idents] : requires_idents) {
+        for (const std::string& ident : idents) {
+            const auto it = ident_to_name.find(ident);
+            if (it != ident_to_name.end()) {
+                requires_names[method].insert(it->second);
+            }
+        }
+    }
+
+    // Definition indexes for call resolution.
+    std::set<std::string> def_keys;
+    std::map<std::string, std::vector<std::string>> keys_by_bare;
+    for (const FunctionDef& def : all_defs) {
+        if (def_keys.insert(def.key).second) {
+            keys_by_bare[def.name].push_back(def.key);
+        }
+    }
+
+    // Variable typing: per-file maps with a global fallback.
+    std::map<std::string, std::string> vars_global;
+    std::set<std::string> vars_global_ambiguous;
+    for (FileState& state : states) {
+        std::set<std::string> file_ambiguous;
+        scan_var_classes(state.code, classes, state.vars, file_ambiguous);
+        scan_var_classes(state.code, classes, vars_global,
+                         vars_global_ambiguous);
+    }
+
+    // Walk every body; lambda bodies recurse with a fresh held set.
+    std::map<std::string, Summary> summaries;
+    std::vector<LockEdge> raw_edges;
+    std::vector<CallSite> call_sites;
+    for (const FileState& state : states) {
+        WalkCtx ctx;
+        ctx.code = &state.code;
+        ctx.file = &state.source->path;
+        ctx.lines = &state.lines;
+        ctx.ident_to_name = &ident_to_name;
+        ctx.vars_file = &state.vars;
+        ctx.vars_global = &vars_global;
+        ctx.vars_global_ambiguous = &vars_global_ambiguous;
+        ctx.classes = &classes;
+        ctx.keys_by_bare = &keys_by_bare;
+        ctx.def_keys = &def_keys;
+        ctx.edges = &raw_edges;
+        ctx.call_sites = &call_sites;
+        ctx.findings = &graph.file_findings;
+        for (const FunctionDef& def : state.defs) {
+            std::vector<HeldEntry> seeds;
+            const auto req = requires_names.find(def.name);
+            if (req != requires_names.end()) {
+                for (const std::string& name : req->second) {
+                    HeldEntry seed;
+                    seed.name = name;
+                    seed.depth = -1;
+                    seeds.push_back(seed);
+                }
+            }
+            walk_body(ctx, def, def.body_begin, def.body_end, seeds,
+                      &summaries[def.key]);
+        }
+    }
+
+    // Fixpoint closure: names transitively acquired by each key.
+    std::map<std::string, std::set<std::string>> acquires;
+    for (const auto& [key, summary] : summaries) {
+        acquires[key] = summary.direct;
+    }
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (const auto& [key, summary] : summaries) {
+            for (const std::string& callee : summary.calls) {
+                const auto it = acquires.find(callee);
+                if (it == acquires.end()) { continue; }
+                for (const std::string& name : it->second) {
+                    if (acquires[key].insert(name).second) { changed = true; }
+                }
+            }
+        }
+    }
+
+    // Interprocedural edges from call sites.
+    for (const CallSite& site : call_sites) {
+        const auto it = acquires.find(site.key);
+        if (it == acquires.end()) { continue; }
+        for (const std::string& from : site.held) {
+            for (const std::string& to : it->second) {
+                LockEdge edge;
+                edge.from = from;
+                edge.to = to;
+                edge.file = site.file;
+                edge.line = site.line;
+                edge.via = site.key;
+                raw_edges.push_back(edge);
+            }
+        }
+    }
+
+    // Deduplicate by (from, to); direct evidence wins over via-call.
+    std::map<std::pair<std::string, std::string>, LockEdge> deduped;
+    for (const LockEdge& edge : raw_edges) {
+        const auto key = std::make_pair(edge.from, edge.to);
+        const auto it = deduped.find(key);
+        if (it == deduped.end()) {
+            deduped[key] = edge;
+        } else if (!it->second.via.empty() && edge.via.empty()) {
+            it->second = edge;
+        }
+    }
+    for (const auto& [key, edge] : deduped) { graph.edges.push_back(edge); }
+    return graph;
+}
+
+namespace {
+
+std::string trim(const std::string& s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) {
+        ++b;
+    }
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+        --e;
+    }
+    return s.substr(b, e - b);
+}
+
+std::string json_escape(const std::string& s)
+{
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\') { out += '\\'; }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+bool parse_lock_manifest(const std::string& text, LockManifest& manifest,
+                         std::string& error)
+{
+    manifest = LockManifest{};
+    std::stringstream stream(text);
+    std::string raw;
+    std::size_t lineno = 0;
+    static const std::regex re_mutex(R"(^mutex\s+([A-Za-z_]\w*)$)");
+    static const std::regex re_edge(
+        R"(^([A-Za-z_]\w*)\s*->\s*([A-Za-z_]\w*)$)");
+    static const std::regex re_dynamic(
+        R"(^dynamic\s+([A-Za-z_]\w*)\s*->\s*([A-Za-z_]\w*)$)");
+    while (std::getline(stream, raw)) {
+        ++lineno;
+        const std::size_t hash = raw.find('#');
+        if (hash != std::string::npos) { raw = raw.substr(0, hash); }
+        const std::string line = trim(raw);
+        if (line.empty()) { continue; }
+        std::smatch m;
+        if (std::regex_match(line, m, re_mutex)) {
+            manifest.mutexes.insert(m[1]);
+        } else if (std::regex_match(line, m, re_dynamic)) {
+            manifest.dynamic_edges.emplace(m[1], m[2]);
+        } else if (std::regex_match(line, m, re_edge)) {
+            manifest.static_edges.emplace(m[1], m[2]);
+        } else {
+            error = "line " + std::to_string(lineno) +
+                    ": expected 'mutex NAME', 'A -> B', or "
+                    "'dynamic A -> B', got: " +
+                    line;
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string render_lock_manifest(const LockGraph& graph,
+                                 const LockManifest* previous)
+{
+    std::ostringstream out;
+    out << "# Lock acquisition-order manifest — a reviewed artifact.\n"
+        << "#\n"
+        << "# 'mutex NAME' registers a cafqa::Mutex; 'A -> B' records that\n"
+        << "# A may be held while B is acquired. 'dynamic A -> B' covers\n"
+        << "# orderings behind std::function indirection that the static\n"
+        << "# pass cannot see; dynamic edges feed the cycle check and the\n"
+        << "# runtime validator but are never reported stale.\n"
+        << "#\n"
+        << "# Regenerate with:\n"
+        << "#   lint_invariants --write-lock-manifest "
+           "--lock-manifest=tools/lint/lock_order.manifest <tree>\n"
+        << "# and review the diff — a new edge is a new lock-ordering\n"
+        << "# commitment.\n\n";
+    for (const MutexDecl& decl : graph.mutexes) {
+        out << "mutex " << decl.name << "\n";
+    }
+    out << "\n";
+    std::set<std::pair<std::string, std::string>> statics;
+    for (const LockEdge& edge : graph.edges) {
+        statics.emplace(edge.from, edge.to);
+    }
+    for (const auto& [from, to] : statics) {
+        out << from << " -> " << to << "\n";
+    }
+    if (previous != nullptr && !previous->dynamic_edges.empty()) {
+        out << "\n";
+        for (const auto& [from, to] : previous->dynamic_edges) {
+            if (statics.count({from, to}) == 0) {
+                out << "dynamic " << from << " -> " << to << "\n";
+            }
+        }
+    }
+    return out.str();
+}
+
+std::vector<Finding> check_lock_manifest(const LockGraph& graph,
+                                         const LockManifest& manifest,
+                                         const std::string& manifest_path)
+{
+    std::vector<Finding> findings;
+    auto drift = [&](const std::string& file, std::size_t line,
+                     const std::string& message) {
+        Finding f;
+        f.file = file;
+        f.line = line;
+        f.rule = "lock-order-drift";
+        f.message = message;
+        findings.push_back(f);
+    };
+    std::set<std::pair<std::string, std::string>> discovered;
+    for (const LockEdge& edge : graph.edges) {
+        discovered.emplace(edge.from, edge.to);
+        if (manifest.static_edges.count({edge.from, edge.to}) == 0 &&
+            manifest.dynamic_edges.count({edge.from, edge.to}) == 0) {
+            drift(edge.file, edge.line,
+                  "acquisition edge \"" + edge.from + "\" -> \"" + edge.to +
+                      "\"" +
+                      (edge.via.empty() ? std::string()
+                                        : " (via " + edge.via + ")") +
+                      " is not in " + manifest_path +
+                      "; run --write-lock-manifest and review the diff");
+        }
+    }
+    for (const auto& [from, to] : manifest.static_edges) {
+        if (discovered.count({from, to}) == 0) {
+            drift(manifest_path, 1,
+                  "manifest edge \"" + from + "\" -> \"" + to +
+                      "\" is no longer discovered in the tree (stale: "
+                      "remove it, or mark it dynamic if it is real but "
+                      "behind an indirection)");
+        }
+    }
+    std::set<std::string> declared;
+    for (const MutexDecl& decl : graph.mutexes) {
+        declared.insert(decl.name);
+        if (manifest.mutexes.count(decl.name) == 0) {
+            drift(decl.file, decl.line,
+                  "mutex \"" + decl.name + "\" (declared here) is missing "
+                                           "from " +
+                      manifest_path);
+        }
+    }
+    for (const std::string& name : manifest.mutexes) {
+        if (declared.count(name) == 0) {
+            drift(manifest_path, 1,
+                  "manifest mutex \"" + name +
+                      "\" is not declared anywhere in the tree");
+        }
+    }
+    auto check_endpoints = [&](const std::pair<std::string, std::string>& e,
+                               const char* kind) {
+        for (const std::string* name : {&e.first, &e.second}) {
+            if (manifest.mutexes.count(*name) == 0) {
+                drift(manifest_path, 1,
+                      std::string(kind) + " edge \"" + e.first + "\" -> \"" +
+                          e.second + "\" references mutex \"" + *name +
+                          "\" with no 'mutex' line");
+            }
+        }
+    };
+    for (const auto& e : manifest.static_edges) {
+        check_endpoints(e, "manifest");
+    }
+    for (const auto& e : manifest.dynamic_edges) {
+        check_endpoints(e, "dynamic");
+    }
+    return findings;
+}
+
+std::vector<Finding> find_lock_cycles(const LockGraph& graph,
+                                      const LockManifest* manifest)
+{
+    std::map<std::pair<std::string, std::string>, const LockEdge*> evidence;
+    std::map<std::string, std::set<std::string>> adj;
+    for (const LockEdge& edge : graph.edges) {
+        if (edge.from == edge.to) { continue; } // self-edge reported below
+        adj[edge.from].insert(edge.to);
+        evidence[{edge.from, edge.to}] = &edge;
+    }
+    if (manifest != nullptr) {
+        for (const auto& edges :
+             {manifest->static_edges, manifest->dynamic_edges}) {
+            for (const auto& [from, to] : edges) {
+                if (from != to) { adj[from].insert(to); }
+            }
+        }
+    }
+    std::vector<Finding> findings;
+    auto describe = [&](const std::vector<std::string>& cycle) {
+        std::string message = "lock-order cycle: ";
+        const LockEdge* first_evidence = nullptr;
+        for (std::size_t i = 0; i < cycle.size(); ++i) {
+            const std::string& from = cycle[i];
+            const std::string& to = cycle[(i + 1) % cycle.size()];
+            const auto it = evidence.find({from, to});
+            message += "\"" + from + "\" -> \"" + to + "\" (";
+            if (it != evidence.end()) {
+                message += it->second->file + ":" +
+                           std::to_string(it->second->line);
+                if (!it->second->via.empty()) {
+                    message += " via " + it->second->via;
+                }
+                if (first_evidence == nullptr) {
+                    first_evidence = it->second;
+                }
+            } else {
+                message += "manifest";
+            }
+            message += ")";
+            if (i + 1 < cycle.size()) { message += ", "; }
+        }
+        Finding f;
+        f.file = first_evidence != nullptr ? first_evidence->file
+                                           : std::string("lock-order");
+        f.line = first_evidence != nullptr ? first_evidence->line : 1;
+        f.rule = "lock-cycle";
+        f.message = message;
+        findings.push_back(f);
+    };
+    // Self-edges are degenerate cycles (a relock hazard).
+    for (const LockEdge& edge : graph.edges) {
+        if (edge.from == edge.to) { describe({edge.from}); }
+    }
+    // Each cycle is reported rooted at its lexicographically smallest
+    // node: DFS from each start, visiting only nodes >= start.
+    std::set<std::string> reported;
+    for (const auto& [start, unused] : adj) {
+        (void)unused;
+        std::vector<std::string> path = {start};
+        std::set<std::string> on_path = {start};
+        std::function<void(const std::string&)> dfs =
+            [&](const std::string& node) {
+                const auto it = adj.find(node);
+                if (it == adj.end()) { return; }
+                for (const std::string& next : it->second) {
+                    if (next == start) {
+                        std::string sig;
+                        for (const auto& n : path) { sig += n + "|"; }
+                        if (reported.insert(sig).second) { describe(path); }
+                        continue;
+                    }
+                    if (next < start || on_path.count(next) != 0) {
+                        continue;
+                    }
+                    path.push_back(next);
+                    on_path.insert(next);
+                    dfs(next);
+                    on_path.erase(next);
+                    path.pop_back();
+                }
+            };
+        dfs(start);
+    }
+    return findings;
+}
+
+std::string lock_graph_dot(const LockGraph& graph,
+                           const LockManifest* manifest)
+{
+    std::ostringstream out;
+    out << "digraph lock_order {\n"
+        << "  rankdir=LR;\n"
+        << "  node [shape=box, fontname=\"monospace\"];\n";
+    std::set<std::string> nodes;
+    for (const MutexDecl& decl : graph.mutexes) { nodes.insert(decl.name); }
+    std::set<std::pair<std::string, std::string>> discovered;
+    for (const LockEdge& edge : graph.edges) {
+        discovered.emplace(edge.from, edge.to);
+        nodes.insert(edge.from);
+        nodes.insert(edge.to);
+    }
+    if (manifest != nullptr) {
+        for (const auto& [from, to] : manifest->dynamic_edges) {
+            nodes.insert(from);
+            nodes.insert(to);
+        }
+    }
+    for (const std::string& node : nodes) {
+        out << "  \"" << node << "\";\n";
+    }
+    for (const LockEdge& edge : graph.edges) {
+        out << "  \"" << edge.from << "\" -> \"" << edge.to << "\"";
+        if (!edge.via.empty()) {
+            out << " [label=\"" << edge.via << "\"]";
+        }
+        out << ";\n";
+    }
+    if (manifest != nullptr) {
+        for (const auto& [from, to] : manifest->dynamic_edges) {
+            if (discovered.count({from, to}) == 0) {
+                out << "  \"" << from << "\" -> \"" << to
+                    << "\" [style=dashed, label=\"dynamic\"];\n";
+            }
+        }
+    }
+    out << "}\n";
+    return out.str();
+}
+
+std::string lock_graph_json(const LockGraph& graph)
+{
+    std::ostringstream out;
+    out << "{\n  \"mutexes\": [";
+    for (std::size_t i = 0; i < graph.mutexes.size(); ++i) {
+        const MutexDecl& decl = graph.mutexes[i];
+        out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+            << json_escape(decl.name) << "\", \"file\": \""
+            << json_escape(decl.file) << "\", \"line\": " << decl.line << "}";
+    }
+    out << "\n  ],\n  \"edges\": [";
+    for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+        const LockEdge& edge = graph.edges[i];
+        out << (i == 0 ? "\n" : ",\n") << "    {\"from\": \""
+            << json_escape(edge.from) << "\", \"to\": \""
+            << json_escape(edge.to) << "\", \"file\": \""
+            << json_escape(edge.file) << "\", \"line\": " << edge.line
+            << ", \"via\": \"" << json_escape(edge.via) << "\"}";
+    }
+    out << "\n  ]\n}\n";
+    return out.str();
+}
+
+} // namespace cafqa::lint

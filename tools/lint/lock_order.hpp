@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Lock-order analysis pass for the CAFQA tree.
+ *
+ * A lexical (non-semantic) scanner over the PR 8 locking idioms —
+ * `MutexLock lk(<ident>)` scopes with the unlock()/relock() dance,
+ * `*_locked()` helpers carrying `CAFQA_REQUIRES(<ident>)`, and
+ * `CondVar::wait(lk)` — that computes, per function and then
+ * interprocedurally across translation units, the set of ACQUISITION
+ * EDGES: registered mutex name A held at the point where B is
+ * acquired (directly or transitively through a called function).
+ *
+ * The discovered graph is
+ *  - emitted as DOT and JSON for review/CI artifacts,
+ *  - checked for cycles (each edge of a cycle is reported with its
+ *    file:line evidence, so both endpoints of an inversion are named),
+ *  - and diffed against the committed manifest
+ *    `tools/lint/lock_order.manifest`: a new edge, a removed mutex, a
+ *    stale manifest edge, or any cycle is a lint finding, making the
+ *    acquisition order a reviewed, versioned artifact.
+ *
+ * The manifest also accepts `dynamic A -> B` lines for orderings that
+ * reach the analyzer's blind spot — acquisitions behind a
+ * `std::function` indirection (observer/progress callbacks). Dynamic
+ * edges participate in the cycle check and in the runtime validator's
+ * table but are never reported stale.
+ *
+ * The same scope tracking powers the `blocking-under-lock` rule (no
+ * socket I/O, `parallel_for`/`execute_run_spec` fan-out, sleeps, or
+ * `CondVar::wait` on a DIFFERENT mutex while a named mutex is held);
+ * those findings are per-file and honour `lint:allow`. Graph-level
+ * findings (cycles, manifest drift) are NOT suppressible — the
+ * manifest itself is the reviewed escape hatch.
+ */
+#ifndef CAFQA_TOOLS_LINT_LOCK_ORDER_HPP
+#define CAFQA_TOOLS_LINT_LOCK_ORDER_HPP
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+namespace cafqa::lint {
+
+/** One input buffer (path labels findings and drives exemptions). */
+struct SourceFile
+{
+    std::string path;
+    std::string text;
+};
+
+/** One `cafqa::Mutex` declaration. */
+struct MutexDecl
+{
+    /** Registered name (constructor string literal); empty = unnamed. */
+    std::string name;
+    /** Declared identifier. */
+    std::string ident;
+    std::string file;
+    std::size_t line = 0;
+};
+
+/** Acquisition edge: `from` held while `to` is acquired. */
+struct LockEdge
+{
+    std::string from;
+    std::string to;
+    /** Evidence: the acquisition (or call) site. */
+    std::string file;
+    std::size_t line = 0;
+    /** Interprocedural witness ("Class::method" whose body acquires
+     *  `to`); empty for a direct acquisition. */
+    std::string via;
+};
+
+/** The discovered lock graph plus per-file rule findings. */
+struct LockGraph
+{
+    /** Named declarations, deduplicated by name, sorted. */
+    std::vector<MutexDecl> mutexes;
+    /** Deduplicated by (from, to), first evidence kept, sorted. */
+    std::vector<LockEdge> edges;
+    /** Per-file suppressible findings (blocking-under-lock,
+     *  unnamed-mutex, mutex-name-mismatch, duplicate-mutex), keyed by
+     *  path — the driver routes them through the file's `lint:allow`
+     *  resolution. */
+    std::map<std::string, std::vector<Finding>> file_findings;
+};
+
+/** Run the pass over `files` (one coherent tree: cross-file summaries
+ *  and mutex names are resolved over the whole set). */
+LockGraph analyze_lock_order(const std::vector<SourceFile>& files);
+
+/** Parsed `lock_order.manifest`. */
+struct LockManifest
+{
+    std::set<std::string> mutexes;
+    std::set<std::pair<std::string, std::string>> static_edges;
+    std::set<std::pair<std::string, std::string>> dynamic_edges;
+};
+
+/** Parse manifest text. Returns false (with `error` set) on a
+ *  malformed line. */
+bool parse_lock_manifest(const std::string& text, LockManifest& manifest,
+                         std::string& error);
+
+/** Render the graph as a manifest, carrying forward the dynamic edges
+ *  of `previous` (pass nullptr for none). */
+std::string render_lock_manifest(const LockGraph& graph,
+                                 const LockManifest* previous);
+
+/** Drift findings: discovered edge missing from the manifest, stale
+ *  manifest edge, unnamed/unknown mutex bookkeeping. Not suppressible. */
+std::vector<Finding> check_lock_manifest(const LockGraph& graph,
+                                         const LockManifest& manifest,
+                                         const std::string& manifest_path);
+
+/** Cycle findings over discovered ∪ manifest edges, every edge of the
+ *  cycle named with its evidence. Pass nullptr to check the discovered
+ *  graph alone. Not suppressible. */
+std::vector<Finding> find_lock_cycles(const LockGraph& graph,
+                                      const LockManifest* manifest);
+
+/** Graphviz rendering (manifest-only dynamic edges dashed). */
+std::string lock_graph_dot(const LockGraph& graph,
+                           const LockManifest* manifest);
+
+/** JSON rendering ({"mutexes": [...], "edges": [...]}). */
+std::string lock_graph_json(const LockGraph& graph);
+
+} // namespace cafqa::lint
+
+#endif // CAFQA_TOOLS_LINT_LOCK_ORDER_HPP

@@ -1,0 +1,28 @@
+// Fixture for the blocking-under-lock rule: a thread join and a
+// CondVar wait on a DIFFERENT mutex, both while a named mutex is
+// held. (The std::thread member also trips raw-thread; the test
+// counts rules separately.)
+#include <thread>
+
+#include "common/thread_safety.hpp"
+
+struct Blocking
+{
+    void spin()
+    {
+        cafqa::MutexLock lock(state_mutex_);
+        worker_.join();
+    }
+
+    void wrong_wait()
+    {
+        cafqa::MutexLock outer(state_mutex_);
+        cafqa::MutexLock inner(io_mutex_);
+        ready_.wait(inner);
+    }
+
+    cafqa::Mutex state_mutex_{"state_mutex"};
+    cafqa::Mutex io_mutex_{"io_mutex"};
+    cafqa::CondVar ready_;
+    std::thread worker_;
+};

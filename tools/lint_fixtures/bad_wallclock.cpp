@@ -1,0 +1,9 @@
+// Fixture for the wall-clock-in-logic rule: system_clock outside the
+// telemetry/bench exemption paths.
+#include <chrono>
+
+long stamp()
+{
+    const auto now = std::chrono::system_clock::now();
+    return now.time_since_epoch().count();
+}

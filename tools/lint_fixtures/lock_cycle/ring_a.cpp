@@ -1,0 +1,17 @@
+// Lock-order fixture: declares alpha/beta and acquires alpha -> beta.
+// Together with ring_b.cpp (which acquires beta -> alpha through the
+// cross-file ident map) this forms a two-mutex cycle. Never compiled;
+// scanned by the lock-order pass tests and the lock_cycle ctest.
+#include "common/thread_safety.hpp"
+
+struct RingA
+{
+    void forward()
+    {
+        cafqa::MutexLock a(alpha_mutex_);
+        cafqa::MutexLock b(beta_mutex_);
+    }
+
+    cafqa::Mutex alpha_mutex_{"alpha_mutex"};
+    cafqa::Mutex beta_mutex_{"beta_mutex"};
+};

@@ -1,0 +1,14 @@
+// Lock-order fixture, second half: the inverted acquisition. See
+// ring_a.cpp.
+#include "common/thread_safety.hpp"
+
+struct RingB
+{
+    void backward();
+};
+
+void RingB::backward()
+{
+    cafqa::MutexLock b(beta_mutex_);
+    cafqa::MutexLock a(alpha_mutex_);
+}

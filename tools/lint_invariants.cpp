@@ -1,18 +1,32 @@
 /**
  * @file
  * `lint_invariants` — walk C++ sources and enforce the project
- * invariants documented in tools/lint/linter.hpp.
+ * invariants documented in tools/lint/linter.hpp, plus the lock-order
+ * pass documented in tools/lint/lock_order.hpp.
  *
- *   lint_invariants [--list-rules] <file-or-directory>...
+ *   lint_invariants [options] <file-or-directory>...
+ *
+ *   --list-rules              print rule names and exit
+ *   --format=text|json|github output format (default text)
+ *   --lock-manifest=PATH      diff the discovered lock graph against
+ *                             the committed acquisition-order manifest
+ *   --write-lock-manifest     regenerate the manifest in place
+ *                             (carrying its `dynamic` edges forward)
+ *                             instead of reporting drift
+ *   --lock-dot=PATH           write the lock graph as Graphviz DOT
+ *   --lock-json=PATH          write the lock graph as JSON
  *
  * Directories are walked recursively for .hpp/.h/.hh/.cpp/.cc/.cxx
- * files (deterministic sorted order). Output: one `file:line: [rule]
- * message` per finding, then a per-rule hit summary for CI logs.
+ * files (deterministic sorted order); `lint_fixtures` and
+ * `negative_compile` subtrees are skipped unless named explicitly.
+ * Text output: one `file:line: [rule] message` per finding, then a
+ * per-rule hit summary for CI logs.
  *
  * Exit codes:
  *   0  clean (honoured `lint:allow` suppressions are fine)
  *   1  at least one finding
- *   2  usage error, nonexistent path, or unreadable file
+ *   2  usage error, nonexistent path, unreadable file, or malformed
+ *      manifest
  */
 #include <algorithm>
 #include <cstdio>
@@ -24,6 +38,7 @@
 #include <vector>
 
 #include "lint/linter.hpp"
+#include "lint/lock_order.hpp"
 
 namespace fs = std::filesystem;
 
@@ -39,12 +54,45 @@ lintable(const fs::path& path)
            kExtensions.end();
 }
 
+/** Subtrees that exist to FAIL the linter; a directory walk skips
+ *  them (naming a fixture file explicitly still lints it). */
+bool
+excluded_dir(const fs::path& path)
+{
+    const std::string name = path.filename().string();
+    return name == "lint_fixtures" || name == "negative_compile";
+}
+
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\') { out += '\\'; }
+        out += c;
+    }
+    return out;
+}
+
+bool
+write_text_file(const std::string& path, const std::string& text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+    return static_cast<bool>(out);
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
     std::vector<std::string> files;
+    std::string format = "text";
+    std::string manifest_path;
+    std::string dot_path;
+    std::string json_path;
+    bool write_manifest = false;
     bool saw_path = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -56,17 +104,54 @@ main(int argc, char** argv)
         }
         if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: lint_invariants [--list-rules] <path>...\n");
+                "usage: lint_invariants [--list-rules] "
+                "[--format=text|json|github] [--lock-manifest=PATH] "
+                "[--write-lock-manifest] [--lock-dot=PATH] "
+                "[--lock-json=PATH] <path>...\n");
             return 0;
+        }
+        if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
+            if (format != "text" && format != "json" && format != "github") {
+                std::fprintf(stderr,
+                             "lint_invariants: unknown format: %s\n",
+                             format.c_str());
+                return 2;
+            }
+            continue;
+        }
+        if (arg.rfind("--lock-manifest=", 0) == 0) {
+            manifest_path = arg.substr(16);
+            continue;
+        }
+        if (arg == "--write-lock-manifest") {
+            write_manifest = true;
+            continue;
+        }
+        if (arg.rfind("--lock-dot=", 0) == 0) {
+            dot_path = arg.substr(11);
+            continue;
+        }
+        if (arg.rfind("--lock-json=", 0) == 0) {
+            json_path = arg.substr(12);
+            continue;
+        }
+        if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "lint_invariants: unknown option: %s\n",
+                         arg.c_str());
+            return 2;
         }
         saw_path = true;
         std::error_code ec;
         if (fs::is_directory(arg, ec)) {
-            for (const auto& entry :
-                 fs::recursive_directory_iterator(arg)) {
-                if (entry.is_regular_file() && lintable(entry.path())) {
-                    files.push_back(entry.path().generic_string());
+            fs::recursive_directory_iterator it(arg);
+            for (; it != fs::recursive_directory_iterator();) {
+                if (it->is_directory() && excluded_dir(it->path())) {
+                    it.disable_recursion_pending();
+                } else if (it->is_regular_file() && lintable(it->path())) {
+                    files.push_back(it->path().generic_string());
                 }
+                ++it;
             }
         } else if (fs::is_regular_file(arg, ec)) {
             files.push_back(arg);
@@ -78,17 +163,26 @@ main(int argc, char** argv)
     }
     if (!saw_path) {
         std::fprintf(stderr,
-                     "usage: lint_invariants [--list-rules] <path>...\n");
+                     "usage: lint_invariants [options] <path>...\n");
+        return 2;
+    }
+    if (write_manifest && manifest_path.empty()) {
+        std::fprintf(stderr, "lint_invariants: --write-lock-manifest "
+                             "requires --lock-manifest=PATH\n");
         return 2;
     }
     std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
 
-    // Phase 1: unordered container names across the WHOLE tree, so a
-    // member declared unordered in a header is still caught when the
-    // matching .cpp iterates it.
+    // Phase 1: read everything once. Unordered container names are
+    // collected across the WHOLE tree (a member declared unordered in
+    // a header is still caught when the matching .cpp iterates it),
+    // and the lock-order pass needs every TU for its interprocedural
+    // summaries.
     std::set<std::string> unordered;
     std::vector<std::string> contents(files.size());
     std::vector<bool> readable(files.size(), false);
+    std::vector<cafqa::lint::SourceFile> sources;
     for (std::size_t i = 0; i < files.size(); ++i) {
         std::ifstream in(files[i], std::ios::binary);
         if (in) {
@@ -99,37 +193,121 @@ main(int argc, char** argv)
             const auto names =
                 cafqa::lint::unordered_container_names(contents[i]);
             unordered.insert(names.begin(), names.end());
+            sources.push_back({files[i], contents[i]});
         }
     }
 
-    // Phase 2: lint each file against the union.
+    const cafqa::lint::LockGraph graph =
+        cafqa::lint::analyze_lock_order(sources);
+
+    // Phase 2: lint each file; the lock pass's per-file findings ride
+    // through the same lint:allow resolution as the native rules.
     std::vector<cafqa::lint::Finding> findings;
     std::size_t allows_used = 0;
     for (std::size_t i = 0; i < files.size(); ++i) {
+        std::vector<cafqa::lint::Finding> extra;
+        const auto it = graph.file_findings.find(files[i]);
+        if (it != graph.file_findings.end()) { extra = it->second; }
         cafqa::lint::FileReport report =
             readable[i]
-                ? cafqa::lint::lint_source(files[i], contents[i],
-                                           unordered)
+                ? cafqa::lint::lint_source(files[i], contents[i], unordered,
+                                           extra)
                 : cafqa::lint::lint_file(files[i], unordered);
         allows_used += report.allows_used;
         findings.insert(findings.end(), report.findings.begin(),
                         report.findings.end());
     }
 
-    bool io_error = false;
-    for (const auto& finding : findings) {
-        std::printf("%s:%zu: [%s] %s\n", finding.file.c_str(),
-                    finding.line, finding.rule.c_str(),
-                    finding.message.c_str());
-        io_error = io_error || finding.rule == "io-error";
+    // Phase 3: graph-level checks (not suppressible; the manifest is
+    // the reviewed escape hatch).
+    cafqa::lint::LockManifest manifest;
+    const cafqa::lint::LockManifest* manifest_ptr = nullptr;
+    if (!manifest_path.empty()) {
+        std::ifstream in(manifest_path, std::ios::binary);
+        std::ostringstream buffer;
+        if (in) { buffer << in.rdbuf(); }
+        std::string error;
+        if (!in && !write_manifest) {
+            std::fprintf(stderr, "lint_invariants: cannot open manifest: %s\n",
+                         manifest_path.c_str());
+            return 2;
+        }
+        if (in &&
+            !cafqa::lint::parse_lock_manifest(buffer.str(), manifest, error)) {
+            std::fprintf(stderr, "lint_invariants: %s: %s\n",
+                         manifest_path.c_str(), error.c_str());
+            return 2;
+        }
+        manifest_ptr = &manifest;
+    }
+    if (write_manifest) {
+        const std::string rendered =
+            cafqa::lint::render_lock_manifest(graph, manifest_ptr);
+        if (!write_text_file(manifest_path, rendered)) {
+            std::fprintf(stderr, "lint_invariants: cannot write %s\n",
+                         manifest_path.c_str());
+            return 2;
+        }
+        std::string error;
+        cafqa::lint::parse_lock_manifest(rendered, manifest, error);
+        manifest_ptr = &manifest;
+    } else if (manifest_ptr != nullptr) {
+        const auto drift = cafqa::lint::check_lock_manifest(
+            graph, manifest, manifest_path);
+        findings.insert(findings.end(), drift.begin(), drift.end());
+    }
+    const auto cycles = cafqa::lint::find_lock_cycles(graph, manifest_ptr);
+    findings.insert(findings.end(), cycles.begin(), cycles.end());
+
+    if (!dot_path.empty() &&
+        !write_text_file(dot_path,
+                         cafqa::lint::lock_graph_dot(graph, manifest_ptr))) {
+        std::fprintf(stderr, "lint_invariants: cannot write %s\n",
+                     dot_path.c_str());
+        return 2;
+    }
+    if (!json_path.empty() &&
+        !write_text_file(json_path, cafqa::lint::lock_graph_json(graph))) {
+        std::fprintf(stderr, "lint_invariants: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
     }
 
-    // Rule-hit summary (one stable block CI can grep / publish).
-    std::printf("lint_invariants: %zu file(s), %zu finding(s), "
-                "%zu allow(s) honoured\n",
-                files.size(), findings.size(), allows_used);
-    for (const auto& [rule, hits] : cafqa::lint::rule_hits(findings)) {
-        std::printf("  %-16s %zu\n", rule.c_str(), hits);
+    bool io_error = false;
+    for (const auto& finding : findings) {
+        io_error = io_error || finding.rule == "io-error";
+    }
+    if (format == "json") {
+        std::printf("{\n  \"files\": %zu,\n  \"allows_used\": %zu,\n"
+                    "  \"findings\": [",
+                    files.size(), allows_used);
+        for (std::size_t i = 0; i < findings.size(); ++i) {
+            const auto& f = findings[i];
+            std::printf("%s    {\"file\": \"%s\", \"line\": %zu, "
+                        "\"rule\": \"%s\", \"message\": \"%s\"}",
+                        i == 0 ? "\n" : ",\n", json_escape(f.file).c_str(),
+                        f.line, json_escape(f.rule).c_str(),
+                        json_escape(f.message).c_str());
+        }
+        std::printf("\n  ]\n}\n");
+    } else if (format == "github") {
+        for (const auto& f : findings) {
+            std::printf("::error file=%s,line=%zu,title=%s::%s\n",
+                        f.file.c_str(), f.line, f.rule.c_str(),
+                        f.message.c_str());
+        }
+    } else {
+        for (const auto& f : findings) {
+            std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                        f.rule.c_str(), f.message.c_str());
+        }
+        // Rule-hit summary (one stable block CI can grep / publish).
+        std::printf("lint_invariants: %zu file(s), %zu finding(s), "
+                    "%zu allow(s) honoured\n",
+                    files.size(), findings.size(), allows_used);
+        for (const auto& [rule, hits] : cafqa::lint::rule_hits(findings)) {
+            std::printf("  %-16s %zu\n", rule.c_str(), hits);
+        }
     }
 
     if (io_error) {
