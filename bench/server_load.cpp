@@ -4,6 +4,16 @@
  * report end-to-end latency percentiles (submit -> result), sustained
  * throughput, and the process-wide cache hit rate.
  *
+ * Latency percentiles come from the telemetry subsystem's shared
+ * `telemetry::Histogram` — the same log-bucketed estimator the server
+ * exports — so the bench numbers and a production scrape read off one
+ * implementation. Before shutting the server down the bench scrapes
+ * the `metrics` protocol verb and cross-checks the server's own view
+ * against the client side: completed-job count must match exactly, and
+ * the server's p50 (queue wait + execution, observed before the result
+ * is written to the socket) must not exceed the client's p50 (submit
+ * to result read) beyond estimator slack.
+ *
  * The spec mix cycles a handful of tiny problems, so jobs repeatedly
  * land on the same Hamiltonians — exactly the serving scenario the
  * shared evaluation cache targets; the bench asserts its hit rate is
@@ -16,7 +26,6 @@
  * Defaults: 1000 jobs, 4 connections, 2 workers.
  */
 
-#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -32,6 +41,7 @@
 #include "core/batch_runner.hpp"
 #include "server/client.hpp"
 #include "server/job_server.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 
@@ -73,17 +83,28 @@ strip_scalar_field(const std::string& json, const std::string& name)
     return json.substr(0, from) + json.substr(end);
 }
 
+/** Numeric field `field` of the nested histogram object `series` in a
+ *  registry JSON snapshot (`"series":{...,"field":V,...}`). */
 double
-percentile(std::vector<double> sorted, double q)
+snapshot_histogram_field(const std::string& snapshot,
+                         const std::string& series,
+                         const std::string& field)
 {
-    if (sorted.empty()) {
-        return 0.0;
+    const std::string series_needle = "\"" + series + "\":{";
+    const std::size_t at = snapshot.find(series_needle);
+    if (at == std::string::npos) {
+        fail("metrics snapshot is missing series \"" + series + "\"");
     }
-    const double rank = q * static_cast<double>(sorted.size() - 1);
-    const std::size_t lo = static_cast<std::size_t>(rank);
-    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double t = rank - static_cast<double>(lo);
-    return sorted[lo] + (sorted[hi] - sorted[lo]) * t;
+    const std::size_t close = snapshot.find('}', at);
+    const std::string object =
+        snapshot.substr(at, close - at + 1);
+    const std::string field_needle = "\"" + field + "\":";
+    const std::size_t fat = object.find(field_needle);
+    if (fat == std::string::npos) {
+        fail("series \"" + series + "\" is missing field \"" + field +
+             "\"");
+    }
+    return std::atof(object.c_str() + fat + field_needle.size());
 }
 
 } // namespace
@@ -167,9 +188,9 @@ main(int argc, char** argv)
 
     // Collect phase: one drainer thread per connection (a connection
     // left unread would fill its socket buffer and stall the workers'
-    // sends). Latency = submit -> result.
-    std::vector<double> latencies_ms;
-    latencies_ms.reserve(total_jobs);
+    // sends). Latency = submit -> result, observed straight into the
+    // shared lock-light histogram (thread-safe; no per-drainer merge).
+    telemetry::Histogram client_latency;
     std::map<std::string, std::string> record_of; // spec -> record json
     std::size_t accepted = 0;
     std::size_t failed = 0;
@@ -183,7 +204,6 @@ main(int argc, char** argv)
             std::size_t outstanding =
                 total_jobs / num_clients +
                 (c < total_jobs % num_clients ? 1 : 0);
-            std::vector<double> local_latencies;
             std::map<std::string, std::string> local_records;
             std::size_t local_accepted = 0;
             std::size_t local_failed = 0;
@@ -199,7 +219,7 @@ main(int argc, char** argv)
                     fail("job rejected: " + event.reason);
                 } else if (event.event == "result") {
                     --outstanding;
-                    local_latencies.push_back(ms_between(
+                    client_latency.observe(ms_between(
                         submitted_at.at(event.id), clock_type::now()));
                     if (event.record_json.find("\"ok\":true") ==
                         std::string::npos) {
@@ -210,9 +230,6 @@ main(int argc, char** argv)
                 }
             }
             cafqa::MutexLock lock(merge_mutex);
-            latencies_ms.insert(latencies_ms.end(),
-                                local_latencies.begin(),
-                                local_latencies.end());
             for (auto& [spec, record] : local_records) {
                 record_of[spec] = std::move(record);
             }
@@ -229,6 +246,38 @@ main(int argc, char** argv)
     if (failed > 0) {
         fail(std::to_string(failed) + " job(s) failed");
     }
+
+    // Scrape phase: ask the still-running server for its own telemetry
+    // and cross-check it against the client-side view.
+    clients[0].send_line(metrics_line());
+    const auto metrics_reply = clients[0].read_line();
+    if (!metrics_reply) {
+        fail("connection closed on the metrics scrape");
+    }
+    const Event scrape = parse_event(*metrics_reply);
+    if (scrape.event != "metrics") {
+        fail("expected a metrics event, got \"" + scrape.event + "\"");
+    }
+    const std::optional<double> served_jobs = telemetry::find_prometheus_sample(
+        scrape.prometheus, "cafqa_server_jobs_completed_total");
+    if (!served_jobs) {
+        fail("scrape is missing cafqa_server_jobs_completed_total");
+    }
+    if (static_cast<std::size_t>(*served_jobs) != total_jobs) {
+        fail("server counted " + std::to_string(
+                 static_cast<std::size_t>(*served_jobs)) +
+             " completed jobs, clients saw " + std::to_string(total_jobs));
+    }
+    const double server_latency_count = snapshot_histogram_field(
+        scrape.snapshot_json, "cafqa_server_job_latency_ms", "count");
+    if (static_cast<std::size_t>(server_latency_count) != total_jobs) {
+        fail("server latency histogram holds " +
+             std::to_string(static_cast<std::size_t>(
+                 server_latency_count)) +
+             " observations, expected " + std::to_string(total_jobs));
+    }
+    const double server_p50 = snapshot_histogram_field(
+        scrape.snapshot_json, "cafqa_server_job_latency_ms", "p50");
 
     const CacheStats cache = server.cache()->stats();
     server.shutdown(true);
@@ -250,12 +299,20 @@ main(int argc, char** argv)
         }
     }
 
-    std::sort(latencies_ms.begin(), latencies_ms.end());
-    const double p50 = percentile(latencies_ms, 0.50);
-    const double p95 = percentile(latencies_ms, 0.95);
-    const double p99 = percentile(latencies_ms, 0.99);
+    const double p50 = client_latency.percentile(0.50);
+    const double p95 = client_latency.percentile(0.95);
+    const double p99 = client_latency.percentile(0.99);
     const double throughput =
         static_cast<double>(total_jobs) / (wall_ms / 1000.0);
+
+    // The server measures submit -> result-written; the client adds
+    // socket transit and drain scheduling on top, so the server's p50
+    // must not exceed the client's beyond the histogram estimator
+    // slack (~9% per side) plus a small absolute allowance.
+    if (server_p50 > p50 * 1.25 + 2.0) {
+        fail("server p50 " + format_real(server_p50) +
+             " ms exceeds client p50 " + format_real(p50) + " ms");
+    }
 
     std::cout << "  accepted      " << accepted << "/" << total_jobs
               << "\n  wall          " << format_real(wall_ms)
@@ -263,7 +320,9 @@ main(int argc, char** argv)
               << " jobs/s\n  latency p50   " << format_real(p50)
               << " ms\n  latency p95   " << format_real(p95)
               << " ms\n  latency p99   " << format_real(p99)
-              << " ms\n  cache         " << cache.to_json()
+              << " ms\n  server p50    " << format_real(server_p50)
+              << " ms (" << static_cast<std::size_t>(served_jobs.value())
+              << " jobs scraped)\n  cache         " << cache.to_json()
               << "\n  solo-vs-served identical for " << mix.size()
               << " distinct specs\n";
 

@@ -1,0 +1,193 @@
+/**
+ * Telemetry overhead microbench: the per-operation cost of the
+ * lock-light recording calls, instrumented versus disabled
+ * (`CAFQA_TELEMETRY_OFF`-equivalent via `set_enabled(false)`), plus
+ * the cost of a full registry scrape. No google-benchmark — like
+ * `bench_check` this builds everywhere and emits one flat JSON file
+ * the perf gate diffs against `bench/baselines/BENCH_telemetry.json`.
+ *
+ * Keys end in `_us`/`_ms`, so `bench_check` treats every one as a
+ * ceiling: the gate fails when recording gets slower, never when it
+ * gets faster. Counter totals double as checksums — the loops cannot
+ * be optimized away without the run failing loudly.
+ *
+ * Usage: telemetry_overhead [--json PATH] [--quick]
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/text.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+[[noreturn]] void
+fail(const std::string& message)
+{
+    std::cerr << "telemetry_overhead: " << message << '\n';
+    std::exit(1);
+}
+
+double
+us_between(clock_type::time_point a, clock_type::time_point b)
+{
+    return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace cafqa;
+    using namespace cafqa::telemetry;
+
+    std::string json_path = "BENCH_telemetry.json";
+    std::uint64_t ops = 4'000'000;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            if (i + 1 >= argc) {
+                fail("--json requires a value");
+            }
+            json_path = argv[++i];
+        } else if (arg == "--quick") {
+            ops = 400'000;
+        } else {
+            fail("unknown option '" + arg + "'");
+        }
+    }
+
+    if (!enabled()) {
+        fail("telemetry is disabled in the environment; the bench "
+             "needs to measure both sides of the switch itself");
+    }
+
+    MetricsRegistry registry;
+    Counter& counter =
+        registry.counter("cafqa_bench_ops_total", {}, "Bench ops");
+    Histogram& histogram =
+        registry.histogram("cafqa_bench_lat_ms", {}, "Bench latencies");
+
+    // --- counter, instrumented ------------------------------------
+    const auto c_on_start = clock_type::now();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        counter.add();
+    }
+    const double counter_on_us = us_between(c_on_start, clock_type::now());
+    if (counter.value() != ops) {
+        fail("counter checksum mismatch while enabled");
+    }
+
+    // --- counter, disabled ----------------------------------------
+    set_enabled(false);
+    const auto c_off_start = clock_type::now();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        counter.add();
+    }
+    const double counter_off_us =
+        us_between(c_off_start, clock_type::now());
+    set_enabled(true);
+    if (counter.value() != ops) {
+        fail("disabled counter adds must not land");
+    }
+
+    // --- histogram, instrumented ----------------------------------
+    // A deterministic sawtooth over several octaves: exercises the
+    // bucket indexer across its range without an RNG in the loop.
+    const auto h_on_start = clock_type::now();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        histogram.observe(0.001 * static_cast<double>((i & 1023) + 1));
+    }
+    const double histogram_on_us =
+        us_between(h_on_start, clock_type::now());
+    if (histogram.count() != ops) {
+        fail("histogram checksum mismatch while enabled");
+    }
+
+    // --- histogram, disabled --------------------------------------
+    set_enabled(false);
+    const auto h_off_start = clock_type::now();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        histogram.observe(0.001 * static_cast<double>((i & 1023) + 1));
+    }
+    const double histogram_off_us =
+        us_between(h_off_start, clock_type::now());
+    set_enabled(true);
+    if (histogram.count() != ops) {
+        fail("disabled histogram observes must not land");
+    }
+
+    // --- scrape ----------------------------------------------------
+    // A registry shaped like the serving stack's: a few dozen labelled
+    // counters, gauges and histograms, scraped through both exporters.
+    MetricsRegistry scraped;
+    for (int s = 0; s < 24; ++s) {
+        scraped
+            .counter("cafqa_scrape_reqs_total",
+                     {{"verb", "v" + std::to_string(s)}}, "Requests")
+            .add(static_cast<std::uint64_t>(s) * 17 + 1);
+        scraped
+            .gauge("cafqa_scrape_depth",
+                   {{"shard", std::to_string(s)}}, "Depth")
+            .set(static_cast<double>(s));
+        Histogram& h = scraped.histogram(
+            "cafqa_scrape_lat_ms", {{"stage", "s" + std::to_string(s)}},
+            "Latency");
+        for (int v = 0; v < 256; ++v) {
+            h.observe(0.01 * static_cast<double>(v + 1));
+        }
+    }
+    constexpr int kScrapes = 50;
+    std::size_t scrape_bytes = 0;
+    const auto scrape_start = clock_type::now();
+    for (int s = 0; s < kScrapes; ++s) {
+        scrape_bytes += scraped.prometheus().size();
+        scrape_bytes += scraped.json().size();
+    }
+    const double scrape_ms =
+        us_between(scrape_start, clock_type::now()) / 1000.0 / kScrapes;
+    if (scrape_bytes == 0) {
+        fail("scrape produced no output");
+    }
+
+    const double kops = static_cast<double>(ops) / 1000.0;
+    const double counter_add_per_kop_us = counter_on_us / kops;
+    const double counter_add_off_per_kop_us = counter_off_us / kops;
+    const double histogram_observe_per_kop_us = histogram_on_us / kops;
+    const double histogram_observe_off_per_kop_us =
+        histogram_off_us / kops;
+
+    std::cout << "telemetry_overhead: " << ops << " ops/loop\n"
+              << "  counter add           "
+              << format_real(counter_add_per_kop_us) << " us/kop\n"
+              << "  counter add (off)     "
+              << format_real(counter_add_off_per_kop_us) << " us/kop\n"
+              << "  histogram observe     "
+              << format_real(histogram_observe_per_kop_us) << " us/kop\n"
+              << "  histogram observe (off) "
+              << format_real(histogram_observe_off_per_kop_us)
+              << " us/kop\n"
+              << "  scrape (72 series)    " << format_real(scrape_ms)
+              << " ms\n";
+
+    std::ofstream json(json_path);
+    if (json) {
+        json << "{\"ops\":" << ops << ",\"counter_add_per_kop_us\":"
+             << format_real(counter_add_per_kop_us)
+             << ",\"counter_add_off_per_kop_us\":"
+             << format_real(counter_add_off_per_kop_us)
+             << ",\"histogram_observe_per_kop_us\":"
+             << format_real(histogram_observe_per_kop_us)
+             << ",\"histogram_observe_off_per_kop_us\":"
+             << format_real(histogram_observe_off_per_kop_us)
+             << ",\"scrape_ms\":" << format_real(scrape_ms) << "}\n";
+    }
+    return 0;
+}

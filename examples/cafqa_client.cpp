@@ -6,11 +6,13 @@
  *
  * Usage:
  *   cafqa_client (--unix PATH | --host ADDR --port N)
- *                [--stats] [--shutdown MODE] [SPEC ...]
+ *                [--stats] [--metrics] [--shutdown MODE] [SPEC ...]
  *
  * Each positional argument is one text-form spec
  * (`problem=maxcut:ring-6 warmup=8 ...`), submitted with ids c1, c2,
  * ... `--stats` asks for a stats event after the submissions;
+ * `--metrics` asks for a metrics event (Prometheus text plus a JSON
+ * snapshot of every registered series);
  * `--shutdown drain|now` asks the server to shut down afterwards (the
  * client then also waits for the server's bye).
  *
@@ -32,7 +34,8 @@ fail(const std::string& message)
 {
     std::cerr << "cafqa_client: " << message << '\n'
               << "usage: cafqa_client (--unix PATH | --host ADDR "
-                 "--port N) [--stats] [--shutdown MODE] [SPEC ...]\n";
+                 "--port N) [--stats] [--metrics] [--shutdown MODE] "
+                 "[SPEC ...]\n";
     std::exit(1);
 }
 
@@ -48,6 +51,7 @@ main(int argc, char** argv)
     std::string host = "127.0.0.1";
     int port = 0;
     bool stats = false;
+    bool metrics = false;
     bool do_shutdown = false;
     bool drain = true;
     std::vector<std::string> spec_texts;
@@ -69,6 +73,8 @@ main(int argc, char** argv)
                 port = std::atoi(next());
             } else if (arg == "--stats") {
                 stats = true;
+            } else if (arg == "--metrics") {
+                metrics = true;
             } else if (arg == "--shutdown") {
                 const std::string mode = next();
                 if (mode != "drain" && mode != "now") {
@@ -104,13 +110,18 @@ main(int argc, char** argv)
         if (stats) {
             client.send_line(stats_line());
         }
+        if (metrics) {
+            client.send_line(metrics_line());
+        }
         if (do_shutdown) {
             client.send_line(shutdown_line(drain));
         }
 
         bool all_ok = true;
         std::size_t stats_pending = stats ? 1 : 0;
-        while (pending > 0 || stats_pending > 0 || do_shutdown) {
+        std::size_t metrics_pending = metrics ? 1 : 0;
+        while (pending > 0 || stats_pending > 0 || metrics_pending > 0 ||
+               do_shutdown) {
             const auto line = client.read_line();
             if (!line) {
                 if (pending > 0) {
@@ -135,6 +146,8 @@ main(int argc, char** argv)
                 all_ok = false;
             } else if (event.event == "stats") {
                 stats_pending = 0;
+            } else if (event.event == "metrics") {
+                metrics_pending = 0;
             } else if (event.event == "bye") {
                 break;
             }

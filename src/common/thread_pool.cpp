@@ -1,10 +1,40 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace cafqa {
+
+namespace {
+
+/** Registry references, fetched lazily on the first `parallel_for` —
+ *  before any pool lock is taken in that call, per the telemetry
+ *  registration rule. */
+struct PoolTelemetry
+{
+    telemetry::Counter& tasks;
+    telemetry::Histogram& dispatch_wait_ms;
+
+    static PoolTelemetry&
+    get()
+    {
+        static PoolTelemetry instance{
+            telemetry::MetricsRegistry::instance().counter(
+                "cafqa_pool_tasks_total", {},
+                "Tasks executed by parallel_for (inline or pooled)"),
+            telemetry::MetricsRegistry::instance().histogram(
+                "cafqa_pool_dispatch_wait_ms", {},
+                "Milliseconds a parallel_for call waited to own the "
+                "pool (contention with concurrent callers)"),
+        };
+        return instance;
+    }
+};
+
+} // namespace
 
 ThreadPool::ThreadPool(std::size_t threads)
 {
@@ -90,15 +120,23 @@ ThreadPool::parallel_for(
     if (count == 0) {
         return;
     }
+    PoolTelemetry& pool_metrics = PoolTelemetry::get();
     // Single worker or single item: run inline, no synchronization.
     if (workers_.size() == 1 || count == 1) {
         for (std::size_t i = 0; i < count; ++i) {
             fn(0, i);
         }
+        pool_metrics.tasks.add(count);
         return;
     }
+    const auto enter = std::chrono::steady_clock::now();
     MutexLock caller_lock(caller_mutex_);
     MutexLock lock(pool_mutex_);
+    pool_metrics.dispatch_wait_ms.observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - enter)
+            .count());
+    pool_metrics.tasks.add(count);
     CAFQA_ASSERT(job_ == nullptr, "parallel_for re-entered from a job");
     job_ = &fn;
     job_count_ = count;

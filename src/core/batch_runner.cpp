@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/text.hpp"
 #include "common/thread_pool.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace cafqa {
 
@@ -128,6 +129,16 @@ RunRecord
 execute_run_spec(const RunSpec& spec, const problems::Problem& problem,
                  const RunContext& context)
 {
+    // Fetched at entry, before any work (and with no lock held — run
+    // execution never starts under a named mutex).
+    auto& registry = telemetry::MetricsRegistry::instance();
+    telemetry::Counter& runs_metric = registry.counter(
+        "cafqa_runs_total", {}, "RunSpec executions started");
+    telemetry::Histogram& run_wall_metric = registry.histogram(
+        "cafqa_run_wall_ms", {},
+        "Wall milliseconds per RunSpec execution");
+    runs_metric.add();
+
     const auto start = std::chrono::steady_clock::now();
 
     RunRecord record;
@@ -204,6 +215,7 @@ execute_run_spec(const RunSpec& spec, const problems::Problem& problem,
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
             .count();
+    run_wall_metric.observe(record.wall_ms);
     return record;
 }
 

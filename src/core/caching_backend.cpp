@@ -100,7 +100,21 @@ CacheStats::to_json() const
 }
 
 EvaluationCache::EvaluationCache(const CacheOptions& options)
-    : options_(options), capacity_(options.capacity)
+    : options_(options), capacity_(options.capacity),
+      // Registered here, with no lock held; the per-access bumps below
+      // run lock-free under the shard locks.
+      hits_metric_(telemetry::MetricsRegistry::instance().counter(
+          "cafqa_cache_hits_total", {},
+          "Evaluation-cache lookups answered from the cache")),
+      misses_metric_(telemetry::MetricsRegistry::instance().counter(
+          "cafqa_cache_misses_total", {},
+          "Evaluation-cache lookups that fell through to the backend")),
+      evictions_metric_(telemetry::MetricsRegistry::instance().counter(
+          "cafqa_cache_evictions_total", {},
+          "Evaluation-cache entries dropped by the LRU bound")),
+      preparations_metric_(telemetry::MetricsRegistry::instance().counter(
+          "cafqa_cache_preparations_total", {},
+          "State preparations wrapped backends actually performed"))
 {
     CAFQA_REQUIRE(options.capacity >= 1,
                   "cache capacity must be at least 1 entry");
@@ -135,10 +149,12 @@ EvaluationCache::lookup(const Key& key)
         if (it->second->key == key) {
             shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
             ++shard.hits;
+            hits_metric_.add();
             return it->second->value;
         }
     }
     ++shard.misses;
+    misses_metric_.add();
     return std::nullopt;
 }
 
@@ -176,6 +192,7 @@ EvaluationCache::insert(const Key& key, double value)
                        sizeof(double);
         shard.lru.pop_back();
         ++shard.evictions;
+        evictions_metric_.add();
     }
 }
 

@@ -42,6 +42,7 @@
 
 #include "common/thread_safety.hpp"
 #include "core/backend.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace cafqa {
 
@@ -131,7 +132,12 @@ class EvaluationCache
     void insert(const Key& key, double value);
 
     /** Count one state preparation performed by a wrapped backend. */
-    void count_preparation() { preparations_.fetch_add(1); }
+    void
+    count_preparation()
+    {
+        preparations_.fetch_add(1);
+        preparations_metric_.add();
+    }
 
     /** Snapshot of the aggregate counters. */
     CacheStats stats() const;
@@ -176,6 +182,15 @@ class EvaluationCache
     CacheOptions options_;
     std::size_t capacity_ = 0;
     std::size_t per_shard_capacity_ = 0;
+    /** Process-registry mirrors of the monotonic `CacheStats` counters
+     *  (`cafqa_cache_*_total`), fetched in the constructor — never
+     *  under a shard lock; the bumps themselves are lock-free, so
+     *  counting under `shard_mutex` is fine. All `EvaluationCache`
+     *  instances in the process share these series. */
+    telemetry::Counter& hits_metric_;
+    telemetry::Counter& misses_metric_;
+    telemetry::Counter& evictions_metric_;
+    telemetry::Counter& preparations_metric_;
     /** Sized once in the constructor, structurally immutable after —
      *  no `CAFQA_PT_GUARDED_BY` applies because each pointee carries
      *  its OWN capability (`Shard::shard_mutex`); all mutable shard

@@ -5,8 +5,24 @@
 
 #include "common/error.hpp"
 #include "core/clifford_ansatz.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace cafqa {
+
+namespace {
+
+/** The per-stage wall-time histogram (`cafqa_stage_ms{stage=...}`).
+ *  Fetched at stage entry — the pipeline is thread-confined and holds
+ *  no named lock, so registration is always safe here. */
+telemetry::Histogram&
+stage_histogram(const char* stage)
+{
+    return telemetry::MetricsRegistry::instance().histogram(
+        "cafqa_stage_ms", {{"stage", stage}},
+        "Wall milliseconds per pipeline stage");
+}
+
+} // namespace
 
 CafqaPipeline::CafqaPipeline(PipelineConfig config)
     : config_(std::move(config)),
@@ -28,11 +44,11 @@ CafqaPipeline::set_observer(PipelineObserver observer)
 void
 CafqaPipeline::emit(PipelineEvent::Kind kind, std::string_view stage,
                     std::size_t evaluation, double best_value,
-                    const CacheStats* cache) const
+                    const CacheStats* cache, double stage_ms) const
 {
     if (observer_) {
-        observer_(
-            PipelineEvent{kind, stage, evaluation, best_value, cache});
+        observer_(PipelineEvent{kind, stage, evaluation, best_value,
+                                cache, stage_ms});
     }
 }
 
@@ -152,6 +168,7 @@ CafqaPipeline::run_clifford_search()
         return *clifford_;
     }
     emit(PipelineEvent::Kind::StageBegin, "clifford_search", 0, 0.0);
+    telemetry::TraceSpan span(stage_histogram("clifford_search"));
 
     const auto backend = make_discrete_backend(
         stage_backend_config(config_.search_backend, config_.ansatz));
@@ -176,7 +193,7 @@ CafqaPipeline::run_clifford_search()
     const std::optional<CacheStats> stats = cache_stats_of(*backend);
     emit(PipelineEvent::Kind::StageEnd, "clifford_search",
          clifford_->history.size(), clifford_->best_objective,
-         stats ? &*stats : nullptr);
+         stats ? &*stats : nullptr, span.stop());
     return *clifford_;
 }
 
@@ -226,6 +243,7 @@ CafqaPipeline::run_t_boost(std::size_t max_t_gates)
     }
     const CafqaResult& base = run_clifford_search();
     emit(PipelineEvent::Kind::StageBegin, "t_boost", 0, 0.0);
+    telemetry::TraceSpan span(stage_histogram("t_boost"));
 
     TBoostResult result;
     result.best_steps = base.best_steps;
@@ -302,7 +320,8 @@ CafqaPipeline::run_t_boost(std::size_t max_t_gates)
     emit(PipelineEvent::Kind::StageEnd, "t_boost",
          boost_->t_positions.size(), boost_->best_objective,
          config_.cache.enabled || config_.shared_cache ? &boost_stats
-                                                       : nullptr);
+                                                       : nullptr,
+         span.stop());
     return *boost_;
 }
 
@@ -330,6 +349,7 @@ CafqaPipeline::run_vqa_tune(const std::vector<double>& initial)
     CAFQA_REQUIRE(initial.size() == circuit.num_params(),
                   "initial parameter count mismatch");
     emit(PipelineEvent::Kind::StageBegin, "vqa_tune", 0, 0.0);
+    telemetry::TraceSpan span(stage_histogram("vqa_tune"));
 
     const VqaTunerOptions& options = config_.tuner;
     BackendConfig backend_config = stage_backend_config(
@@ -392,7 +412,7 @@ CafqaPipeline::run_vqa_tune(const std::vector<double>& initial)
 
     const std::optional<CacheStats> stats = cache_stats_of(*backend);
     emit(PipelineEvent::Kind::StageEnd, "vqa_tune", evaluations,
-         tuned_->final_value, stats ? &*stats : nullptr);
+         tuned_->final_value, stats ? &*stats : nullptr, span.stop());
     return *tuned_;
 }
 

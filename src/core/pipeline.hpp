@@ -76,6 +76,11 @@ struct PipelineEvent
      *  on StageEnd when `PipelineConfig::cache` was enabled. Valid for
      *  the duration of the observer call. */
     const CacheStats* cache = nullptr;
+    /** Stage wall milliseconds (StageEnd only) — the same measurement
+     *  the telemetry `cafqa_stage_ms{stage=...}` histogram records, so
+     *  observers see the stage timing whether or not telemetry
+     *  recording is enabled. */
+    double stage_ms = 0.0;
 };
 
 /** Observer callback; invoked synchronously from the running stage. */
@@ -215,7 +220,8 @@ class CafqaPipeline
   private:
     void emit(PipelineEvent::Kind kind, std::string_view stage,
               std::size_t evaluation, double best_value,
-              const CacheStats* cache = nullptr) const;
+              const CacheStats* cache = nullptr,
+              double stage_ms = 0.0) const;
 
     /** Stage backend config with the pipeline's cache block applied. */
     BackendConfig stage_backend_config(std::string kind,

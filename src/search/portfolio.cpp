@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_safety.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace cafqa {
 
@@ -252,6 +253,19 @@ PortfolioSearch::PortfolioSearch(std::vector<PortfolioArm> arms,
     }
     CAFQA_REQUIRE(options_.sync_evals >= 1,
                   "sync_evals must be at least 1");
+    auto& registry = telemetry::MetricsRegistry::instance();
+    arm_evals_metrics_.reserve(arms_.size());
+    for (const PortfolioArm& arm : arms_) {
+        arm_evals_metrics_.push_back(&registry.counter(
+            "cafqa_portfolio_evals_total", {{"arm", arm.kind}},
+            "Objective evaluations recorded, per portfolio arm kind"));
+    }
+    kills_metric_ = &registry.counter(
+        "cafqa_portfolio_kills_total", {},
+        "Portfolio arms killed by the round orchestrator");
+    restarts_metric_ = &registry.counter(
+        "cafqa_portfolio_restarts_total", {},
+        "Warm restarts granted to budget-exhausted portfolio arms");
 }
 
 OptimizeOutcome
@@ -493,6 +507,13 @@ PortfolioSearch::minimize(const DiscreteObjective& objective,
         arm_report.history_offset = offset;
         arm_report.killed = control.arms[i].killed;
         arm_report.restarts = control.arms[i].restarts;
+        // References pre-fetched in the constructor; these bumps are
+        // lock-free and safe under merge_lock.
+        arm_evals_metrics_[i]->add(outcomes[i].history.size());
+        if (control.arms[i].killed) {
+            kills_metric_->add();
+        }
+        restarts_metric_->add(control.arms[i].restarts);
         report_.arms.push_back(std::move(arm_report));
 
         merged.history.insert(merged.history.end(),

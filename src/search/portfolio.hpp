@@ -43,8 +43,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "opt/optimizer.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace cafqa {
 
@@ -145,6 +147,13 @@ class PortfolioSearch final : public DiscreteOptimizer
     PortfolioOptions options_;
     std::string key_;
     Report report_;
+    /** Registry references fetched in the constructor — registration
+     *  must not happen inside `minimize` (parts of it run under
+     *  `control_mutex`, and the registering accessors take
+     *  `metrics_mutex`). One entry per arm, parallel to `arms_`. */
+    std::vector<telemetry::Counter*> arm_evals_metrics_;
+    telemetry::Counter* kills_metric_ = nullptr;
+    telemetry::Counter* restarts_metric_ = nullptr;
 };
 
 } // namespace cafqa

@@ -15,7 +15,19 @@ to_string(Admit admit)
     return "?";
 }
 
-JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity)
+JobQueue::JobQueue(std::size_t capacity)
+    : capacity_(capacity),
+      // Registered here, before any named lock exists in this object —
+      // the registering accessors must never run under another lock.
+      pushed_metric_(telemetry::MetricsRegistry::instance().counter(
+          "cafqa_server_jobs_pushed_total", {},
+          "Jobs admitted into the server queue")),
+      popped_metric_(telemetry::MetricsRegistry::instance().counter(
+          "cafqa_server_jobs_popped_total", {},
+          "Jobs handed to a worker from the server queue")),
+      queue_wait_metric_(telemetry::MetricsRegistry::instance().histogram(
+          "cafqa_server_queue_wait_ms", {},
+          "Milliseconds a job spent queued before a worker picked it up"))
 {
     CAFQA_REQUIRE(capacity_ > 0, "job queue capacity must be positive");
 }
@@ -23,6 +35,7 @@ JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity)
 Admit
 JobQueue::push(Job job)
 {
+    job.submitted = std::chrono::steady_clock::now();
     {
         MutexLock lock(queue_mutex_);
         if (closed_) {
@@ -38,6 +51,7 @@ JobQueue::push(Job job)
         it->second.push_back(std::move(job));
         ++size_;
     }
+    pushed_metric_.add();
     ready_.notify_one();
     return Admit::Accepted;
 }
@@ -93,14 +107,23 @@ JobQueue::pop_locked()
 std::optional<Job>
 JobQueue::pop()
 {
-    MutexLock lock(queue_mutex_);
-    while (size_ == 0 && !closed_) {
-        ready_.wait(lock);
+    std::optional<Job> job;
+    {
+        MutexLock lock(queue_mutex_);
+        while (size_ == 0 && !closed_) {
+            ready_.wait(lock);
+        }
+        if (size_ == 0) {
+            return std::nullopt;
+        }
+        job = pop_locked();
     }
-    if (size_ == 0) {
-        return std::nullopt;
-    }
-    return pop_locked();
+    popped_metric_.add();
+    queue_wait_metric_.observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - job->submitted)
+            .count());
+    return job;
 }
 
 void

@@ -20,6 +20,7 @@
 #define CAFQA_SERVER_JOB_QUEUE_HPP
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -31,6 +32,7 @@
 
 #include "common/thread_safety.hpp"
 #include "core/run_spec.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace cafqa::server {
 
@@ -48,6 +50,9 @@ struct Job
     /** Delivers one response line to the submitting connection (safe to
      *  call after the connection dropped — it just discards). */
     std::function<void(const std::string& line)> respond;
+    /** Admission time, stamped by `JobQueue::push` (queue-wait and
+     *  end-to-end latency attribution). */
+    std::chrono::steady_clock::time_point submitted{};
 };
 
 /** Admission verdict. */
@@ -101,6 +106,12 @@ class JobQueue
     Job pop_locked() CAFQA_REQUIRES(queue_mutex_);
 
     std::size_t capacity_;
+    /** Registry references fetched once at construction (no lock held
+     *  there); the hot-path add/observe calls are lock-free, so queue
+     *  operations take no lock beyond `queue_mutex_`. */
+    telemetry::Counter& pushed_metric_;
+    telemetry::Counter& popped_metric_;
+    telemetry::Histogram& queue_wait_metric_;
     mutable Mutex queue_mutex_{"queue_mutex"};
     CondVar ready_;
     /** Per-client FIFOs ("shards" of the fair schedule). */

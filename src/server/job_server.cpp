@@ -121,9 +121,47 @@ JobServer::Connection::send_locked(const std::string& line)
     }
 }
 
+JobServer::Telemetry
+JobServer::make_telemetry()
+{
+    auto& registry = telemetry::MetricsRegistry::instance();
+    const std::string requests = "cafqa_server_requests_total";
+    const std::string requests_help =
+        "Protocol requests received, by verb";
+    const std::string rejects = "cafqa_server_rejects_total";
+    const std::string rejects_help =
+        "Submissions rejected at admission, by reason";
+    return Telemetry{
+        registry.counter(requests, {{"verb", "submit"}}, requests_help),
+        registry.counter(requests, {{"verb", "cancel"}}, requests_help),
+        registry.counter(requests, {{"verb", "stats"}}, requests_help),
+        registry.counter(requests, {{"verb", "metrics"}}, requests_help),
+        registry.counter(requests, {{"verb", "shutdown"}}, requests_help),
+        registry.counter("cafqa_server_bad_requests_total", {},
+                         "Request lines that failed to parse"),
+        registry.counter(rejects, {{"reason", "bad_spec"}}, rejects_help),
+        registry.counter(rejects, {{"reason", "duplicate_id"}},
+                         rejects_help),
+        registry.counter(rejects, {{"reason", "queue_full"}},
+                         rejects_help),
+        registry.counter(rejects, {{"reason", "draining"}}, rejects_help),
+        registry.counter("cafqa_server_jobs_completed_total", {},
+                         "Jobs that emitted a result event (ran or "
+                         "flushed cancelled)"),
+        registry.counter("cafqa_server_jobs_cancelled_total", {},
+                         "Jobs flushed as cancelled without running"),
+        registry.gauge("cafqa_server_busy_workers", {},
+                       "Workers currently executing a job"),
+        registry.histogram("cafqa_server_job_latency_ms", {},
+                           "Submit-to-result milliseconds for jobs "
+                           "that ran"),
+    };
+}
+
 JobServer::JobServer(ServerOptions options)
     : options_(std::move(options)),
-      queue_(options_.queue_capacity)
+      queue_(options_.queue_capacity),
+      metrics_(make_telemetry())
 {
     CAFQA_REQUIRE(options_.workers >= 1,
                   "job server needs at least one worker");
@@ -209,6 +247,7 @@ JobServer::start()
         fail_errno("listen");
     }
 
+    register_callback_gauges();
     started_ = true;
     accept_thread_ = std::thread([this] { accept_loop(); });
     workers_.reserve(options_.workers);
@@ -264,6 +303,43 @@ JobServer::accept_loop()
                 std::thread([this, connection] { reader_loop(connection); }));
         }
         reap_finished_readers();
+    }
+}
+
+void
+JobServer::register_callback_gauges()
+{
+    auto& registry = telemetry::MetricsRegistry::instance();
+    // Each callback runs under `metrics_mutex` at scrape time and takes
+    // its owner's lock — the `dynamic metrics_mutex -> queue_mutex` and
+    // `dynamic metrics_mutex -> shard_mutex` edges in the lock-order
+    // manifest.
+    registry.set_callback_gauge(
+        "cafqa_server_queue_depth", {},
+        [this] { return static_cast<double>(queue_.size()); },
+        "Jobs admitted but not yet handed to a worker");
+    if (cache_) {
+        registry.set_callback_gauge(
+            "cafqa_cache_entries", {},
+            [this] { return static_cast<double>(cache_->stats().entries); },
+            "Resident evaluation-cache entries");
+        registry.set_callback_gauge(
+            "cafqa_cache_resident_bytes", {},
+            [this] { return static_cast<double>(cache_->stats().bytes); },
+            "Approximate resident evaluation-cache payload bytes");
+    }
+}
+
+void
+JobServer::clear_callback_gauges()
+{
+    // The registry outlives this server (it is process-wide); a scrape
+    // after teardown must not call into freed state.
+    auto& registry = telemetry::MetricsRegistry::instance();
+    registry.clear_callback_gauge("cafqa_server_queue_depth", {});
+    if (cache_) {
+        registry.clear_callback_gauge("cafqa_cache_entries", {});
+        registry.clear_callback_gauge("cafqa_cache_resident_bytes", {});
     }
 }
 
@@ -335,6 +411,7 @@ JobServer::handle_line(const std::shared_ptr<Connection>& connection,
     try {
         request = parse_request(line);
     } catch (const std::exception& error) {
+        metrics_.bad_requests.add();
         // A submit whose spec failed to parse still deserves a per-job
         // rejection (clients correlate by id); salvage the id when the
         // envelope itself is readable.
@@ -345,6 +422,7 @@ JobServer::handle_line(const std::shared_ptr<Connection>& connection,
             if (op != nullptr && op->value == "submit" && id != nullptr &&
                 id->is_string) {
                 rejected_.fetch_add(1, std::memory_order_relaxed);
+                metrics_.reject_bad_spec.add();
                 connection->send(event_rejected(id->value, error.what()));
                 return;
             }
@@ -359,9 +437,11 @@ JobServer::handle_line(const std::shared_ptr<Connection>& connection,
     }
     switch (request.op) {
       case Op::Submit:
+        metrics_.submit_requests.add();
         handle_submit(connection, std::move(request));
         break;
       case Op::Cancel: {
+        metrics_.cancel_requests.add();
         std::shared_ptr<std::atomic<bool>> token;
         {
             MutexLock lock(jobs_mutex_);
@@ -381,10 +461,23 @@ JobServer::handle_line(const std::shared_ptr<Connection>& connection,
         break;
       }
       case Op::Stats:
+        metrics_.stats_requests.add();
         connection->send(event_stats(
             counters(), cache_ ? cache_->stats() : CacheStats{}));
         break;
+      case Op::Metrics: {
+        metrics_.metrics_requests.add();
+        // No named lock is held here (reader context): the scrape takes
+        // metrics_mutex and, inside the callback gauges, queue_mutex /
+        // shard_mutex — the declared dynamic manifest edges.
+        auto& registry = telemetry::MetricsRegistry::instance();
+        connection->send(
+            event_metrics(telemetry::wall_timestamp_seconds(),
+                          registry.prometheus(), registry.json()));
+        break;
+      }
       case Op::Shutdown:
+        metrics_.shutdown_requests.add();
         shutdown(request.drain);
         break;
     }
@@ -402,6 +495,7 @@ JobServer::handle_submit(const std::shared_ptr<Connection>& connection,
         request.spec.validate();
     } catch (const std::exception& error) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.reject_bad_spec.add();
         connection->send(event_rejected(id, error.what()));
         return;
     }
@@ -440,12 +534,16 @@ JobServer::handle_submit(const std::shared_ptr<Connection>& connection,
     }
     if (!fresh_id) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.reject_duplicate.add();
         connection->send_locked(event_rejected(
             id, "duplicate job id (still queued or running)"));
         return;
     }
     if (admit != Admit::Accepted) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
+        (admit == Admit::QueueFull ? metrics_.reject_queue_full
+                                   : metrics_.reject_draining)
+            .add();
         connection->send_locked(event_rejected(id, to_string(admit)));
         return;
     }
@@ -457,7 +555,11 @@ void
 JobServer::worker_loop()
 {
     while (auto job = queue_.pop()) {
+        busy_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.busy_workers.add(1.0);
         process_job(*job);
+        metrics_.busy_workers.add(-1.0);
+        busy_.fetch_sub(1, std::memory_order_relaxed);
     }
 }
 
@@ -492,6 +594,11 @@ JobServer::process_job(Job& job)
     // Report the spec as submitted, not the thread-count override.
     record.spec = job.spec;
     completed_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.jobs_completed.add();
+    metrics_.job_latency_ms.observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - job.submitted)
+            .count());
     job.respond(event_result(job.id, record));
     unregister_job(job.id);
 }
@@ -505,6 +612,8 @@ JobServer::flush_cancelled(Job& job)
     record.cancelled = true;
     record.error = "cancelled before start";
     completed_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.jobs_completed.add();
+    metrics_.jobs_cancelled.add();
     job.respond(event_result(job.id, record));
     unregister_job(job.id);
 }
@@ -558,6 +667,14 @@ JobServer::wait()
         while (!shutdown_requested_.load()) {
             shutdown_cv_.wait(lock);
         }
+    }
+    // Unhook the scrape-time callbacks BEFORE teardown (and before
+    // taking teardown_mutex_: clearing takes metrics_mutex, and a lock
+    // edge out of teardown_mutex_ into it would be a new ordering
+    // constraint for nothing). Idempotent, so concurrent waiters are
+    // fine; the members the callbacks read outlive `wait` anyway.
+    if (started_) {
+        clear_callback_gauges();
     }
     MutexLock teardown(teardown_mutex_);
     if (finished_) {
@@ -638,6 +755,8 @@ JobServer::counters() const
     out.cancelled = cancelled_.load(std::memory_order_relaxed);
     out.rejected = rejected_.load(std::memory_order_relaxed);
     out.queued = queue_.size();
+    out.workers = options_.workers;
+    out.busy = busy_.load(std::memory_order_relaxed);
     return out;
 }
 

@@ -46,6 +46,7 @@
 #include "core/caching_backend.hpp"
 #include "server/job_queue.hpp"
 #include "server/protocol.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace cafqa::server {
 
@@ -163,6 +164,43 @@ class JobServer
 
     void unregister_job(const std::string& id);
 
+    /**
+     * Registry references, fetched once in the constructor — before any
+     * named lock can possibly be held — so every hot-path record below
+     * is a lock-free atomic bump (safe under `write_mutex`,
+     * `jobs_mutex`, anywhere).
+     */
+    struct Telemetry
+    {
+        /** `cafqa_server_requests_total{verb=...}` */
+        telemetry::Counter& submit_requests;
+        telemetry::Counter& cancel_requests;
+        telemetry::Counter& stats_requests;
+        telemetry::Counter& metrics_requests;
+        telemetry::Counter& shutdown_requests;
+        /** Lines that failed to parse as any request. */
+        telemetry::Counter& bad_requests;
+        /** `cafqa_server_rejects_total{reason=...}` — one series per
+         *  admission-reject reason. */
+        telemetry::Counter& reject_bad_spec;
+        telemetry::Counter& reject_duplicate;
+        telemetry::Counter& reject_queue_full;
+        telemetry::Counter& reject_draining;
+        telemetry::Counter& jobs_completed;
+        telemetry::Counter& jobs_cancelled;
+        telemetry::Gauge& busy_workers;
+        /** Submit-to-result milliseconds for jobs that ran. */
+        telemetry::Histogram& job_latency_ms;
+    };
+    static Telemetry make_telemetry();
+
+    /** Register/clear the scrape-time callback gauges (queue depth,
+     *  cache residency). Their lock acquisitions under `metrics_mutex`
+     *  are the declared `dynamic metrics_mutex -> ...` manifest
+     *  edges. */
+    void register_callback_gauges();
+    void clear_callback_gauges();
+
     /** Join reader threads whose loops have finished (their ids sit in
      *  `finished_readers_`), so short-lived connections don't leak
      *  joinable handles for the daemon's lifetime. */
@@ -176,6 +214,7 @@ class JobServer
 
     JobQueue queue_;
     std::shared_ptr<EvaluationCache> cache_;
+    Telemetry metrics_;
 
     std::thread accept_thread_;
     std::vector<std::thread> workers_;
@@ -211,6 +250,8 @@ class JobServer
     std::atomic<std::uint64_t> completed_{0};
     std::atomic<std::uint64_t> cancelled_{0};
     std::atomic<std::uint64_t> rejected_{0};
+    /** Workers currently inside `process_job` (stats verb occupancy). */
+    std::atomic<std::uint64_t> busy_{0};
 
     Mutex shutdown_mutex_{"shutdown_mutex"};
     CondVar shutdown_cv_;

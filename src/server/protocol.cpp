@@ -114,6 +114,8 @@ parse_request(const std::string& line)
         request.id = required_field(fields, "id", true).value;
     } else if (op->value == "stats") {
         request.op = Op::Stats;
+    } else if (op->value == "metrics") {
+        request.op = Op::Metrics;
     } else if (op->value == "shutdown") {
         request.op = Op::Shutdown;
         if (const JsonField* mode = find_json_field(fields, "mode")) {
@@ -128,7 +130,7 @@ parse_request(const std::string& line)
         }
     } else {
         fail("unknown op \"" + op->value +
-             "\" (expected submit, cancel, stats or shutdown)");
+             "\" (expected submit, cancel, stats, metrics or shutdown)");
     }
     return request;
 }
@@ -154,6 +156,12 @@ std::string
 stats_line()
 {
     return "{\"op\":\"stats\"}";
+}
+
+std::string
+metrics_line()
+{
+    return "{\"op\":\"metrics\"}";
 }
 
 std::string
@@ -217,7 +225,19 @@ event_stats(const ServerCounters& counters, const CacheStats& cache)
            ",\"cancelled\":" + std::to_string(counters.cancelled) +
            ",\"rejected\":" + std::to_string(counters.rejected) +
            ",\"queued\":" + std::to_string(counters.queued) +
+           ",\"workers\":" + std::to_string(counters.workers) +
+           ",\"busy\":" + std::to_string(counters.busy) +
            ",\"cache\":" + cache.to_json() + "}";
+}
+
+std::string
+event_metrics(double timestamp_s, const std::string& prometheus,
+              const std::string& snapshot_json)
+{
+    return "{\"event\":\"metrics\",\"timestamp_s\":" +
+           format_real(timestamp_s) +
+           ",\"prometheus\":" + json_quote(prometheus) +
+           ",\"snapshot\":" + snapshot_json + "}";
 }
 
 namespace {
@@ -264,6 +284,12 @@ parse_event(const std::string& line)
     if (const JsonField* cache = find_json_field(fields, "cache")) {
         out.cache_json = cache->value;
     }
+    if (const JsonField* prom = find_json_field(fields, "prometheus")) {
+        out.prometheus = prom->value;
+    }
+    if (const JsonField* snap = find_json_field(fields, "snapshot")) {
+        out.snapshot_json = snap->value;
+    }
     if (const JsonField* queued = find_json_field(fields, "queued")) {
         out.queued = static_cast<std::size_t>(counter_value(queued));
     }
@@ -276,6 +302,9 @@ parse_event(const std::string& line)
     out.counters.rejected =
         counter_value(find_json_field(fields, "rejected"));
     out.counters.queued = counter_value(find_json_field(fields, "queued"));
+    out.counters.workers =
+        counter_value(find_json_field(fields, "workers"));
+    out.counters.busy = counter_value(find_json_field(fields, "busy"));
     return out;
 }
 

@@ -9,6 +9,7 @@
  *   {"op":"submit","id":"j1","spec":"problem=maxcut:ring-6 warmup=8"}
  *   {"op":"cancel","id":"j1"}
  *   {"op":"stats"}
+ *   {"op":"metrics"}
  *   {"op":"shutdown","mode":"drain"}        // or "now"
  *
  * A line WITHOUT an "op" field is an implicit submit whose whole object
@@ -25,7 +26,10 @@
  *   {"event":"result","id":"j1","record":{...RunRecord::to_json()...}}
  *   {"event":"cancelled","id":"j1"}          // cancel registered; the
  *                                            // result event still follows
- *   {"event":"stats","cache":{...},"submitted":N,"completed":N,...}
+ *   {"event":"stats","cache":{...},"submitted":N,"completed":N,
+ *    "queued":N,"workers":N,"busy":N,...}
+ *   {"event":"metrics","timestamp_s":T,"prometheus":"...",
+ *    "snapshot":{...}}                       // full telemetry scrape
  *   {"event":"error","message":"..."}        // request-level failure
  *   {"event":"bye","reason":"drain"}         // server closing the stream
  *
@@ -87,6 +91,8 @@ enum class Op {
     Submit,
     Cancel,
     Stats,
+    /** Full telemetry scrape: Prometheus text + JSON snapshot. */
+    Metrics,
     Shutdown,
 };
 
@@ -113,6 +119,7 @@ Request parse_request(const std::string& line);
 std::string submit_line(const std::string& id, const RunSpec& spec);
 std::string cancel_line(const std::string& id);
 std::string stats_line();
+std::string metrics_line();
 std::string shutdown_line(bool drain);
 
 // ---- Response encoders (server side). One JSON line, no newline. ----
@@ -136,10 +143,21 @@ struct ServerCounters
     std::uint64_t cancelled = 0;
     std::uint64_t rejected = 0;
     std::uint64_t queued = 0;
+    /** Configured worker count (occupancy denominator). */
+    std::uint64_t workers = 0;
+    /** Workers currently executing a job — `queued` + `busy` is how a
+     *  drained server is told apart from a wedged one. */
+    std::uint64_t busy = 0;
 };
 
 std::string event_stats(const ServerCounters& counters,
                         const CacheStats& cache);
+
+/** The metrics event: Prometheus text + JSON snapshot (embedded
+ *  verbatim) and the scrape wall-clock timestamp. */
+std::string event_metrics(double timestamp_s,
+                          const std::string& prometheus,
+                          const std::string& snapshot_json);
 
 /** One decoded response line (the client-side mirror of `Request`).
  *  Fields are filled per event kind; `record_json` holds the raw
@@ -152,6 +170,10 @@ struct Event
     std::string message;
     std::string record_json;
     std::string cache_json;
+    /** "metrics" event payloads: the Prometheus text body and the raw
+     *  JSON snapshot object. */
+    std::string prometheus;
+    std::string snapshot_json;
     std::size_t queued = 0;
     ServerCounters counters;
 };

@@ -233,12 +233,28 @@ TEST(LintFixtures, WallClockInLogicFires)
 
 TEST(LintRules, WallClockExemptInTelemetryAndBench)
 {
-    EXPECT_TRUE(lint_source("src/common/telemetry.cpp",
+    EXPECT_TRUE(lint_source("src/telemetry/metrics.cpp",
                             "auto t = std::chrono::system_clock::now();\n")
                     .findings.empty());
     EXPECT_TRUE(lint_source("bench/server_load.cpp",
                             "auto t = std::chrono::system_clock::now();\n")
                     .findings.empty());
+}
+
+TEST(LintRules, WallClockCarveOutIsPathExact)
+{
+    // Only src/telemetry/ itself is sanctioned; a file that merely has
+    // "telemetry" in its name must route timestamps through
+    // telemetry::wall_timestamp_seconds() like everything else.
+    EXPECT_EQ(count_rule(lint_source(
+                             "src/common/telemetry.cpp",
+                             "auto t = std::chrono::system_clock::now();\n"),
+                         "wall-clock-in-logic"),
+              1u);
+    const FileReport report =
+        lint_file(fixture("bad_wallclock_telemetry.cpp"));
+    EXPECT_EQ(count_rule(report, "wall-clock-in-logic"), 1u)
+        << "a telemetry-named file outside src/telemetry/ is not exempt";
 }
 
 TEST(LintRules, HardwareConcurrencyQueryIsNotARawThread)

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +25,7 @@
 #include "server/job_queue.hpp"
 #include "server/job_server.hpp"
 #include "server/protocol.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace cafqa::server {
 namespace {
@@ -144,11 +146,30 @@ TEST(Protocol, EventRoundTrip)
     ServerCounters counters;
     counters.submitted = 4;
     counters.completed = 3;
+    counters.queued = 2;
+    counters.workers = 8;
+    counters.busy = 5;
     const Event stats = parse_event(event_stats(counters, CacheStats{}));
     EXPECT_EQ(stats.event, "stats");
     EXPECT_EQ(stats.counters.submitted, 4u);
     EXPECT_EQ(stats.counters.completed, 3u);
+    // The occupancy side of the reply: without queued/workers/busy a
+    // drained server and a wedged one look identical from outside.
+    EXPECT_EQ(stats.counters.queued, 2u);
+    EXPECT_EQ(stats.counters.workers, 8u);
+    EXPECT_EQ(stats.counters.busy, 5u);
     EXPECT_FALSE(stats.cache_json.empty());
+}
+
+TEST(Protocol, MetricsRoundTrip)
+{
+    const Event metrics = parse_event(event_metrics(
+        1722000000.5, "# TYPE cafqa_x counter\ncafqa_x 1\n",
+        "{\"cafqa_x\":1}"));
+    EXPECT_EQ(metrics.event, "metrics");
+    EXPECT_EQ(metrics.prometheus,
+              "# TYPE cafqa_x counter\ncafqa_x 1\n");
+    EXPECT_EQ(metrics.snapshot_json, "{\"cafqa_x\":1}");
 }
 
 // --------------------------------------------------------------- queue
@@ -261,15 +282,64 @@ TEST(JobServerEndToEnd, SubmitResultRoundTrip)
     const Event error = read_until(client, "error");
     EXPECT_NE(error.message.find("unknown op"), std::string::npos);
 
-    // Stats verb reports the counters and the shared cache.
-    client.send_line(stats_line());
-    const Event stats = read_until(client, "stats");
+    // Stats verb reports the counters, the occupancy view and the
+    // shared cache. The result event is written before the worker
+    // marks itself idle again, so poll briefly for busy to settle.
+    Event stats;
+    for (int attempt = 0;; ++attempt) {
+        client.send_line(stats_line());
+        stats = read_until(client, "stats");
+        if (stats.counters.busy == 0 || attempt >= 50) {
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
     EXPECT_EQ(stats.counters.submitted, 1u);
     EXPECT_EQ(stats.counters.completed, 1u);
+    EXPECT_EQ(stats.counters.queued, 0u);
+    EXPECT_EQ(stats.counters.workers, 1u);
+    EXPECT_EQ(stats.counters.busy, 0u);
     EXPECT_FALSE(stats.cache_json.empty());
+
+    // Metrics verb: a Prometheus body plus a JSON snapshot covering
+    // the server, queue and cache series. The process registry
+    // accumulates across tests in this binary, so assertions are
+    // presence + lower bounds, never exact totals.
+    client.send_line(metrics_line());
+    const Event metrics = read_until(client, "metrics");
+    EXPECT_FALSE(metrics.prometheus.empty());
+    EXPECT_FALSE(metrics.snapshot_json.empty());
+    const auto sample = [&metrics](const std::string& series) {
+        return cafqa::telemetry::find_prometheus_sample(
+            metrics.prometheus, series);
+    };
+    const auto completed =
+        sample("cafqa_server_jobs_completed_total");
+    ASSERT_TRUE(completed.has_value());
+    EXPECT_GE(*completed, 1.0);
+    const auto submits =
+        sample("cafqa_server_requests_total{verb=\"submit\"}");
+    ASSERT_TRUE(submits.has_value());
+    EXPECT_GE(*submits, 1.0);
+    EXPECT_EQ(sample("cafqa_server_queue_depth"), 0.0);
+    EXPECT_EQ(sample("cafqa_server_busy_workers"), 0.0);
+    ASSERT_TRUE(sample("cafqa_cache_hits_total").has_value());
+    ASSERT_TRUE(
+        sample("cafqa_server_job_latency_ms_count").has_value());
+    EXPECT_NE(metrics.snapshot_json.find(
+                  "\"cafqa_server_job_latency_ms\""),
+              std::string::npos);
 
     server.shutdown(true);
     server.wait();
+
+    // After wait() the server has unhooked its callback gauges: a
+    // scrape through the registry must not reach freed server state.
+    const std::string post =
+        cafqa::telemetry::MetricsRegistry::instance().prometheus();
+    EXPECT_EQ(cafqa::telemetry::find_prometheus_sample(
+                  post, "cafqa_server_queue_depth"),
+              std::nullopt);
 }
 
 TEST(JobServerEndToEnd, RecordMatchesSoloRun)

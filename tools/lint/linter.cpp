@@ -244,9 +244,12 @@ check_line_rules(const std::string& path,
                                path_contains(path, "server/") ||
                                path_contains(path, "tests/");
     const bool mutex_exempt = path_contains(path, "thread_safety.hpp");
-    // Wall-clock reads are fine where the point IS wall time: telemetry
-    // timestamps and benchmark harnesses.
-    const bool wall_clock_exempt = path_contains(path, "telemetry") ||
+    // Wall-clock reads are fine where the point IS wall time: the
+    // telemetry subsystem's sanctioned timestamp helper and benchmark
+    // harnesses. Path-exact on purpose: a file merely mentioning
+    // telemetry in its name (or including the header) earns no
+    // exemption — it must call telemetry::wall_timestamp_seconds().
+    const bool wall_clock_exempt = path_contains(path, "src/telemetry/") ||
                                    path_contains(path, "bench/");
 
     for (std::size_t n = 0; n < lines.size(); ++n) {

@@ -912,7 +912,13 @@ void walk_body(const WalkCtx& ctx, const FunctionDef& def, std::size_t begin,
             } else if (stl_like_names().count(word) == 0) {
                 const auto bit = ctx.keys_by_bare->find(word);
                 if (bit != ctx.keys_by_bare->end() &&
-                    bit->second.size() == 1) {
+                    bit->second.size() == 1 &&
+                    bit->second.front().find("::") == std::string::npos) {
+                    // Free functions only: a plain unqualified call
+                    // cannot reach another class's method, and local
+                    // declarations (`std::vector<double> start(n);`)
+                    // would otherwise resolve to a same-named method
+                    // anywhere in the tree.
                     key = bit->second.front();
                 }
             }

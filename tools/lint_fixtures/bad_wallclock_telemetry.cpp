@@ -1,0 +1,10 @@
+// Fixture for the wall-clock-in-logic carve-out being path-exact:
+// "telemetry" in the file name does NOT grant the src/telemetry/
+// exemption — this file must still fire.
+#include <chrono>
+
+double telemetry_flavoured_stamp()
+{
+    const auto now = std::chrono::system_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
